@@ -1,0 +1,84 @@
+"""False-negative ablation: modular vs. integral (rational) constraint solving.
+
+Section 4 of the paper argues that a non-modular solver misses counterexamples
+that rely on bit-vector wrap-around.  This benchmark quantifies that claim:
+
+* the paper's multiplier example (``c = 12, a = 4`` admits ``b = 7`` only
+  modulo 16),
+* a sweep of random linear systems, counting how often the rational solver
+  reports "no solution" while the modular solver finds one (the
+  false-negative rate).
+"""
+
+import random
+
+import reporting
+
+from repro.baselines.integer_solver import RationalLinearSolver
+from repro.modsolver.linear import ModularLinearSystem
+from repro.modsolver.modular import solve_scalar_congruence
+
+
+def test_multiplier_wraparound_example(benchmark):
+    """b = 7 satisfies 4*b = 12 (mod 16) but not over the integers."""
+
+    def solve():
+        return solve_scalar_congruence(4, 12, 4)
+
+    solutions = benchmark(solve)
+    values = sorted(solutions.values())
+    assert 3 in values and 7 in values
+    integral = [b for b in values if 4 * b == 12]
+    line = (
+        "4*b = 12 over 4-bit vectors: modular solutions %s, integral-only solutions %s"
+        % (values, integral)
+    )
+    reporting.register_table("[Sec 4] multiplier wrap-around example", line)
+    print("\n[False negative] " + line)
+
+
+def _random_system(rng, width, num_vars, num_rows):
+    rows = [
+        [rng.randint(-4, 4) for _ in range(num_vars)] for _ in range(num_rows)
+    ]
+    rhs = [rng.randint(0, (1 << width) - 1) for _ in range(num_rows)]
+    return rows, rhs
+
+
+def _false_negative_sweep(width=6, num_vars=3, num_rows=3, samples=150, seed=2000):
+    rng = random.Random(seed)
+    modular_sat = 0
+    rational_sat = 0
+    false_negatives = 0
+    for _ in range(samples):
+        rows, rhs = _random_system(rng, width, num_vars, num_rows)
+        modular = ModularLinearSystem.from_matrix(rows, rhs, width).solve()
+        rational = RationalLinearSolver(width).solve_matrix(rows, rhs)
+        if modular is not None:
+            modular_sat += 1
+        if rational is not None:
+            rational_sat += 1
+        if modular is not None and rational is None:
+            false_negatives += 1
+    return modular_sat, rational_sat, false_negatives, samples
+
+
+def test_false_negative_rate(benchmark):
+    modular_sat, rational_sat, false_negatives, samples = benchmark.pedantic(
+        _false_negative_sweep, rounds=1, iterations=1
+    )
+    assert modular_sat >= rational_sat
+    assert false_negatives > 0, "expected the integral solver to miss some modular solutions"
+    line = (
+        "%d random systems: modular SAT %d, rational SAT %d, "
+        "false negatives (missed counterexamples) %d (%.1f%% of solvable systems)"
+        % (
+            samples,
+            modular_sat,
+            rational_sat,
+            false_negatives,
+            100.0 * false_negatives / max(1, modular_sat),
+        )
+    )
+    reporting.register_table("[Sec 4] false-negative rate of non-modular solving", line)
+    print("\n[False negative rate] " + line)

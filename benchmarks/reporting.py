@@ -1,0 +1,29 @@
+"""Shared table registry for the benchmark harness.
+
+pytest captures ``print`` output of passing tests, so tables printed inside
+benchmark tests are invisible in the default ``pytest benchmarks/
+--benchmark-only`` log.  Report tests therefore *register* their formatted
+tables here as well; the ``pytest_terminal_summary`` hook in
+``benchmarks/conftest.py`` prints every registered table after the run, which
+is what ends up in ``bench_output.txt``.
+"""
+
+from typing import List, Tuple
+
+#: (title, formatted table) pairs registered by the report tests, in order.
+_TABLES: List[Tuple[str, str]] = []
+
+
+def register_table(title: str, table: str) -> None:
+    """Record a formatted table for the end-of-run summary."""
+    _TABLES.append((title, table))
+
+
+def registered_tables() -> List[Tuple[str, str]]:
+    """All tables registered so far (in registration order)."""
+    return list(_TABLES)
+
+
+def clear() -> None:
+    """Forget registered tables (used by the harness's own tests)."""
+    _TABLES.clear()

@@ -1,0 +1,78 @@
+"""repro -- word-level ATPG + modular arithmetic assertion checking.
+
+A from-scratch Python reproduction of
+
+    Huang & Cheng, "Assertion Checking by Combined Word-level ATPG and
+    Modular Arithmetic Constraint-Solving Techniques", DAC 2000.
+
+The package provides:
+
+* a word-level RTL netlist and builder API (:mod:`repro.netlist`),
+* a Verilog-subset front end (:mod:`repro.hdl`),
+* three-valued word-level implication (:mod:`repro.implication`) over the
+  cube/interval domain of :mod:`repro.bitvector`,
+* the branch-and-bound word-level ATPG (:mod:`repro.atpg`),
+* the modular arithmetic constraint solver (:mod:`repro.modsolver`),
+* assertion / witness properties and environments (:mod:`repro.properties`),
+* the top-level checker (:mod:`repro.checker`),
+* baseline engines for comparison (:mod:`repro.baselines`),
+* the paper's benchmark designs and properties (:mod:`repro.circuits`).
+
+Quickstart::
+
+    from repro import Circuit, AssertionChecker, Assertion, Signal
+
+    c = Circuit("demo")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    c.output(c.add(a, b), name="total")
+
+    checker = AssertionChecker(c)
+    result = checker.check(Assertion("no_overflow", Signal("total") >= Signal("a")))
+"""
+
+from repro.bitvector import BV3, ValueRange
+from repro.netlist import Circuit, NetKind
+from repro.properties import (
+    Assertion,
+    Witness,
+    Signal,
+    Const,
+    And,
+    Or,
+    Not,
+    Implies,
+    Delayed,
+    OneHot,
+    AtMostOneHot,
+    Environment,
+)
+from repro.checker import AssertionChecker, CheckerOptions, CheckResult, CheckStatus
+from repro.simulation import Simulator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BV3",
+    "ValueRange",
+    "Circuit",
+    "NetKind",
+    "Assertion",
+    "Witness",
+    "Signal",
+    "Const",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Delayed",
+    "OneHot",
+    "AtMostOneHot",
+    "Environment",
+    "AssertionChecker",
+    "CheckerOptions",
+    "CheckResult",
+    "CheckStatus",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Internal don't-care bookkeeping and validation (properties p10 / p14).
+
+During quick synthesis the paper records internal don't-care conditions as
+functions of module inputs instead of optimising them away, and later proves
+that these conditions are "also external" -- i.e. unreachable from the legal
+input space -- so they can safely be used to optimise the circuit.
+
+This module provides the corresponding user-facing flow:
+
+* a :class:`DontCare` names one condition (a property expression over circuit
+  signals) under which the design's behaviour is unspecified;
+* :class:`DontCareSet` collects them for a design;
+* :func:`validate_dont_cares` checks, with the combined word-level ATPG /
+  modular arithmetic engine, that every recorded condition is unreachable,
+  returning one verdict per condition.
+
+The industrial cases p10 and p14 of the benchmark suite are exactly this
+flow on the synthetic ``industry_01`` / ``industry_05`` designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.checker.engine import AssertionChecker, CheckerOptions
+from repro.checker.result import CheckResult, CheckStatus
+from repro.netlist.circuit import Circuit
+from repro.properties.environment import Environment
+from repro.properties.spec import Assertion, Expression, Not
+
+
+@dataclass
+class DontCare:
+    """One internal don't-care condition.
+
+    ``condition`` is an expression over circuit signal names that evaluates
+    to true exactly when the design enters the don't-care situation.
+    """
+
+    name: str
+    condition: Expression
+    description: str = ""
+
+    def to_assertion(self) -> Assertion:
+        """The assertion "this don't-care condition never occurs"."""
+        return Assertion("dc_%s_unreachable" % (self.name,), Not(self.condition))
+
+
+@dataclass
+class DontCareSet:
+    """The collection of don't-care conditions recorded for one design."""
+
+    circuit_name: str
+    entries: List[DontCare] = field(default_factory=list)
+
+    def add(self, name: str, condition: Expression, description: str = "") -> DontCare:
+        """Record a new don't-care condition and return it."""
+        if any(entry.name == name for entry in self.entries):
+            raise ValueError("don't-care %r already recorded" % (name,))
+        entry = DontCare(name, condition, description)
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+@dataclass
+class DontCareVerdict:
+    """The outcome of validating one don't-care condition."""
+
+    dont_care: DontCare
+    result: CheckResult
+
+    @property
+    def is_external(self) -> bool:
+        """True when the condition is unreachable and can be used to optimise."""
+        return self.result.status is CheckStatus.HOLDS
+
+    @property
+    def reachable(self) -> bool:
+        """True when a trace reaching the don't-care condition was found."""
+        return self.result.status is CheckStatus.FAILS
+
+    def summary(self) -> str:
+        """One-line human readable verdict."""
+        if self.is_external:
+            outcome = "unreachable (safe to optimise)"
+        elif self.reachable:
+            outcome = "REACHABLE in %d frames" % (self.result.frames_explored,)
+        else:
+            outcome = self.result.status.value
+        return "%-24s %s" % (self.dont_care.name, outcome)
+
+
+def validate_dont_cares(
+    circuit: Circuit,
+    dont_cares: Iterable[DontCare],
+    environment: Optional[Environment] = None,
+    initial_state: Optional[Dict[str, int]] = None,
+    options: Optional[CheckerOptions] = None,
+) -> List[DontCareVerdict]:
+    """Prove (or refute) that every don't-care condition is unreachable.
+
+    A fresh :class:`~repro.checker.engine.AssertionChecker` is built once and
+    reused across the conditions, so learned ESTG information (when enabled in
+    ``options``) carries over between them.
+    """
+    checker = AssertionChecker(
+        circuit,
+        environment=environment,
+        initial_state=initial_state,
+        options=options,
+    )
+    verdicts: List[DontCareVerdict] = []
+    for dont_care in dont_cares:
+        result = checker.check(dont_care.to_assertion())
+        verdicts.append(DontCareVerdict(dont_care=dont_care, result=result))
+    return verdicts

@@ -1,0 +1,259 @@
+"""Local finite-state-machine extraction.
+
+Section 6 of the paper observes that RTL designs usually contain many small,
+local finite state machines whose transition relations are easy to extract,
+and that storing those local state transition graphs lets the ATPG avoid
+entering illegal (locally unreachable) states.
+
+:func:`extract_local_fsm` derives the local state transition graph of one
+register with the same word-level implication machinery the checker uses:
+
+1. the circuit is unrolled over two frames with *all* registers left unknown
+   (``free_initial_state=True``), so a transition is constrained only by the
+   target register's own value and whatever implication derives from it;
+2. for every current state value the implied cube of the register's
+   next-frame output over-approximates the successor set;
+3. each candidate successor is then confirmed (or discarded) by asserting it
+   and checking for an implication conflict.
+
+Because the inputs and the other registers stay unconstrained, the extracted
+transition relation is an *over-approximation* of the real one.  Reachability
+over an over-approximation is itself an over-approximation, so any state that
+is unreachable in the extracted graph is guaranteed unreachable in the real
+design -- those states are safe to record as structurally illegal in the
+:class:`~repro.atpg.estg.ExtendedStateTransitionGraph` and prune the search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.atpg.estg import ExtendedStateTransitionGraph
+from repro.atpg.timeframe import UnrolledModel
+from repro.bitvector import BV3
+from repro.implication.assignment import ImplicationConflict
+from repro.netlist.circuit import Circuit
+from repro.netlist.seq import DFF
+
+
+@dataclass
+class LocalFsm:
+    """The extracted local state transition graph of one register.
+
+    ``transitions`` maps each explored state value to the list of possible
+    successor values (an over-approximation of the real successor set).
+    """
+
+    register_name: str
+    width: int
+    initial_state: Optional[int]
+    transitions: Dict[int, List[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of representable state encodings (``2**width``)."""
+        return 1 << self.width
+
+    def successors(self, state: int) -> List[int]:
+        """Possible successor values of ``state`` (empty when unexplored)."""
+        return self.transitions.get(state, [])
+
+    def reachable_states(self, from_state: Optional[int] = None) -> Set[int]:
+        """States reachable from ``from_state`` (default: the initial state).
+
+        Returns the empty set when no start state is known.
+        """
+        start = from_state if from_state is not None else self.initial_state
+        if start is None:
+            return set()
+        seen: Set[int] = {start}
+        frontier = deque([start])
+        while frontier:
+            state = frontier.popleft()
+            for successor in self.successors(state):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    def unreachable_states(self, from_state: Optional[int] = None) -> Set[int]:
+        """State encodings not reachable from the initial state.
+
+        Because the transition relation is an over-approximation, every state
+        reported here is *guaranteed* unreachable in the real design.
+        """
+        reachable = self.reachable_states(from_state)
+        if not reachable:
+            return set()
+        return {state for state in range(self.num_states) if state not in reachable}
+
+    def find_cycles(self) -> List[List[int]]:
+        """Simple cycles in the extracted graph, restricted to reachable states.
+
+        Used by the loop-detection extension: a witness search never needs to
+        traverse the same local state twice, and the cycle structure bounds
+        the useful unrolling depth.
+        """
+        reachable = self.reachable_states()
+        cycles: List[List[int]] = []
+        seen_cycles: Set[frozenset] = set()
+        for start in sorted(reachable):
+            stack = [(start, [start])]
+            while stack:
+                state, path = stack.pop()
+                for successor in self.successors(state):
+                    if successor == start and len(path) >= 1:
+                        signature = frozenset(path)
+                        if signature not in seen_cycles:
+                            seen_cycles.add(signature)
+                            cycles.append(list(path))
+                    elif successor not in path and successor in reachable:
+                        if len(path) < self.num_states:
+                            stack.append((successor, path + [successor]))
+        return cycles
+
+    def format(self) -> str:
+        """Human-readable transition listing."""
+        lines = [
+            "local FSM %s (%d bits, %d explored states, initial=%s)"
+            % (
+                self.register_name,
+                self.width,
+                len(self.transitions),
+                self.initial_state,
+            )
+        ]
+        for state in sorted(self.transitions):
+            successors = ", ".join(str(s) for s in self.transitions[state])
+            lines.append("  %d -> {%s}" % (state, successors))
+        unreachable = self.unreachable_states()
+        if unreachable:
+            lines.append("  unreachable: %s" % sorted(unreachable))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def extract_local_fsm(
+    circuit: Circuit,
+    register: DFF,
+    max_states: int = 64,
+    confirm_successors: bool = True,
+) -> LocalFsm:
+    """Extract the local state transition graph of one register.
+
+    Parameters
+    ----------
+    circuit:
+        The design containing ``register``.
+    register:
+        The register whose local FSM is extracted.
+    max_states:
+        Upper bound on the number of state encodings explored (``2**width``
+        must not exceed it).
+    confirm_successors:
+        When ``True`` every candidate successor from the implied cube is
+        additionally checked by asserting it and watching for a conflict,
+        which tightens the over-approximation at a small cost.
+    """
+    width = register.q.width
+    num_states = 1 << width
+    if num_states > max_states:
+        raise ValueError(
+            "register %s has %d states, exceeding max_states=%d"
+            % (register.q.name, num_states, max_states)
+        )
+
+    fsm = LocalFsm(
+        register_name=register.q.name,
+        width=width,
+        initial_state=register.init_value,
+    )
+    model = UnrolledModel(circuit, 2, free_initial_state=True)
+    engine = model.engine
+    current_key = model.key(register.q, 0)
+    next_key = model.key(register.q, 1)
+
+    for state in range(num_states):
+        engine.push_level()
+        try:
+            engine.assign(current_key, BV3.from_int(width, state))
+        except ImplicationConflict:
+            engine.pop_level()
+            fsm.transitions[state] = []
+            continue
+        next_cube = engine.assignment.get(next_key)
+        candidates = [
+            value for value in range(num_states) if next_cube.contains_int(value)
+        ]
+        if confirm_successors:
+            confirmed = []
+            for value in candidates:
+                engine.push_level()
+                try:
+                    engine.assign(next_key, BV3.from_int(width, value))
+                    confirmed.append(value)
+                except ImplicationConflict:
+                    pass
+                finally:
+                    engine.pop_level()
+            candidates = confirmed
+        fsm.transitions[state] = candidates
+        engine.pop_level()
+    return fsm
+
+
+def extract_local_fsms(
+    circuit: Circuit,
+    max_width: int = 4,
+    max_states: int = 64,
+    confirm_successors: bool = True,
+) -> List[LocalFsm]:
+    """Extract local FSMs for every register narrow enough to enumerate.
+
+    Registers wider than ``max_width`` bits are skipped: they are datapath
+    registers whose constraints belong to the arithmetic solver, not to
+    explicit state enumeration.
+    """
+    fsms: List[LocalFsm] = []
+    for register in circuit.flip_flops:
+        if register.q.width > max_width:
+            continue
+        if (1 << register.q.width) > max_states:
+            continue
+        fsms.append(
+            extract_local_fsm(
+                circuit,
+                register,
+                max_states=max_states,
+                confirm_successors=confirm_successors,
+            )
+        )
+    return fsms
+
+
+def seed_estg_from_fsms(
+    estg: ExtendedStateTransitionGraph, fsms: Sequence[LocalFsm]
+) -> int:
+    """Record every locally unreachable state as structurally illegal.
+
+    Returns the number of state cubes recorded.  The justifier checks these
+    cubes in every time frame, pruning branches whose implied register values
+    have drifted into a state the design can never occupy (the paper's
+    Section 6 "avoid entering illegal states" extension).
+    """
+    recorded = 0
+    for fsm in fsms:
+        if fsm.initial_state is None:
+            continue
+        for state in sorted(fsm.unreachable_states()):
+            cube = ExtendedStateTransitionGraph.state_cube(
+                [(fsm.register_name, BV3.from_int(fsm.width, state))]
+            )
+            estg.record_structurally_illegal_state(cube)
+            recorded += 1
+    return recorded

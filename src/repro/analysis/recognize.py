@@ -1,0 +1,266 @@
+"""Recognition of high-level sequential modules: counters and shift registers.
+
+The paper's concluding discussion lists "recognition of other high-level
+modules like counters, and shift-registers" as an extension that improves the
+efficiency of the justification process: once a register is known to be a
+counter the set of values it can take after ``k`` cycles is immediate, so the
+search never needs to enumerate its next-state logic.
+
+The recognisers below are purely structural pattern matchers over the
+word-level netlist:
+
+* a **counter** is a register whose next-value cone consists of multiplexors
+  choosing between holding the current value, loading a constant and adding /
+  subtracting a constant step from the current value;
+* a **shift register** is either a register whose next value is a
+  constant-amount shift of its own output (word-level form), or a chain of
+  single-bit registers each capturing the previous register's output
+  (bit-level form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.netlist.arith import Adder, ShiftLeft, ShiftRight, Subtractor
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import BufGate, ConcatGate, ConstGate, SliceGate
+from repro.netlist.mux import Mux
+from repro.netlist.nets import Net
+from repro.netlist.seq import DFF
+
+
+@dataclass
+class CounterInfo:
+    """A recognised counter register."""
+
+    register_name: str
+    width: int
+    #: signed step added each counting cycle (negative for down counters).
+    step: int
+    #: True when the next-state cone includes a hold (enable-style) branch.
+    can_hold: bool
+    #: constant values the counter can be loaded with (reset / wrap values).
+    load_values: List[int] = field(default_factory=list)
+
+    @property
+    def direction(self) -> str:
+        """``"up"`` or ``"down"`` depending on the sign of the step."""
+        return "up" if self.step >= 0 else "down"
+
+
+@dataclass
+class ShiftRegisterInfo:
+    """A recognised shift register (word-level or a chain of 1-bit stages)."""
+
+    register_names: List[str]
+    length: int
+    direction: str
+    #: "word" for a single wide register shifted in place, "chain" for a
+    #: cascade of single-bit registers.
+    form: str
+
+
+@dataclass
+class RecognitionReport:
+    """Everything :func:`recognize_modules` found in one circuit."""
+
+    circuit_name: str
+    counters: List[CounterInfo] = field(default_factory=list)
+    shift_registers: List[ShiftRegisterInfo] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Human-readable summary (used by the CLI and the examples)."""
+        lines = ["recognised modules in %s" % (self.circuit_name,)]
+        if not self.counters and not self.shift_registers:
+            lines.append("  (none)")
+        for counter in self.counters:
+            lines.append(
+                "  counter %-16s %d bits, step %+d (%s)%s%s"
+                % (
+                    counter.register_name,
+                    counter.width,
+                    counter.step,
+                    counter.direction,
+                    ", holds" if counter.can_hold else "",
+                    ", loads %s" % counter.load_values if counter.load_values else "",
+                )
+            )
+        for shift in self.shift_registers:
+            lines.append(
+                "  shift register %-10s length %d, %s (%s form)"
+                % (
+                    shift.register_names[0],
+                    shift.length,
+                    shift.direction,
+                    shift.form,
+                )
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Counter recognition
+# ----------------------------------------------------------------------
+def _through_buffers(net: Net) -> Net:
+    """Follow buffer gates back to the originating net."""
+    seen = 0
+    while isinstance(net.driver, BufGate) and seen < 64:
+        net = net.driver.inputs[0]
+        seen += 1
+    return net
+
+
+def _constant_value(net: Net) -> Optional[int]:
+    """The constant driving ``net``, if any."""
+    net = _through_buffers(net)
+    if isinstance(net.driver, ConstGate):
+        return net.driver.value
+    return None
+
+
+def _analyze_counter_cone(net: Net, q: Net, depth: int = 0):
+    """Classify the next-value cone of a candidate counter register.
+
+    Returns ``(steps, holds, loads)`` where ``steps`` is the set of signed
+    count steps found, ``holds`` whether a hold branch exists and ``loads``
+    the set of constant load values -- or ``None`` when the cone contains
+    anything that is not counter-shaped.
+    """
+    if depth > 8:
+        return None
+    net = _through_buffers(net)
+    if net is q:
+        return set(), True, set()
+    constant = _constant_value(net)
+    if constant is not None:
+        return set(), False, {constant}
+    driver = net.driver
+    if isinstance(driver, Mux):
+        steps: Set[int] = set()
+        holds = False
+        loads: Set[int] = set()
+        for data in driver.data:
+            analysis = _analyze_counter_cone(data, q, depth + 1)
+            if analysis is None:
+                return None
+            branch_steps, branch_holds, branch_loads = analysis
+            steps |= branch_steps
+            holds = holds or branch_holds
+            loads |= branch_loads
+        return steps, holds, loads
+    if isinstance(driver, (Adder, Subtractor)):
+        sign = 1 if isinstance(driver, Adder) else -1
+        a = _through_buffers(driver.a)
+        b = _through_buffers(driver.b)
+        a_const = _constant_value(driver.a)
+        b_const = _constant_value(driver.b)
+        if a is q and b_const is not None:
+            return {sign * b_const}, False, set()
+        if sign == 1 and b is q and a_const is not None:
+            return {a_const}, False, set()
+        return None
+    return None
+
+
+def recognize_counters(circuit: Circuit) -> List[CounterInfo]:
+    """Find every register whose next-value logic is counter-shaped."""
+    counters: List[CounterInfo] = []
+    for register in circuit.flip_flops:
+        analysis = _analyze_counter_cone(register.d, register.q)
+        if analysis is None:
+            continue
+        steps, holds, loads = analysis
+        if len(steps) != 1:
+            continue  # not a single-step counter (or no counting branch at all)
+        step = next(iter(steps))
+        counters.append(
+            CounterInfo(
+                register_name=register.q.name,
+                width=register.q.width,
+                step=step if step < (1 << (register.q.width - 1)) else step - (1 << register.q.width),
+                can_hold=holds or register.enable is not None,
+                load_values=sorted(loads),
+            )
+        )
+    return counters
+
+
+# ----------------------------------------------------------------------
+# Shift register recognition
+# ----------------------------------------------------------------------
+def _word_level_shift(register: DFF) -> Optional[ShiftRegisterInfo]:
+    """Detect ``q <= q << 1`` / ``q >= q >> 1`` style registers, including the
+    concat-of-slice form produced by HDL elaboration."""
+    d = _through_buffers(register.d)
+    driver = d.driver
+    q = register.q
+    if isinstance(driver, (ShiftLeft, ShiftRight)) and driver.constant is not None:
+        if _through_buffers(driver.a) is q and driver.constant == 1:
+            direction = "left" if isinstance(driver, ShiftLeft) else "right"
+            return ShiftRegisterInfo([q.name], q.width, direction, "word")
+    if isinstance(driver, ConcatGate) and len(driver.inputs) == 2:
+        high, low = driver.inputs
+        high_driver = _through_buffers(high).driver
+        low_driver = _through_buffers(low).driver
+        # {q[w-2:0], serial_in} is a left shift;  {serial_in, q[w-1:1]} a right shift.
+        if (
+            isinstance(high_driver, SliceGate)
+            and _through_buffers(high_driver.inputs[0]) is q
+            and high_driver.msb == q.width - 2
+            and high_driver.lsb == 0
+        ):
+            return ShiftRegisterInfo([q.name], q.width, "left", "word")
+        if (
+            isinstance(low_driver, SliceGate)
+            and _through_buffers(low_driver.inputs[0]) is q
+            and low_driver.msb == q.width - 1
+            and low_driver.lsb == 1
+        ):
+            return ShiftRegisterInfo([q.name], q.width, "right", "word")
+    return None
+
+
+def _bit_chains(circuit: Circuit) -> List[ShiftRegisterInfo]:
+    """Detect cascades of 1-bit registers each fed by the previous output."""
+    by_output: Dict[Net, DFF] = {ff.q: ff for ff in circuit.flip_flops if ff.q.width == 1}
+    predecessor: Dict[DFF, DFF] = {}
+    for ff in by_output.values():
+        source = _through_buffers(ff.d)
+        feeder = by_output.get(source)
+        if feeder is not None and feeder is not ff:
+            predecessor[ff] = feeder
+
+    chains: List[ShiftRegisterInfo] = []
+    heads = [ff for ff in predecessor if ff not in set(predecessor.values())]
+    for head in heads:
+        chain = [head]
+        current = head
+        while current in predecessor and predecessor[current] not in chain:
+            current = predecessor[current]
+            chain.append(current)
+        if len(chain) >= 2:
+            names = [ff.q.name for ff in reversed(chain)]
+            chains.append(ShiftRegisterInfo(names, len(chain), "forward", "chain"))
+    return chains
+
+
+def recognize_shift_registers(circuit: Circuit) -> List[ShiftRegisterInfo]:
+    """Find word-level shift registers and chains of single-bit registers."""
+    found: List[ShiftRegisterInfo] = []
+    for register in circuit.flip_flops:
+        info = _word_level_shift(register)
+        if info is not None:
+            found.append(info)
+    found.extend(_bit_chains(circuit))
+    return found
+
+
+def recognize_modules(circuit: Circuit) -> RecognitionReport:
+    """Run every recogniser and assemble a report."""
+    return RecognitionReport(
+        circuit_name=circuit.name,
+        counters=recognize_counters(circuit),
+        shift_registers=recognize_shift_registers(circuit),
+    )

@@ -1,0 +1,153 @@
+"""Structural reports: primitive histogram and control/datapath partition.
+
+Section 1 of the paper describes the circuit model the whole method relies
+on: after quick synthesis the design is "an interconnection of control and
+datapath portions with some datapath-selecting and comparison-output signals
+as the interface".  :func:`analyze_structure` computes that view for any
+:class:`~repro.netlist.circuit.Circuit`: how many primitives of each kind it
+contains, which nets are control / datapath, and which nets form the
+interface between the two (comparator outputs going data-to-control,
+multiplexor select signals going control-to-data).
+
+The report is used by the CLI (``python -m repro stats``), by the examples
+and by the benchmark harness when describing the synthetic industrial
+designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.classify import SignalClass, classify_nets
+from repro.netlist.compare import Comparator
+from repro.netlist.mux import Mux
+from repro.netlist.nets import Net
+from repro.netlist.seq import DFF
+
+
+@dataclass
+class GateHistogram:
+    """Primitive counts by kind (word-level and bit-equivalent)."""
+
+    #: number of word-level primitive instances per kind mnemonic.
+    instances: Dict[str, int] = field(default_factory=dict)
+    #: equivalent single-bit gate count per kind (Table 1 accounting).
+    bit_equivalent: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_instances(self) -> int:
+        """Total number of word-level primitives."""
+        return sum(self.instances.values())
+
+    @property
+    def total_bit_equivalent(self) -> int:
+        """Total equivalent single-bit gate count."""
+        return sum(self.bit_equivalent.values())
+
+
+@dataclass
+class PartitionReport:
+    """The control/datapath split and the nets on the interface."""
+
+    control_nets: List[Net] = field(default_factory=list)
+    data_nets: List[Net] = field(default_factory=list)
+    #: comparator outputs: the data-to-control interface.
+    comparator_outputs: List[Net] = field(default_factory=list)
+    #: multiplexor select nets: the control-to-data interface.
+    mux_selects: List[Net] = field(default_factory=list)
+
+    @property
+    def control_bits(self) -> int:
+        """Total width of the control nets."""
+        return sum(net.width for net in self.control_nets)
+
+    @property
+    def data_bits(self) -> int:
+        """Total width of the datapath nets."""
+        return sum(net.width for net in self.data_nets)
+
+
+@dataclass
+class StructureReport:
+    """Everything :func:`analyze_structure` derives from one circuit."""
+
+    circuit_name: str
+    histogram: GateHistogram
+    partition: PartitionReport
+    num_flip_flop_bits: int
+    num_input_bits: int
+    num_output_bits: int
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = ["design %s" % (self.circuit_name,)]
+        lines.append(
+            "  primitives: %d word-level instances, %d bit-equivalent gates"
+            % (self.histogram.total_instances, self.histogram.total_bit_equivalent)
+        )
+        for kind in sorted(self.histogram.instances):
+            lines.append(
+                "    %-8s %5d instances %7d gate-equivalents"
+                % (kind, self.histogram.instances[kind], self.histogram.bit_equivalent[kind])
+            )
+        lines.append(
+            "  interface: %d flip-flop bits, %d input bits, %d output bits"
+            % (self.num_flip_flop_bits, self.num_input_bits, self.num_output_bits)
+        )
+        lines.append(
+            "  partition: %d control nets (%d bits), %d datapath nets (%d bits)"
+            % (
+                len(self.partition.control_nets),
+                self.partition.control_bits,
+                len(self.partition.data_nets),
+                self.partition.data_bits,
+            )
+        )
+        lines.append(
+            "  boundary: %d comparator outputs (data->control), %d mux selects (control->data)"
+            % (len(self.partition.comparator_outputs), len(self.partition.mux_selects))
+        )
+        return "\n".join(lines)
+
+
+def analyze_structure(circuit: Circuit) -> StructureReport:
+    """Compute the primitive histogram and control/datapath partition.
+
+    The function is purely structural -- it never simulates or solves -- and
+    therefore runs in time linear in the netlist size.
+    """
+    histogram = GateHistogram()
+    for gate in circuit.gates:
+        histogram.instances[gate.kind] = histogram.instances.get(gate.kind, 0) + 1
+        equivalent = (
+            gate.flip_flop_count() if isinstance(gate, DFF) else gate.gate_count()
+        )
+        histogram.bit_equivalent[gate.kind] = (
+            histogram.bit_equivalent.get(gate.kind, 0) + equivalent
+        )
+
+    classification = classify_nets(circuit)
+    partition = PartitionReport()
+    for net, signal_class in classification.items():
+        if signal_class is SignalClass.CONTROL:
+            partition.control_nets.append(net)
+        else:
+            partition.data_nets.append(net)
+
+    for gate in circuit.gates:
+        if isinstance(gate, Comparator):
+            partition.comparator_outputs.append(gate.output)
+        elif isinstance(gate, Mux):
+            if gate.select not in partition.mux_selects:
+                partition.mux_selects.append(gate.select)
+
+    return StructureReport(
+        circuit_name=circuit.name,
+        histogram=histogram,
+        partition=partition,
+        num_flip_flop_bits=sum(ff.flip_flop_count() for ff in circuit.flip_flops),
+        num_input_bits=sum(net.width for net in circuit.inputs),
+        num_output_bits=sum(net.width for net in circuit.outputs),
+    )

@@ -1,0 +1,27 @@
+"""Word-level ATPG (Section 3 of the paper).
+
+The justification engine makes branch-and-bound decisions on *control*
+signals only, guided by the legal-1/legal-0 probabilities and legal
+assignment bias of the paper, over a time-frame expanded model of the
+circuit.  Datapath value requirements are deliberately left unjustified and
+handed to the modular arithmetic constraint solver.
+"""
+
+from repro.atpg.timeframe import UnrolledModel, VarKey
+from repro.atpg.probability import legal_one_probabilities, legal_assignment_bias
+from repro.atpg.decisions import DecisionCandidate, find_decision_candidates
+from repro.atpg.estg import ExtendedStateTransitionGraph
+from repro.atpg.justify import Justifier, JustifyOutcome, JustifyResult
+
+__all__ = [
+    "UnrolledModel",
+    "VarKey",
+    "legal_one_probabilities",
+    "legal_assignment_bias",
+    "DecisionCandidate",
+    "find_decision_candidates",
+    "ExtendedStateTransitionGraph",
+    "Justifier",
+    "JustifyOutcome",
+    "JustifyResult",
+]

@@ -1,0 +1,343 @@
+"""Branch-and-bound justification (the paper's Fig. 2 flow).
+
+The justifier works on an :class:`~repro.atpg.timeframe.UnrolledModel` whose
+assignment already carries the property requirements.  It repeatedly:
+
+1. finds the unjustified *control* gates (gates whose pins are all control
+   signals and whose required output is not yet implied by their inputs),
+2. backward-traverses to a cut of candidate decision points,
+3. decides the candidate with the highest legal assignment bias
+   (complement-of-bias first in prove mode), runs word-level implication, and
+   backtracks on conflicts,
+4. when the control constraints are satisfied, checks the remaining datapath
+   requirements with the modular arithmetic solver and a bounded completion
+   search; if they are infeasible the ATPG backtracks and looks for the next
+   control solution.
+
+The outcome is SUCCESS (every requirement justified -- a counterexample /
+witness exists), FAIL (the requirements cannot be satisfied -- the assertion
+holds for this unrolling), or ABORT (a resource limit was hit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.atpg.decisions import DecisionCandidate, find_decision_candidates
+from repro.atpg.estg import ExtendedStateTransitionGraph
+from repro.atpg.timeframe import UnrolledModel, VarKey
+from repro.bitvector import BV3
+from repro.implication.assignment import ImplicationConflict
+from repro.implication.engine import ImplicationNode
+from repro.modsolver.extract import DatapathConstraintExtractor
+from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
+
+
+class JustifyOutcome(enum.Enum):
+    """Result of a justification run."""
+
+    SUCCESS = "success"
+    FAIL = "fail"
+    ABORT = "abort"
+
+
+@dataclass
+class JustifyResult:
+    """Outcome plus search statistics."""
+
+    outcome: JustifyOutcome
+    decisions: int = 0
+    backtracks: int = 0
+    conflicts: int = 0
+    arithmetic_calls: int = 0
+    implications: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is JustifyOutcome.SUCCESS
+
+
+@dataclass
+class JustifierLimits:
+    """Resource limits of the branch-and-bound search."""
+
+    max_decisions: int = 200_000
+    max_backtracks: int = 50_000
+    max_depth: int = 5_000
+    decision_cut_limit: int = 64
+    completion_attempts: int = 8
+    arithmetic_budget: int = 256
+
+
+class Justifier:
+    """Branch-and-bound justification over an unrolled model."""
+
+    def __init__(
+        self,
+        model: UnrolledModel,
+        prove_mode: bool = True,
+        use_bias: bool = True,
+        limits: Optional[JustifierLimits] = None,
+        estg: Optional[ExtendedStateTransitionGraph] = None,
+    ):
+        self.model = model
+        self.engine = model.engine
+        self.prove_mode = prove_mode
+        self.use_bias = use_bias
+        self.limits = limits if limits is not None else JustifierLimits()
+        self.estg = estg
+        self.decisions = 0
+        self.backtracks = 0
+        self.conflicts = 0
+        self.arithmetic_calls = 0
+        self._aborted = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> JustifyResult:
+        """Run the search.  The assignment is left at the solution on SUCCESS
+        and restored to its pre-search state otherwise."""
+        start_implications = self.engine.implication_count
+        try:
+            self.engine.propagate()
+        except ImplicationConflict:
+            self.conflicts += 1
+            return self._result(JustifyOutcome.FAIL, start_implications)
+
+        base_level = self.engine.assignment.decision_level
+        outcome = self._search(0)
+        if outcome is not JustifyOutcome.SUCCESS:
+            while self.engine.assignment.decision_level > base_level:
+                self.engine.pop_level()
+        return self._result(outcome, start_implications)
+
+    def _result(self, outcome: JustifyOutcome, start_implications: int) -> JustifyResult:
+        return JustifyResult(
+            outcome=outcome,
+            decisions=self.decisions,
+            backtracks=self.backtracks,
+            conflicts=self.conflicts,
+            arithmetic_calls=self.arithmetic_calls,
+            implications=self.engine.implication_count - start_implications,
+        )
+
+    # ------------------------------------------------------------------
+    def _search(self, depth: int) -> JustifyOutcome:
+        if self.decisions > self.limits.max_decisions or depth > self.limits.max_depth:
+            self._aborted = True
+            return JustifyOutcome.ABORT
+        if self.backtracks > self.limits.max_backtracks:
+            self._aborted = True
+            return JustifyOutcome.ABORT
+
+        if self.estg is not None:
+            if self.estg.is_illegal(self._state_cube(), context=self.model.num_frames):
+                return JustifyOutcome.FAIL
+            # Structurally illegal states are time-invariant facts (typically
+            # seeded from local FSM extraction) and may be tested in *every*
+            # frame of the unrolled model.
+            if self.estg.structurally_illegal and self._hits_structurally_illegal():
+                return JustifyOutcome.FAIL
+
+        unjustified = self.engine.unjustified_nodes()
+        if not unjustified:
+            return JustifyOutcome.SUCCESS
+
+        # Decision candidates are the undecided *control* signals in the
+        # backward cone of every unjustified gate (control or datapath).  The
+        # paper restricts the branch-and-bound to these signals; the datapath
+        # values themselves are never enumerated.
+        candidates = find_decision_candidates(
+            self.model,
+            unjustified,
+            limit=self.limits.decision_cut_limit,
+            prove_mode=self.prove_mode,
+            use_bias=self.use_bias,
+        )
+        if not candidates:
+            # No control freedom remains: hand the residual requirements to
+            # the modular arithmetic constraint solver (plus completion).
+            if self._datapath_feasible():
+                return JustifyOutcome.SUCCESS
+            self._learn_illegal_state()
+            return JustifyOutcome.FAIL
+
+        candidate = candidates[0]
+        first = candidate.preferred_first_value(self.prove_mode)
+        for value in (first, 1 - first):
+            self.decisions += 1
+            self.engine.push_level()
+            try:
+                self.engine.assign(candidate.key, BV3.from_int(1, value))
+            except ImplicationConflict:
+                self.conflicts += 1
+                self.engine.pop_level()
+                self.backtracks += 1
+                continue
+            outcome = self._search(depth + 1)
+            if outcome is JustifyOutcome.SUCCESS:
+                return outcome
+            self.engine.pop_level()
+            self.backtracks += 1
+            if outcome is JustifyOutcome.ABORT:
+                return outcome
+        self._learn_illegal_state()
+        return JustifyOutcome.FAIL
+
+    # ------------------------------------------------------------------
+    # Control / datapath split
+    # ------------------------------------------------------------------
+    def _is_control_node(self, node: ImplicationNode) -> bool:
+        return all(
+            self.engine.assignment.width(key) == 1 for key in node.input_keys
+        )
+
+    def _control_unjustified(self) -> List[ImplicationNode]:
+        return [
+            node
+            for node in self.engine.unjustified_nodes()
+            if self._is_control_node(node)
+        ]
+
+    def _datapath_unjustified(self) -> List[ImplicationNode]:
+        return [
+            node
+            for node in self.engine.unjustified_nodes()
+            if not self._is_control_node(node)
+        ]
+
+    # ------------------------------------------------------------------
+    # Datapath phase: modular arithmetic solving + bounded completion
+    # ------------------------------------------------------------------
+    def _datapath_feasible(self) -> bool:
+        unjustified = self._datapath_unjustified()
+        if not unjustified:
+            return True
+
+        arithmetic_nodes = [
+            node
+            for node in unjustified
+            if isinstance(self._gate_of(node), (Adder, Subtractor, Multiplier, ShiftLeft, ShiftRight))
+        ]
+        if arithmetic_nodes:
+            self.arithmetic_calls += 1
+            extractor = DatapathConstraintExtractor(self.engine)
+            problem = extractor.extract(arithmetic_nodes)
+            if not problem.is_empty():
+                solution = problem.solve(budget=self.limits.arithmetic_budget)
+                if solution is None:
+                    return False
+                self.engine.push_level()
+                try:
+                    for key, value in solution.items():
+                        width = self.engine.assignment.width(key)
+                        self.engine.assign(key, BV3.from_int(width, value), propagate=False)
+                    self.engine.propagate()
+                except ImplicationConflict:
+                    self.conflicts += 1
+                    self.engine.pop_level()
+                    return False
+                if self._complete_datapath():
+                    return True
+                self.engine.pop_level()
+                return False
+        return self._complete_datapath()
+
+    def _complete_datapath(self) -> bool:
+        """Greedy completion of the remaining undetermined datapath inputs.
+
+        Repeatedly pick an unjustified node and try a small set of candidate
+        completions (min / max of the current cube) for one of its
+        undetermined free input keys.  Bounded by ``completion_attempts``.
+        """
+        for _ in range(self.limits.completion_attempts):
+            unjustified = self.engine.unjustified_nodes()
+            if not unjustified:
+                return True
+            progressed = False
+            for node in unjustified:
+                key = self._pick_completion_key(node)
+                if key is None:
+                    continue
+                if self._try_completions(key):
+                    progressed = True
+                    break
+            if not progressed:
+                return False
+        return not self.engine.unjustified_nodes()
+
+    def _pick_completion_key(self, node: ImplicationNode) -> Optional[Hashable]:
+        free_keys = []
+        other_keys = []
+        for key in node.input_keys:
+            cube = self.engine.assignment.get(key)
+            if cube.is_fully_known():
+                continue
+            if self.model.driver_node.get(key) is None:
+                free_keys.append(key)
+            else:
+                other_keys.append(key)
+        if free_keys:
+            return free_keys[0]
+        if other_keys:
+            return other_keys[0]
+        return None
+
+    def _try_completions(self, key: Hashable) -> bool:
+        cube = self.engine.assignment.get(key)
+        width = self.engine.assignment.width(key)
+        candidates = []
+        for value in (cube.min_value(), cube.max_value()):
+            if value not in candidates:
+                candidates.append(value)
+        for value in candidates:
+            self.engine.push_level()
+            try:
+                self.engine.assign(key, BV3.from_int(width, value))
+                return True
+            except ImplicationConflict:
+                self.conflicts += 1
+                self.engine.pop_level()
+        return False
+
+    # ------------------------------------------------------------------
+    # ESTG interaction
+    # ------------------------------------------------------------------
+    def _state_cube(self):
+        registers = [
+            (ff.q.name, self.model.value(ff.q, 0)) for ff in self.model.circuit.flip_flops
+        ]
+        registers = [(name, cube) for name, cube in registers if not cube.is_fully_unknown()]
+        return ExtendedStateTransitionGraph.state_cube(registers)
+
+    def _hits_structurally_illegal(self) -> bool:
+        """True when any frame's implied register values fall inside a
+        structurally illegal state cube."""
+        for frame in range(self.model.num_frames):
+            registers = [
+                (ff.q.name, self.model.value(ff.q, frame))
+                for ff in self.model.circuit.flip_flops
+            ]
+            registers = [
+                (name, cube) for name, cube in registers if cube.is_fully_known()
+            ]
+            if not registers:
+                continue
+            state = ExtendedStateTransitionGraph.state_cube(registers)
+            if self.estg.is_structurally_illegal(state):
+                return True
+        return False
+
+    def _learn_illegal_state(self) -> None:
+        if self.estg is None:
+            return
+        state = self._state_cube()
+        # Only record states that are meaningfully constrained and fully
+        # derived from implication of the (failed) requirements.
+        if state and len(state) <= 8:
+            self.estg.record_illegal_state(state, context=self.model.num_frames)
+
+    @staticmethod
+    def _gate_of(node: ImplicationNode):
+        return node.tag[0] if isinstance(node.tag, tuple) else None

@@ -1,0 +1,266 @@
+"""Time-frame expansion of a sequential circuit into an implication network.
+
+The paper creates a combinational model of the sequential constraints by
+treating the state elements as buffers between frames and adding new
+variables for the inputs of each time frame.  :class:`UnrolledModel` builds
+exactly that: every combinational gate becomes one implication node per
+frame, and every register becomes a cross-frame node relating its pins in
+frame ``t`` to its output in frame ``t + 1``.
+
+Variable keys are ``(net, frame)`` tuples (:data:`VarKey`).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.bitvector import BV3
+from repro.implication.assignment import Assignment
+from repro.implication.engine import ImplicationEngine, ImplicationNode
+from repro.implication.rules import build_rule
+from repro.implication.rules_seq import imply_dff
+from repro.netlist.circuit import Circuit
+from repro.netlist.compare import Comparator
+from repro.netlist.nets import Net
+from repro.netlist.seq import DFF
+from repro.netlist.classify import is_control
+
+#: A variable key in the unrolled model: (net, frame index).
+VarKey = Tuple[Net, int]
+
+
+class UnrolledModel:
+    """A circuit unrolled over ``num_frames`` time frames.
+
+    Parameters
+    ----------
+    circuit:
+        The design under verification (validated word-level netlist).
+    num_frames:
+        Number of time frames (>= 1).  Frame 0 is the initial frame.
+    initial_state:
+        Optional mapping from register output net (or name) to its known
+        initial value.  Registers not mentioned fall back to their
+        ``init_value``; a register whose ``init_value`` is ``None`` starts
+        fully unknown (its frame-0 output behaves like a pseudo primary
+        input).
+    free_initial_state:
+        When ``True`` no ``init_value`` is applied at all: every register not
+        mentioned in ``initial_state`` starts fully unknown at frame 0.  Used
+        by analyses that reason about transitions from *arbitrary* states
+        (local FSM extraction, inductive-style arguments).
+    engine:
+        Optionally reuse an existing engine/assignment (used by tests).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        num_frames: int,
+        initial_state: Optional[Mapping[Union[Net, str], int]] = None,
+        free_initial_state: bool = False,
+        engine: Optional[ImplicationEngine] = None,
+    ):
+        if num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        self.circuit = circuit
+        self.num_frames = num_frames
+        self.free_initial_state = free_initial_state
+        self.engine = engine if engine is not None else ImplicationEngine()
+        self.driver_node: Dict[VarKey, ImplicationNode] = {}
+        self.gate_nodes: List[ImplicationNode] = []
+        self.register_nodes: List[ImplicationNode] = []
+        self._initial_state_cubes: Dict[Net, BV3] = {}
+
+        self._build_nodes()
+        self._register_free_keys()
+        self._apply_initial_state(initial_state)
+        # Seed implication: run every node once so constants, initial-state
+        # values and other structurally forced values are established before
+        # any requirement is asserted (the paper applies implication of the
+        # initial assignments to the whole circuit).
+        self.engine.enqueue(self.engine.nodes)
+        self.engine.propagate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> None:
+        for frame in range(self.num_frames):
+            for gate in self.circuit.combinational_gates():
+                semantics = build_rule(gate)
+                keys = [self.key(net, frame) for net in semantics.pins]
+                widths = [net.width for net in semantics.pins]
+                node = ImplicationNode(
+                    "%s@%d" % (gate.name, frame),
+                    keys,
+                    semantics.imply,
+                    num_outputs=semantics.num_outputs,
+                    tag=(gate, frame),
+                )
+                self.engine.add_node(node, widths=widths)
+                self.gate_nodes.append(node)
+                for key in node.output_keys:
+                    self.driver_node[key] = node
+
+        for frame in range(self.num_frames - 1):
+            for ff in self.circuit.flip_flops:
+                node = self._build_register_node(ff, frame)
+                self.engine.add_node(
+                    node, widths=[self.net_of(key).width for key in node.keys]
+                )
+                self.register_nodes.append(node)
+                self.driver_node[self.key(ff.q, frame + 1)] = node
+
+    def _build_register_node(self, ff: DFF, frame: int) -> ImplicationNode:
+        keys: List[VarKey] = [self.key(ff.d, frame)]
+        if ff.enable is not None:
+            keys.append(self.key(ff.enable, frame))
+        if ff.reset is not None:
+            keys.append(self.key(ff.reset, frame))
+        if ff.set is not None:
+            keys.append(self.key(ff.set, frame))
+        keys.append(self.key(ff.q, frame))
+        keys.append(self.key(ff.q, frame + 1))
+        rule = partial(
+            imply_dff,
+            ff.enable is not None,
+            ff.reset is not None,
+            ff.set is not None,
+            ff.reset_value,
+        )
+        return ImplicationNode(
+            "%s@%d->%d" % (ff.name, frame, frame + 1),
+            keys,
+            rule,
+            num_outputs=1,
+            tag=(ff, frame),
+        )
+
+    def _register_free_keys(self) -> None:
+        """Register widths for keys with no driving node (PIs, frame-0 state)."""
+        for frame in range(self.num_frames):
+            for net in self.circuit.inputs:
+                self.engine.assignment.register(self.key(net, frame), net.width)
+        for ff in self.circuit.flip_flops:
+            self.engine.assignment.register(self.key(ff.q, 0), ff.q.width)
+
+    def _apply_initial_state(self, initial_state: Optional[Mapping[Union[Net, str], int]]) -> None:
+        explicit: Dict[Net, int] = {}
+        if initial_state:
+            by_name = {ff.q.name: ff.q for ff in self.circuit.flip_flops}
+            for key, value in initial_state.items():
+                net = key if isinstance(key, Net) else by_name.get(key)
+                if net is None:
+                    raise KeyError("no register output named %r" % (key,))
+                explicit[net] = value
+        for ff in self.circuit.flip_flops:
+            if ff.q in explicit:
+                cube = BV3.from_int(ff.q.width, explicit[ff.q])
+            elif ff.init_value is not None and not self.free_initial_state:
+                cube = BV3.from_int(ff.q.width, ff.init_value)
+            else:
+                continue
+            self._initial_state_cubes[ff.q] = cube
+            self.engine.assign(self.key(ff.q, 0), cube, propagate=False)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(net: Net, frame: int) -> VarKey:
+        """The variable key of ``net`` in time frame ``frame``."""
+        return (net, frame)
+
+    @staticmethod
+    def net_of(key: VarKey) -> Net:
+        """The net component of a key."""
+        return key[0]
+
+    @staticmethod
+    def frame_of(key: VarKey) -> int:
+        """The frame component of a key."""
+        return key[1]
+
+    def value(self, net: Net, frame: int) -> BV3:
+        """Current cube of a net in a frame."""
+        return self.engine.assignment.get(self.key(net, frame))
+
+    def assign(self, net: Net, frame: int, cube: BV3, propagate: bool = True) -> bool:
+        """Refine a net's cube in a frame (convenience wrapper)."""
+        return self.engine.assign(self.key(net, frame), cube, propagate=propagate)
+
+    def propagate(self) -> None:
+        """Run implication to fixpoint."""
+        self.engine.propagate()
+
+    # ------------------------------------------------------------------
+    # Classification helpers used by the ATPG
+    # ------------------------------------------------------------------
+    def is_control_key(self, key: VarKey) -> bool:
+        """True when the key refers to a control (1-bit or forced) net."""
+        return is_control(self.net_of(key))
+
+    def is_decision_point(self, key: VarKey) -> bool:
+        """Candidate decision points per the paper: control primary inputs,
+        flip-flop outputs, comparator outputs and multi-fanout control nets."""
+        net = self.net_of(key)
+        frame = self.frame_of(key)
+        if not self.is_control_key(key):
+            return False
+        if net.is_primary_input():
+            return True
+        driver = net.driver
+        if driver is None:
+            return frame == 0  # undriven (pseudo) inputs at frame 0
+        if isinstance(driver, DFF):
+            return frame == 0
+        if isinstance(driver, Comparator):
+            return True
+        return net.fanout() > 1
+
+    def free_keys(self) -> List[VarKey]:
+        """Keys with no driving node: primary inputs in every frame and
+        frame-0 register outputs."""
+        keys: List[VarKey] = []
+        for frame in range(self.num_frames):
+            for net in self.circuit.inputs:
+                keys.append(self.key(net, frame))
+        for ff in self.circuit.flip_flops:
+            keys.append(self.key(ff.q, 0))
+        return keys
+
+    def state_keys(self, frame: int) -> List[VarKey]:
+        """Register output keys for a given frame."""
+        return [self.key(ff.q, frame) for ff in self.circuit.flip_flops]
+
+    def input_assignment(self) -> List[Dict[str, int]]:
+        """Concrete per-frame input values (x bits filled with 0).
+
+        Used to turn a successful justification into a simulatable test
+        sequence.
+        """
+        frames: List[Dict[str, int]] = []
+        for frame in range(self.num_frames):
+            values: Dict[str, int] = {}
+            for net in self.circuit.inputs:
+                cube = self.value(net, frame)
+                values[net.name] = cube.min_value()
+            frames.append(values)
+        return frames
+
+    def initial_state_assignment(self) -> Dict[str, int]:
+        """Concrete frame-0 register values (x bits filled with 0)."""
+        result: Dict[str, int] = {}
+        for ff in self.circuit.flip_flops:
+            cube = self.value(ff.q, 0)
+            result[ff.q.name] = cube.min_value()
+        return result
+
+    def __repr__(self) -> str:
+        return "UnrolledModel(%r, frames=%d, nodes=%d)" % (
+            self.circuit.name,
+            self.num_frames,
+            len(self.gate_nodes) + len(self.register_nodes),
+        )

@@ -1,0 +1,180 @@
+"""CNF formulas and Tseitin encoding helpers for the bit-level baseline."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CNFFormula:
+    """A CNF formula over positive integer variables (DIMACS-style literals)."""
+
+    def __init__(self):
+        self.num_variables = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_variable(self) -> int:
+        """Allocate a fresh variable and return its (positive) literal."""
+        self.num_variables += 1
+        return self.num_variables
+
+    def new_variables(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_variable() for _ in range(count)]
+
+    def add_clause(self, *literals: int) -> None:
+        """Add one clause (a disjunction of non-zero literals)."""
+        if not literals:
+            raise ValueError("empty clause added (formula is trivially UNSAT)")
+        if any(lit == 0 for lit in literals):
+            raise ValueError("0 is not a valid literal")
+        self.clauses.append(tuple(literals))
+
+    def add_unit(self, literal: int) -> None:
+        """Constrain a single literal to be true."""
+        self.add_clause(literal)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint of the clause database (for the comparison
+        against the ATPG engine's memory usage)."""
+        return sum(8 * (len(clause) + 2) for clause in self.clauses)
+
+    def __repr__(self) -> str:
+        return "CNFFormula(%d vars, %d clauses)" % (self.num_variables, len(self.clauses))
+
+
+class TseitinEncoder:
+    """Gate-level Tseitin encodings into a :class:`CNFFormula`."""
+
+    def __init__(self, formula: Optional[CNFFormula] = None):
+        self.formula = formula if formula is not None else CNFFormula()
+        self._true_literal: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def constant(self, value: bool) -> int:
+        """A literal that is constrained to the given Boolean constant."""
+        if self._true_literal is None:
+            self._true_literal = self.formula.new_variable()
+            self.formula.add_unit(self._true_literal)
+        return self._true_literal if value else -self._true_literal
+
+    def and_gate(self, inputs: Sequence[int]) -> int:
+        """``out <-> AND(inputs)``."""
+        out = self.formula.new_variable()
+        for lit in inputs:
+            self.formula.add_clause(-out, lit)
+        self.formula.add_clause(out, *[-lit for lit in inputs])
+        return out
+
+    def or_gate(self, inputs: Sequence[int]) -> int:
+        """``out <-> OR(inputs)``."""
+        out = self.formula.new_variable()
+        for lit in inputs:
+            self.formula.add_clause(out, -lit)
+        self.formula.add_clause(-out, *list(inputs))
+        return out
+
+    def xor_gate(self, a: int, b: int) -> int:
+        """``out <-> a XOR b``."""
+        out = self.formula.new_variable()
+        self.formula.add_clause(-out, a, b)
+        self.formula.add_clause(-out, -a, -b)
+        self.formula.add_clause(out, -a, b)
+        self.formula.add_clause(out, a, -b)
+        return out
+
+    def not_gate(self, a: int) -> int:
+        """Negation is free: just flip the literal."""
+        return -a
+
+    def equal_gate(self, a: int, b: int) -> int:
+        """``out <-> (a == b)``."""
+        return self.not_gate(self.xor_gate(a, b))
+
+    def mux_gate(self, select: int, when_zero: int, when_one: int) -> int:
+        """``out <-> select ? when_one : when_zero``."""
+        out = self.formula.new_variable()
+        self.formula.add_clause(-out, -select, when_one)
+        self.formula.add_clause(-out, select, when_zero)
+        self.formula.add_clause(out, -select, -when_one)
+        self.formula.add_clause(out, select, -when_zero)
+        return out
+
+    def full_adder(self, a: int, b: int, carry_in: int) -> Tuple[int, int]:
+        """Returns ``(sum, carry_out)`` literals of a full adder."""
+        axb = self.xor_gate(a, b)
+        total = self.xor_gate(axb, carry_in)
+        carry = self.or_gate(
+            [self.and_gate([a, b]), self.and_gate([axb, carry_in])]
+        )
+        return total, carry
+
+    def assert_equal(self, a: int, b: int) -> None:
+        """Constrain two literals to be equal."""
+        self.formula.add_clause(-a, b)
+        self.formula.add_clause(a, -b)
+
+    # ------------------------------------------------------------------
+    # Word-level helpers (little-endian literal vectors)
+    # ------------------------------------------------------------------
+    def word_and(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return [self.and_gate([x, y]) for x, y in zip(a, b)]
+
+    def word_or(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return [self.or_gate([x, y]) for x, y in zip(a, b)]
+
+    def word_xor(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return [self.xor_gate(x, y) for x, y in zip(a, b)]
+
+    def word_not(self, a: Sequence[int]) -> List[int]:
+        return [self.not_gate(x) for x in a]
+
+    def word_constant(self, value: int, width: int) -> List[int]:
+        return [self.constant(bool((value >> i) & 1)) for i in range(width)]
+
+    def word_add(self, a: Sequence[int], b: Sequence[int], carry_in: Optional[int] = None) -> Tuple[List[int], int]:
+        """Ripple-carry addition; returns (sum bits, carry out)."""
+        carry = carry_in if carry_in is not None else self.constant(False)
+        out: List[int] = []
+        for x, y in zip(a, b):
+            s, carry = self.full_adder(x, y, carry)
+            out.append(s)
+        return out, carry
+
+    def word_sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """``a - b`` as ``a + ~b + 1``."""
+        result, _ = self.word_add(a, self.word_not(b), carry_in=self.constant(True))
+        return result
+
+    def word_mul(self, a: Sequence[int], b: Sequence[int], out_width: int) -> List[int]:
+        """Shift-and-add multiplication truncated to ``out_width`` bits."""
+        accumulator = self.word_constant(0, out_width)
+        for shift, control in enumerate(b):
+            if shift >= out_width:
+                break
+            shifted = self.word_constant(0, shift) + list(a)
+            shifted = shifted[:out_width]
+            while len(shifted) < out_width:
+                shifted.append(self.constant(False))
+            gated = [self.and_gate([bit, control]) for bit in shifted]
+            accumulator, _ = self.word_add(accumulator, gated)
+        return accumulator
+
+    def word_equal(self, a: Sequence[int], b: Sequence[int]) -> int:
+        bits = [self.equal_gate(x, y) for x, y in zip(a, b)]
+        return self.and_gate(bits) if len(bits) > 1 else bits[0]
+
+    def word_less_than(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Unsigned ``a < b`` via subtraction borrow."""
+        # a < b  <=>  carry out of (a + ~b + 1) is 0.
+        _, carry = self.word_add(a, self.word_not(b), carry_in=self.constant(True))
+        return self.not_gate(carry)
+
+    def word_mux(self, select: int, when_zero: Sequence[int], when_one: Sequence[int]) -> List[int]:
+        return [self.mux_gate(select, z, o) for z, o in zip(when_zero, when_one)]
+
+    def word_assert_equal(self, a: Sequence[int], b: Sequence[int]) -> None:
+        for x, y in zip(a, b):
+            self.assert_equal(x, y)

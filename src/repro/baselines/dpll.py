@@ -1,0 +1,149 @@
+"""A small DPLL SAT solver for the bit-level baseline checker.
+
+The solver implements chronological DPLL with unit propagation and a
+most-frequent-literal branching heuristic.  It is deliberately simple -- the
+point of the baseline is to measure how a straightforward bit-level encoding
+behaves (clause count, memory, run time) relative to the word-level ATPG, not
+to compete with industrial SAT solvers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.cnf import CNFFormula
+
+
+class SATResult(enum.Enum):
+    """Outcome of a SAT call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SATStatistics:
+    """Search statistics of one solver run."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+
+class DPLLSolver:
+    """Chronological DPLL with unit propagation."""
+
+    def __init__(self, formula: CNFFormula, max_decisions: int = 2_000_000):
+        self.formula = formula
+        self.max_decisions = max_decisions
+        self.stats = SATStatistics()
+        self.model: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SATResult:
+        """Solve the formula under optional assumption literals."""
+        import sys
+
+        # The chronological search recurses once per decision; deep formulas
+        # (many frames of a bit-blasted design) need more head-room than the
+        # default CPython recursion limit.
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
+        assignment: Dict[int, bool] = {}
+        clauses = [list(clause) for clause in self.formula.clauses]
+        for literal in assumptions:
+            clauses.append([literal])
+        result = self._search(clauses, assignment)
+        if result is SATResult.SAT:
+            self.model = dict(assignment)
+        return result
+
+    # ------------------------------------------------------------------
+    def _search(self, clauses: List[List[int]], assignment: Dict[int, bool]) -> SATResult:
+        status = self._unit_propagate(clauses, assignment)
+        if status is not None:
+            return status
+
+        literal = self._pick_branch_literal(clauses, assignment)
+        if literal is None:
+            return SATResult.SAT
+
+        if self.stats.decisions >= self.max_decisions:
+            return SATResult.UNKNOWN
+
+        for value in (literal, -literal):
+            self.stats.decisions += 1
+            trail = dict(assignment)
+            trail[abs(value)] = value > 0
+            result = self._search(clauses, trail)
+            if result is SATResult.SAT:
+                assignment.clear()
+                assignment.update(trail)
+                return SATResult.SAT
+            if result is SATResult.UNKNOWN:
+                return SATResult.UNKNOWN
+            self.stats.conflicts += 1
+        return SATResult.UNSAT
+
+    def _unit_propagate(
+        self, clauses: List[List[int]], assignment: Dict[int, bool]
+    ) -> Optional[SATResult]:
+        """Propagate unit clauses; returns UNSAT on conflict, SAT when every
+        clause is satisfied, ``None`` when branching is still required."""
+        changed = True
+        while changed:
+            changed = False
+            all_satisfied = True
+            for clause in clauses:
+                satisfied = False
+                unassigned: List[int] = []
+                for literal in clause:
+                    value = assignment.get(abs(literal))
+                    if value is None:
+                        unassigned.append(literal)
+                    elif (literal > 0) == value:
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if not unassigned:
+                    return SATResult.UNSAT
+                all_satisfied = False
+                if len(unassigned) == 1:
+                    literal = unassigned[0]
+                    assignment[abs(literal)] = literal > 0
+                    self.stats.propagations += 1
+                    changed = True
+            if all_satisfied:
+                return SATResult.SAT
+        return None
+
+    def _pick_branch_literal(
+        self, clauses: List[List[int]], assignment: Dict[int, bool]
+    ) -> Optional[int]:
+        """Most frequent literal among unresolved clauses."""
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            satisfied = False
+            candidates: List[int] = []
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    candidates.append(literal)
+                elif (literal > 0) == value:
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            for literal in candidates:
+                counts[literal] = counts.get(literal, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=counts.get)
+
+    # ------------------------------------------------------------------
+    def value(self, variable: int) -> Optional[bool]:
+        """Model value of a variable after a SAT answer."""
+        return self.model.get(variable)

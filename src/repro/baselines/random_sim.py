@@ -1,0 +1,155 @@
+"""Random-simulation baseline (the verification flow the paper improves on).
+
+The introduction of the paper motivates deterministic engines by the
+weakness of (pseudo-)random simulation: corner-case behaviours need an
+exhaustive or lucky stimulus, so coverage saturates and tricky bugs are
+missed.  This baseline implements exactly that flow -- drive the design with
+random input vectors that respect the environment, watch the compiled
+property monitor -- so the benchmark harness can measure how often random
+simulation finds the counterexamples / witnesses that the word-level ATPG
+engine generates deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.checker.result import CheckResult, CheckStatus, Counterexample
+from repro.checker.stats import CheckStatistics, ResourceMeter
+from repro.netlist.circuit import Circuit
+from repro.properties.convert import PropertyCompiler
+from repro.properties.environment import Environment
+from repro.properties.spec import Assertion, Property
+from repro.simulation.simulator import Simulator
+
+
+@dataclass
+class RandomSimulationOptions:
+    """Configuration of the random simulation baseline."""
+
+    #: number of independent simulation runs (each from the initial state).
+    num_runs: int = 64
+    #: number of clock cycles per run.
+    cycles_per_run: int = 16
+    #: RNG seed for reproducible experiments.
+    seed: int = 2000
+    #: maximum retries per cycle to find an input vector satisfying the
+    #: environment constraints (rejection sampling).
+    environment_retries: int = 32
+    #: measure peak heap usage with tracemalloc.
+    trace_memory: bool = True
+
+
+class RandomSimulationChecker:
+    """Checks properties by random simulation of the compiled monitor.
+
+    The API mirrors :class:`~repro.checker.engine.AssertionChecker` so the
+    two engines are interchangeable in the benchmark harness.  For an
+    :class:`~repro.properties.spec.Assertion` the checker searches for a cycle
+    where the monitor is low (a counterexample); for a witness it searches
+    for a cycle where the monitor is high.  Not finding one is *inconclusive*
+    (unlike the ATPG engine, random simulation can never prove absence), which
+    is reported as ``HOLDS`` / ``WITNESS_NOT_FOUND`` purely for comparability.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        environment: Optional[Environment] = None,
+        initial_state: Optional[Mapping[str, int]] = None,
+        options: Optional[RandomSimulationOptions] = None,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.environment = environment if environment is not None else Environment()
+        self.options = options if options is not None else RandomSimulationOptions()
+        self.initial_state = dict(initial_state) if initial_state else None
+        self.compiler = PropertyCompiler(circuit)
+        #: total vectors simulated by the last :meth:`check` call.
+        self.vectors_simulated = 0
+
+    # ------------------------------------------------------------------
+    def check(self, prop: Property, num_runs: Optional[int] = None) -> CheckResult:
+        """Simulate random stimulus and report whether the goal was hit."""
+        compiled = self.compiler.compile(prop)
+        goal_value = compiled.goal_value
+        rng = random.Random(self.options.seed)
+        runs = num_runs if num_runs is not None else self.options.num_runs
+        statistics = CheckStatistics()
+        counterexample: Optional[Counterexample] = None
+        self.vectors_simulated = 0
+
+        with ResourceMeter(trace_memory=self.options.trace_memory) as meter:
+            for _ in range(runs):
+                counterexample = self._simulate_one_run(compiled.monitor.name, goal_value, rng)
+                if counterexample is not None:
+                    break
+
+        statistics.cpu_seconds = meter.elapsed_seconds
+        statistics.peak_memory_mb = meter.peak_memory_mb
+        statistics.frames_explored = self.vectors_simulated
+
+        if counterexample is not None:
+            status = (
+                CheckStatus.FAILS if isinstance(prop, Assertion) else CheckStatus.WITNESS_FOUND
+            )
+        else:
+            status = (
+                CheckStatus.HOLDS
+                if isinstance(prop, Assertion)
+                else CheckStatus.WITNESS_NOT_FOUND
+            )
+        return CheckResult(
+            prop=prop,
+            status=status,
+            frames_explored=self.vectors_simulated,
+            counterexample=counterexample,
+            statistics=statistics,
+        )
+
+    # ------------------------------------------------------------------
+    def _simulate_one_run(
+        self, monitor_name: str, goal_value: int, rng: random.Random
+    ) -> Optional[Counterexample]:
+        simulator = Simulator(self.circuit, initial_state=self.initial_state)
+        initial_state = simulator.register_values()
+        inputs: List[Dict[str, int]] = []
+        trace: List[Dict[str, int]] = []
+        for cycle in range(self.options.cycles_per_run):
+            vector = self._random_vector(rng)
+            inputs.append(vector)
+            values = simulator.step(vector)
+            trace.append(values)
+            self.vectors_simulated += 1
+            if values[monitor_name] == goal_value:
+                return Counterexample(
+                    initial_state=initial_state,
+                    inputs=inputs,
+                    trace=trace,
+                    target_frame=cycle,
+                    monitor_name=monitor_name,
+                    validated=True,
+                )
+        return None
+
+    def _random_vector(self, rng: random.Random) -> Dict[str, int]:
+        """One random input vector respecting the environment (by rejection)."""
+        pinned = self.environment.pinned
+        for _ in range(self.options.environment_retries):
+            vector: Dict[str, int] = {}
+            for net in self.circuit.inputs:
+                if net.name in pinned:
+                    vector[net.name] = pinned[net.name]
+                else:
+                    vector[net.name] = rng.randrange(1 << net.width)
+            if self.environment.satisfied_by(vector):
+                return vector
+        # Fall back to a vector that at least honours one-hot groups.
+        vector = {net.name: 0 for net in self.circuit.inputs}
+        vector.update(pinned)
+        for group in self.environment.one_hot_groups:
+            if group:
+                vector[group[rng.randrange(len(group))]] = 1
+        return vector

@@ -1,0 +1,138 @@
+"""A SAT-based bounded model checker (bit-level baseline).
+
+This follows the approach the paper cites as the SAT alternative (Biere et
+al., DAC 1999): unroll the design over ``k`` frames, bit-blast it into CNF,
+constrain the negated property at the last frame and call a SAT solver.  It
+is used by the scalability benchmark to compare clause-database size / memory
+and run time against the word-level ATPG engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.baselines.bitblast import CircuitBitBlaster
+from repro.baselines.dpll import DPLLSolver, SATResult
+from repro.checker.result import CheckStatus
+from repro.checker.stats import ResourceMeter
+from repro.netlist.circuit import Circuit
+from repro.properties.convert import PropertyCompiler
+from repro.properties.environment import Environment
+from repro.properties.spec import Assertion, OneHot, Property, Signal
+
+
+@dataclass
+class SATCheckResult:
+    """Verdict and cost statistics of the SAT baseline."""
+
+    prop: Property
+    status: CheckStatus
+    frames_explored: int
+    cpu_seconds: float = 0.0
+    peak_memory_mb: float = 0.0
+    clauses: int = 0
+    variables: int = 0
+    decisions: int = 0
+    trace_inputs: Optional[List[Dict[str, int]]] = None
+
+
+class SATBoundedChecker:
+    """Bounded model checking via bit-blasting + DPLL."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        environment: Optional[Environment] = None,
+        initial_state: Optional[Mapping[str, int]] = None,
+        max_frames: int = 8,
+        max_decisions: int = 2_000_000,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.environment = environment if environment is not None else Environment()
+        self.initial_state = dict(initial_state or {})
+        self.max_frames = max_frames
+        self.max_decisions = max_decisions
+        self.compiler = PropertyCompiler(circuit)
+        self._assumption_nets = [
+            self.compiler.compile_condition(expr, name="sat_assume")
+            for expr in self.environment.assumptions
+        ]
+        self._one_hot_nets = [
+            self.compiler.compile_condition(
+                OneHot(*[Signal(name) for name in group]), name="sat_onehot"
+            )
+            for group in self.environment.one_hot_groups
+        ]
+
+    # ------------------------------------------------------------------
+    def check(self, prop: Property, max_frames: Optional[int] = None) -> SATCheckResult:
+        """Check one property with increasing unrolling depth."""
+        compiled = self.compiler.compile(prop)
+        bound = max_frames if max_frames is not None else self.max_frames
+        total_clauses = 0
+        total_variables = 0
+        total_decisions = 0
+        trace_inputs: Optional[List[Dict[str, int]]] = None
+        status = CheckStatus.HOLDS if isinstance(prop, Assertion) else CheckStatus.WITNESS_NOT_FOUND
+        frames_explored = 0
+
+        with ResourceMeter() as meter:
+            for target_frame in range(compiled.warmup_frames, bound):
+                frames_explored = target_frame + 1
+                blaster = CircuitBitBlaster(
+                    self.circuit, target_frame + 1, initial_state=self.initial_state
+                )
+                self._constrain_environment(blaster, target_frame + 1)
+                blaster.constrain_bit(compiled.monitor, target_frame, compiled.goal_value)
+
+                solver = DPLLSolver(blaster.formula, max_decisions=self.max_decisions)
+                answer = solver.solve()
+                total_clauses = max(total_clauses, len(blaster.formula))
+                total_variables = max(total_variables, blaster.formula.num_variables)
+                total_decisions += solver.stats.decisions
+
+                if answer is SATResult.SAT:
+                    trace_inputs = self._extract_inputs(blaster, solver, target_frame + 1)
+                    status = (
+                        CheckStatus.FAILS
+                        if isinstance(prop, Assertion)
+                        else CheckStatus.WITNESS_FOUND
+                    )
+                    break
+                if answer is SATResult.UNKNOWN:
+                    status = CheckStatus.ABORTED
+                    break
+
+        return SATCheckResult(
+            prop=prop,
+            status=status,
+            frames_explored=frames_explored,
+            cpu_seconds=meter.elapsed_seconds,
+            peak_memory_mb=meter.peak_memory_mb,
+            clauses=total_clauses,
+            variables=total_variables,
+            decisions=total_decisions,
+            trace_inputs=trace_inputs,
+        )
+
+    # ------------------------------------------------------------------
+    def _constrain_environment(self, blaster: CircuitBitBlaster, num_frames: int) -> None:
+        for frame in range(num_frames):
+            for name, value in self.environment.pinned.items():
+                blaster.constrain_value(self.circuit.net(name), frame, value)
+            for net in self._assumption_nets + self._one_hot_nets:
+                blaster.constrain_bit(net, frame, 1)
+
+    def _extract_inputs(
+        self, blaster: CircuitBitBlaster, solver: DPLLSolver, num_frames: int
+    ) -> List[Dict[str, int]]:
+        inputs: List[Dict[str, int]] = []
+        for frame in range(num_frames):
+            vector = {
+                net.name: blaster.model_value(solver, net, frame)
+                for net in self.circuit.inputs
+            }
+            inputs.append(vector)
+        return inputs

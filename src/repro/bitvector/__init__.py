@@ -1,0 +1,38 @@
+"""Three-valued bit-vector domain used throughout the word-level engine.
+
+The paper represents every multi-bit signal as a *cube*: a fixed-width
+bit-vector in which every bit is ``0``, ``1`` or ``x`` (unknown).  This
+package provides:
+
+* :class:`~repro.bitvector.bv3.BV3` -- the cube datatype (immutable),
+* :class:`~repro.bitvector.intervals.ValueRange` -- the ``[min, max]``
+  interval abstraction used for comparator implication (paper Fig. 4),
+* translation between the two abstractions implementing the paper's
+  Rule 1 and Rule 2 (:func:`~repro.bitvector.intervals.range_to_cube`),
+* three-valued ripple-carry arithmetic used for adder/subtractor
+  implication (paper Fig. 3) in :mod:`repro.bitvector.arith3`.
+"""
+
+from repro.bitvector.bv3 import BV3, BV3Conflict, Bit
+from repro.bitvector.intervals import ValueRange, cube_to_range, range_to_cube
+from repro.bitvector.arith3 import (
+    add3,
+    sub3,
+    propagate_adder,
+    propagate_subtractor,
+    negate3,
+)
+
+__all__ = [
+    "BV3",
+    "BV3Conflict",
+    "Bit",
+    "ValueRange",
+    "cube_to_range",
+    "range_to_cube",
+    "add3",
+    "sub3",
+    "negate3",
+    "propagate_adder",
+    "propagate_subtractor",
+]

@@ -1,0 +1,32 @@
+"""The assertion checking framework (Fig. 1 of the paper).
+
+:class:`AssertionChecker` ties everything together: it compiles the property
+into monitor logic, unrolls the design over increasing numbers of time
+frames, runs the word-level ATPG justification with the modular arithmetic
+solver in the loop, validates any generated trace by simulation, and reports
+the verdict together with run-time / memory statistics (Table 2).
+"""
+
+from repro.checker.engine import AssertionChecker, CheckerOptions
+from repro.checker.result import CheckResult, CheckStatus, Counterexample
+from repro.checker.stats import ResourceMeter, CheckStatistics
+from repro.checker.report import (
+    format_result,
+    format_results_table,
+    result_to_dict,
+    results_to_json,
+)
+
+__all__ = [
+    "AssertionChecker",
+    "CheckerOptions",
+    "CheckResult",
+    "CheckStatus",
+    "Counterexample",
+    "ResourceMeter",
+    "CheckStatistics",
+    "format_result",
+    "format_results_table",
+    "result_to_dict",
+    "results_to_json",
+]

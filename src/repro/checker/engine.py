@@ -1,0 +1,253 @@
+"""The top-level assertion checking engine (paper Fig. 1 / Fig. 2 outer loop).
+
+For a target frame ``t`` (growing from the property's warm-up depth to the
+configured maximum), the engine:
+
+1. unrolls the design over ``t + 1`` time frames,
+2. asserts the environmental constraints in every frame and the inverted
+   property goal at frame ``t``,
+3. runs the word-level ATPG justifier (with the modular arithmetic solver in
+   the loop) to search for an input sequence meeting the goal,
+4. on success, extracts and *simulates* the trace to validate it before
+   reporting a counterexample / witness,
+5. on failure, moves on to the next target frame; when every frame up to the
+   bound fails, the assertion holds (bounded) or the witness does not exist
+   within the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.atpg.estg import ExtendedStateTransitionGraph
+from repro.atpg.justify import Justifier, JustifierLimits, JustifyOutcome
+from repro.atpg.timeframe import UnrolledModel
+from repro.bitvector import BV3
+from repro.checker.result import CheckResult, CheckStatus, Counterexample
+from repro.checker.stats import CheckStatistics, ResourceMeter
+from repro.implication.assignment import ImplicationConflict
+from repro.netlist.circuit import Circuit
+from repro.properties.convert import CompiledProperty, PropertyCompiler
+from repro.properties.environment import Environment
+from repro.properties.spec import Assertion, Property, Witness
+from repro.simulation.simulator import Simulator
+
+
+@dataclass
+class CheckerOptions:
+    """Configuration of the assertion checker."""
+
+    #: maximum number of time frames explored (bounded check depth).
+    max_frames: int = 8
+    #: validate every generated trace by concrete simulation.
+    validate_traces: bool = True
+    #: use the legal-assignment-bias decision ordering (ablation switch).
+    use_bias: bool = True
+    #: learn illegal states in an extended state transition graph.  This is a
+    #: heuristic accelerator; it may prune witness branches, so it is off by
+    #: default and mainly used by the ablation benchmarks.
+    use_estg: bool = False
+    #: extract local FSMs up front and seed the ESTG with their locally
+    #: unreachable states (the paper's Section 6 extension).  Implies ESTG use
+    #: for the structural store; sound because locally unreachable states can
+    #: never occur in any execution from the default initial state.
+    use_local_fsm_guidance: bool = False
+    #: register width limit for the local FSM extraction.
+    fsm_guidance_max_width: int = 4
+    #: measure peak heap usage with tracemalloc (small overhead).
+    trace_memory: bool = True
+    #: resource limits of the branch-and-bound search.
+    limits: JustifierLimits = field(default_factory=JustifierLimits)
+
+
+class AssertionChecker:
+    """Checks assertion / witness properties on a word-level RTL netlist."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        environment: Optional[Environment] = None,
+        initial_state: Optional[Mapping[str, int]] = None,
+        options: Optional[CheckerOptions] = None,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.environment = environment if environment is not None else Environment()
+        self.options = options if options is not None else CheckerOptions()
+        self.compiler = PropertyCompiler(circuit)
+        use_estg = self.options.use_estg or self.options.use_local_fsm_guidance
+        self.estg = ExtendedStateTransitionGraph(enabled=use_estg)
+        self._assumption_nets = [
+            self.compiler.compile_condition(expr, name="assume")
+            for expr in self.environment.assumptions
+        ]
+        self._one_hot_nets = [
+            self._compile_one_hot(group) for group in self.environment.one_hot_groups
+        ]
+        self.initial_state = self._derive_initial_state(initial_state)
+        if self.options.use_local_fsm_guidance:
+            self._seed_fsm_guidance()
+
+    # ------------------------------------------------------------------
+    def _seed_fsm_guidance(self) -> None:
+        """Extract local FSMs and record their unreachable states in the ESTG.
+
+        Reachability is computed from the register value the check actually
+        starts from (the derived initial state when one is known, the
+        register's ``init_value`` otherwise), so the recorded facts stay
+        sound even when an explicit initial state overrides the power-on
+        values.  The property-to-constraint conversion adds monitor logic but
+        no new registers, so the guidance remains valid for every property
+        checked against this circuit.
+        """
+        from repro.analysis.fsm import extract_local_fsms
+
+        fsms = extract_local_fsms(
+            self.circuit, max_width=self.options.fsm_guidance_max_width
+        )
+        overrides = self.initial_state or {}
+        for fsm in fsms:
+            start = overrides.get(fsm.register_name, fsm.initial_state)
+            if start is None:
+                continue
+            for state in sorted(fsm.unreachable_states(from_state=start)):
+                cube = ExtendedStateTransitionGraph.state_cube(
+                    [(fsm.register_name, BV3.from_int(fsm.width, state))]
+                )
+                self.estg.record_structurally_illegal_state(cube)
+
+    # ------------------------------------------------------------------
+    def _derive_initial_state(
+        self, explicit: Optional[Mapping[str, int]]
+    ) -> Optional[Dict[str, int]]:
+        if explicit is not None:
+            return dict(explicit)
+        if self.environment.initialization is not None:
+            return self.environment.initialization.derive_initial_state(self.circuit)
+        return None
+
+    def _compile_one_hot(self, group: List[str]):
+        from repro.properties.spec import OneHot, Signal
+
+        return self.compiler.compile_condition(
+            OneHot(*[Signal(name) for name in group]), name="onehot"
+        )
+
+    # ------------------------------------------------------------------
+    def check(self, prop: Property, max_frames: Optional[int] = None) -> CheckResult:
+        """Check one property and return the verdict with statistics."""
+        compiled = self.compiler.compile(prop)
+        statistics = CheckStatistics()
+        bound = max_frames if max_frames is not None else self.options.max_frames
+        aborted = False
+        counterexample: Optional[Counterexample] = None
+
+        with ResourceMeter(trace_memory=self.options.trace_memory) as meter:
+            start_frame = compiled.warmup_frames
+            for target_frame in range(start_frame, bound):
+                statistics.frames_explored = target_frame + 1
+                outcome, model, search = self._check_target_frame(compiled, target_frame)
+                if search is not None:
+                    statistics.accumulate_search(search)
+                if outcome is JustifyOutcome.SUCCESS:
+                    counterexample = self._extract_trace(compiled, model, target_frame)
+                    if (
+                        self.options.validate_traces
+                        and counterexample is not None
+                        and not counterexample.validated
+                    ):
+                        # An invalid trace means the search over-approximated;
+                        # treat it as inconclusive rather than a real failure.
+                        counterexample = None
+                        aborted = True
+                    break
+                if outcome is JustifyOutcome.ABORT:
+                    aborted = True
+                    break
+
+        statistics.cpu_seconds = meter.elapsed_seconds
+        statistics.peak_memory_mb = meter.peak_memory_mb
+
+        status = self._verdict(prop, counterexample, aborted)
+        return CheckResult(
+            prop=prop,
+            status=status,
+            frames_explored=statistics.frames_explored,
+            counterexample=counterexample,
+            statistics=statistics,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_target_frame(self, compiled: CompiledProperty, target_frame: int):
+        num_frames = target_frame + 1
+        model = UnrolledModel(
+            self.circuit, num_frames, initial_state=self.initial_state
+        )
+        engine = model.engine
+        try:
+            # Environmental constraints in every frame.
+            for frame in range(num_frames):
+                for name, value in self.environment.pinned.items():
+                    net = self.circuit.net(name)
+                    engine.assign(
+                        model.key(net, frame), BV3.from_int(net.width, value), propagate=False
+                    )
+                for net in self._assumption_nets + self._one_hot_nets:
+                    engine.assign(model.key(net, frame), BV3.from_int(1, 1), propagate=False)
+            # The inverted property goal at the target frame.
+            engine.assign(
+                model.key(compiled.monitor, target_frame),
+                BV3.from_int(1, compiled.goal_value),
+                propagate=False,
+            )
+            engine.propagate()
+        except ImplicationConflict:
+            return JustifyOutcome.FAIL, model, None
+
+        justifier = Justifier(
+            model,
+            prove_mode=isinstance(compiled.prop, Assertion),
+            use_bias=self.options.use_bias,
+            limits=self.options.limits,
+            estg=self.estg if self.estg.enabled else None,
+        )
+        search = justifier.run()
+        return search.outcome, model, search
+
+    # ------------------------------------------------------------------
+    def _extract_trace(
+        self, compiled: CompiledProperty, model: UnrolledModel, target_frame: int
+    ) -> Counterexample:
+        inputs = model.input_assignment()
+        initial_state = model.initial_state_assignment()
+        simulator = Simulator(self.circuit, initial_state=initial_state)
+        trace: List[Dict[str, int]] = []
+        for vector in inputs:
+            trace.append(simulator.step(vector))
+        monitor_value = trace[target_frame][compiled.monitor.name]
+        env_ok = all(self.environment.satisfied_by(vector) for vector in inputs)
+        validated = env_ok and monitor_value == compiled.goal_value
+        return Counterexample(
+            initial_state=initial_state,
+            inputs=inputs,
+            trace=trace,
+            target_frame=target_frame,
+            monitor_name=compiled.monitor.name,
+            validated=validated,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _verdict(
+        prop: Property, counterexample: Optional[Counterexample], aborted: bool
+    ) -> CheckStatus:
+        if counterexample is not None:
+            return (
+                CheckStatus.FAILS if isinstance(prop, Assertion) else CheckStatus.WITNESS_FOUND
+            )
+        if aborted:
+            return CheckStatus.ABORTED
+        return (
+            CheckStatus.HOLDS if isinstance(prop, Assertion) else CheckStatus.WITNESS_NOT_FOUND
+        )

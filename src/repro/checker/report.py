@@ -1,0 +1,128 @@
+"""Reporting helpers: turning check results into tables, dictionaries and text.
+
+The paper communicates its evaluation as two tables (circuit statistics and
+per-property cost).  This module renders :class:`~repro.checker.result.CheckResult`
+objects in the same shapes so that the CLI, the examples and the benchmark
+harness all share one formatter:
+
+* :func:`result_to_dict` / :func:`results_to_json` -- machine readable output;
+* :func:`format_result` -- one readable block per property, including the
+  counterexample / witness trace when one exists;
+* :func:`format_results_table` -- the Table 2 layout (verdict, CPU seconds,
+  peak memory, search statistics) for a batch of results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.checker.result import CheckResult, CheckStatus, Counterexample
+
+
+def counterexample_to_dict(counterexample: Counterexample) -> Dict[str, object]:
+    """A JSON-friendly description of a trace."""
+    return {
+        "initial_state": dict(counterexample.initial_state),
+        "inputs": [dict(vector) for vector in counterexample.inputs],
+        "target_frame": counterexample.target_frame,
+        "monitor": counterexample.monitor_name,
+        "validated": counterexample.validated,
+        "length": counterexample.length,
+    }
+
+
+def result_to_dict(result: CheckResult) -> Dict[str, object]:
+    """A JSON-friendly description of one property check."""
+    statistics = result.statistics
+    payload: Dict[str, object] = {
+        "property": result.prop.name,
+        "kind": "assertion" if result.prop.is_assertion else "witness",
+        "status": result.status.value,
+        "frames_explored": result.frames_explored,
+        "cpu_seconds": round(statistics.cpu_seconds, 6),
+        "peak_memory_mb": round(statistics.peak_memory_mb, 4),
+        "decisions": statistics.decisions,
+        "backtracks": statistics.backtracks,
+        "conflicts": statistics.conflicts,
+        "implications": statistics.implications,
+        "arithmetic_calls": statistics.arithmetic_calls,
+    }
+    if result.counterexample is not None:
+        payload["trace"] = counterexample_to_dict(result.counterexample)
+    return payload
+
+
+def results_to_json(results: Iterable[CheckResult], indent: int = 2) -> str:
+    """Serialise a batch of results as a JSON array."""
+    return json.dumps([result_to_dict(result) for result in results], indent=indent)
+
+
+def format_result(result: CheckResult, include_trace: bool = True) -> str:
+    """A readable multi-line report for one property."""
+    statistics = result.statistics
+    lines = [
+        "property %s (%s): %s"
+        % (
+            result.prop.name,
+            "assertion" if result.prop.is_assertion else "witness",
+            result.status.value,
+        ),
+        "  frames explored : %d" % (result.frames_explored,),
+        "  cpu time        : %.3f s" % (statistics.cpu_seconds,),
+        "  peak memory     : %.2f MB" % (statistics.peak_memory_mb,),
+        "  decisions       : %d (%d backtracks, %d conflicts)"
+        % (statistics.decisions, statistics.backtracks, statistics.conflicts),
+        "  implications    : %d (%d arithmetic solver calls)"
+        % (statistics.implications, statistics.arithmetic_calls),
+    ]
+    if include_trace and result.counterexample is not None:
+        label = (
+            "counterexample" if result.status is CheckStatus.FAILS else "witness trace"
+        )
+        lines.append("  %s:" % (label,))
+        for trace_line in result.counterexample.summary().splitlines():
+            lines.append("    " + trace_line)
+    return "\n".join(lines)
+
+
+def format_results_table(
+    results: Sequence[CheckResult],
+    labels: Optional[Sequence[str]] = None,
+    paper_cpu: Optional[Mapping[str, float]] = None,
+    paper_memory: Optional[Mapping[str, float]] = None,
+) -> str:
+    """The Table 2 layout for a batch of results.
+
+    ``labels`` overrides the row labels (default: property names); when the
+    paper's published numbers are supplied the corresponding columns are
+    appended for side-by-side comparison.
+    """
+    if labels is not None and len(labels) != len(results):
+        raise ValueError("labels must match results one-to-one")
+    names = list(labels) if labels is not None else [r.prop.name for r in results]
+
+    with_paper = paper_cpu is not None or paper_memory is not None
+    header = "%-22s %-18s %10s %10s %10s %10s" % (
+        "property", "verdict", "cpu (s)", "mem (MB)", "decisions", "backtracks",
+    )
+    if with_paper:
+        header += " %12s %12s" % ("paper cpu", "paper mem")
+    lines = [header, "-" * len(header)]
+    for name, result in zip(names, results):
+        statistics = result.statistics
+        row = "%-22s %-18s %10.3f %10.2f %10d %10d" % (
+            name,
+            result.status.value,
+            statistics.cpu_seconds,
+            statistics.peak_memory_mb,
+            statistics.decisions,
+            statistics.backtracks,
+        )
+        if with_paper:
+            row += " %12s %12s" % (
+                "%.2f" % paper_cpu[name] if paper_cpu and name in paper_cpu else "-",
+                "%.2f" % paper_memory[name] if paper_memory and name in paper_memory else "-",
+            )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Run-time and memory measurement for the Table 2 reproduction."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CheckStatistics:
+    """Aggregated statistics of one property check."""
+
+    cpu_seconds: float = 0.0
+    peak_memory_mb: float = 0.0
+    decisions: int = 0
+    backtracks: int = 0
+    conflicts: int = 0
+    implications: int = 0
+    arithmetic_calls: int = 0
+    frames_explored: int = 0
+    justify_runs: int = 0
+
+    def accumulate_search(self, result) -> None:
+        """Fold one :class:`~repro.atpg.justify.JustifyResult` into the totals."""
+        self.decisions += result.decisions
+        self.backtracks += result.backtracks
+        self.conflicts += result.conflicts
+        self.implications += result.implications
+        self.arithmetic_calls += result.arithmetic_calls
+        self.justify_runs += 1
+
+
+class ResourceMeter:
+    """Context manager measuring wall-clock time and peak Python heap usage.
+
+    The paper reports CPU seconds and megabytes on an UltraSparc-5; we report
+    wall-clock seconds and the peak `tracemalloc` heap delta, which preserves
+    the relative shape across properties (the claim under test is the *low
+    memory growth* of the ATPG-based approach).
+    """
+
+    def __init__(self, trace_memory: bool = True):
+        self.trace_memory = trace_memory
+        self.elapsed_seconds = 0.0
+        self.peak_memory_mb = 0.0
+        self._start: Optional[float] = None
+        self._started_tracing = False
+
+    def __enter__(self) -> "ResourceMeter":
+        self._start = time.perf_counter()
+        if self.trace_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracing = True
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_seconds = time.perf_counter() - (self._start or 0.0)
+        if self.trace_memory and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.peak_memory_mb = peak / (1024.0 * 1024.0)
+            if self._started_tracing:
+                tracemalloc.stop()

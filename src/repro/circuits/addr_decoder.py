@@ -1,0 +1,74 @@
+"""The ``addr_decoder`` benchmark: a write-decoded register file.
+
+The design decodes an address into one-hot cell-select lines and writes the
+input data into the selected cell when write-enable is asserted.  The paper
+checks (p1) that any selected cell can be written successfully and (p2) that
+no two address lines are ever selected simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net
+
+
+@dataclass
+class AddrDecoderPorts:
+    """Handles to the interesting nets of the generated design."""
+
+    circuit: Circuit
+    addr: Net
+    data_in: Net
+    write_enable: Net
+    selects: List[Net]
+    cells: List[Net]
+
+
+def build_addr_decoder(
+    num_cells: int = 8, data_width: int = 4, source_lines: int = 52
+) -> AddrDecoderPorts:
+    """Build the address decoder / register file design.
+
+    Parameters
+    ----------
+    num_cells:
+        Number of memory cells (must be a power of two so that the decode is
+        exhaustive, as in the original design).
+    data_width:
+        Width of each memory cell.
+    source_lines:
+        Reported HDL line count (Table 1 bookkeeping only).
+    """
+    if num_cells < 2 or num_cells & (num_cells - 1):
+        raise ValueError("num_cells must be a power of two >= 2")
+    addr_width = (num_cells - 1).bit_length()
+
+    circuit = Circuit("addr_decoder", source_lines=source_lines)
+    addr = circuit.input("addr", addr_width)
+    data_in = circuit.input("data_in", data_width)
+    write_enable = circuit.input("we", 1)
+
+    selects: List[Net] = []
+    cells: List[Net] = []
+    for index in range(num_cells):
+        select = circuit.eq(addr, index, name="select_%d" % index)
+        circuit.output(select)
+        selects.append(select)
+
+        cell_write = circuit.and_(select, write_enable, name="write_%d" % index)
+        cell = circuit.state("cell_%d" % index, data_width)
+        circuit.dff_into(cell, data_in, enable=cell_write, init_value=0)
+        circuit.output(cell)
+        cells.append(cell)
+
+    return AddrDecoderPorts(
+        circuit=circuit,
+        addr=addr,
+        data_in=data_in,
+        write_enable=write_enable,
+        selects=selects,
+        cells=cells,
+    )

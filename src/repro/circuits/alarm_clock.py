@@ -1,0 +1,151 @@
+"""The ``alarm_clock`` benchmark: a 12-hour alarm clock.
+
+The clock keeps a 12-hour display (hour 1..12, minute 0..59) advanced by a
+``tick`` input, with set buttons that increment the hour / minute directly.
+An alarm time and on/off flag complete the design.  The paper's properties:
+
+* p7 -- after the clock passes "11:59" it resets to "12:00";
+* p8 -- a witness sequence brings the hour display to "2" after power-on;
+* p9 -- the hour display can never show "13" (or any invalid value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net
+
+
+@dataclass
+class AlarmClockPorts:
+    """Handles to the interesting nets of the generated design."""
+
+    circuit: Circuit
+    hour: Net
+    minute: Net
+    alarm_hour: Net
+    alarm_minute: Net
+    alarm_on: Net
+    alarm_fire: Net
+    tick: Net
+    set_time: Net
+    set_alarm: Net
+    inc_hour: Net
+    inc_minute: Net
+
+
+def build_alarm_clock(
+    free_initial_state: bool = False, source_lines: int = 719
+) -> AlarmClockPorts:
+    """Build the alarm clock design.
+
+    ``free_initial_state`` leaves the time registers uninitialised (any state)
+    so that transition properties like p7 can be checked inductively from an
+    arbitrary valid state rather than only from the power-on state.
+    """
+    circuit = Circuit("alarm_clock", source_lines=source_lines)
+
+    tick = circuit.input("tick", 1)
+    set_time = circuit.input("set_time", 1)
+    set_alarm = circuit.input("set_alarm", 1)
+    inc_hour = circuit.input("inc_hour", 1)
+    inc_minute = circuit.input("inc_minute", 1)
+    alarm_toggle = circuit.input("alarm_toggle", 1)
+    snooze = circuit.input("snooze", 1)
+
+    hour_init: Optional[int] = None if free_initial_state else 12
+    minute_init: Optional[int] = None if free_initial_state else 0
+
+    hour = circuit.state("hour", 4)
+    minute = circuit.state("minute", 6)
+    alarm_hour = circuit.state("alarm_hour", 4)
+    alarm_minute = circuit.state("alarm_minute", 6)
+    alarm_on = circuit.state("alarm_on", 1)
+
+    # ------------------------------------------------------------------
+    # Increment logic with 12-hour / 60-minute wrap-around.
+    # ------------------------------------------------------------------
+    hour_is_12 = circuit.eq(hour, 12, name="hour_is_12")
+    hour_plus_one = circuit.add(hour, 1, name="hour_plus_one")
+    hour_inc = circuit.mux(hour_is_12, hour_plus_one, circuit.const(1, 4), name="hour_inc")
+
+    minute_is_59 = circuit.eq(minute, 59, name="minute_is_59")
+    minute_plus_one = circuit.add(minute, 1, name="minute_plus_one")
+    minute_inc = circuit.mux(
+        minute_is_59, minute_plus_one, circuit.const(0, 6), name="minute_inc"
+    )
+
+    # ------------------------------------------------------------------
+    # Time registers: the set buttons take priority over the tick.
+    # ------------------------------------------------------------------
+    ticking = circuit.and_(tick, circuit.not_(set_time), name="ticking")
+    set_hour_press = circuit.and_(set_time, inc_hour, name="set_hour_press")
+    set_minute_press = circuit.and_(set_time, inc_minute, name="set_minute_press")
+
+    hour_rolls = circuit.and_(ticking, minute_is_59, name="hour_rolls")
+    hour_advance = circuit.or_(hour_rolls, set_hour_press, name="hour_advance")
+    hour_next = circuit.mux(hour_advance, hour, hour_inc, name="hour_next")
+    circuit.dff_into(hour, hour_next, init_value=hour_init)
+    circuit.output(hour)
+
+    minute_advance = circuit.or_(ticking, set_minute_press, name="minute_advance")
+    minute_next = circuit.mux(minute_advance, minute, minute_inc, name="minute_next")
+    circuit.dff_into(minute, minute_next, init_value=minute_init)
+    circuit.output(minute)
+
+    # ------------------------------------------------------------------
+    # Alarm registers.
+    # ------------------------------------------------------------------
+    alarm_hour_is_12 = circuit.eq(alarm_hour, 12, name="alarm_hour_is_12")
+    alarm_hour_plus = circuit.add(alarm_hour, 1, name="alarm_hour_plus")
+    alarm_hour_inc = circuit.mux(
+        alarm_hour_is_12, alarm_hour_plus, circuit.const(1, 4), name="alarm_hour_inc"
+    )
+    alarm_minute_is_59 = circuit.eq(alarm_minute, 59, name="alarm_minute_is_59")
+    alarm_minute_plus = circuit.add(alarm_minute, 1, name="alarm_minute_plus")
+    alarm_minute_inc = circuit.mux(
+        alarm_minute_is_59, alarm_minute_plus, circuit.const(0, 6), name="alarm_minute_inc"
+    )
+
+    alarm_hour_press = circuit.and_(set_alarm, inc_hour, name="alarm_hour_press")
+    alarm_minute_press = circuit.and_(set_alarm, inc_minute, name="alarm_minute_press")
+    alarm_hour_next = circuit.mux(alarm_hour_press, alarm_hour, alarm_hour_inc)
+    alarm_minute_next = circuit.mux(alarm_minute_press, alarm_minute, alarm_minute_inc)
+    circuit.dff_into(alarm_hour, alarm_hour_next, init_value=None if free_initial_state else 12)
+    circuit.dff_into(
+        alarm_minute, alarm_minute_next, init_value=None if free_initial_state else 0
+    )
+    circuit.output(alarm_hour)
+    circuit.output(alarm_minute)
+
+    alarm_on_next = circuit.mux(alarm_toggle, alarm_on, circuit.not_(alarm_on))
+    circuit.dff_into(alarm_on, alarm_on_next, init_value=None if free_initial_state else 0)
+    circuit.output(alarm_on)
+
+    # ------------------------------------------------------------------
+    # Alarm firing condition (masked by snooze).
+    # ------------------------------------------------------------------
+    time_matches = circuit.and_(
+        circuit.eq(hour, alarm_hour), circuit.eq(minute, alarm_minute), name="time_matches"
+    )
+    alarm_fire = circuit.and_(
+        alarm_on, time_matches, circuit.not_(snooze), name="alarm_fire"
+    )
+    circuit.output(alarm_fire)
+
+    return AlarmClockPorts(
+        circuit=circuit,
+        hour=hour,
+        minute=minute,
+        alarm_hour=alarm_hour,
+        alarm_minute=alarm_minute,
+        alarm_on=alarm_on,
+        alarm_fire=alarm_fire,
+        tick=tick,
+        set_time=set_time,
+        set_alarm=set_alarm,
+        inc_hour=inc_hour,
+        inc_minute=inc_minute,
+    )

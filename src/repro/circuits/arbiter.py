@@ -1,0 +1,71 @@
+"""The ``arbiter`` benchmark: a rotating-grant bus arbiter.
+
+A one-hot grant register parks on the current owner while that owner keeps
+requesting and rotates to the next station otherwise.  The paper checks (p5)
+that the grant signals are one-hot and (p6) that a waiting client obtains the
+bus after a bounded number of cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net, NetKind
+
+
+@dataclass
+class ArbiterPorts:
+    """Handles to the interesting nets of the generated design."""
+
+    circuit: Circuit
+    grants: List[Net]
+    requests: List[Net]
+    grant_register: Net
+    acks: List[Net]
+
+
+def build_arbiter(num_clients: int = 4, source_lines: int = 303) -> ArbiterPorts:
+    """Build the round-robin arbiter with ``num_clients`` requesters."""
+    if num_clients < 2:
+        raise ValueError("arbiter needs at least two clients")
+
+    circuit = Circuit("arbiter", source_lines=source_lines)
+    requests = [circuit.input("req_%d" % index, 1) for index in range(num_clients)]
+
+    grant_register = circuit.state("grant", num_clients, kind=NetKind.CONTROL)
+
+    # The current owner keeps the grant while it is still requesting.
+    owner_requesting_terms = []
+    grants: List[Net] = []
+    for index in range(num_clients):
+        grant_bit = circuit.bit(grant_register, index, name="grant_%d" % index)
+        circuit.output(grant_bit)
+        grants.append(grant_bit)
+        owner_requesting_terms.append(circuit.and_(grant_bit, requests[index]))
+    owner_requesting = circuit.or_(*owner_requesting_terms, name="owner_requesting")
+
+    low_part = circuit.slice(grant_register, num_clients - 2, 0)
+    high_bit = circuit.slice(grant_register, num_clients - 1, num_clients - 1)
+    rotated = circuit.concat(low_part, high_bit, name="grant_rotated")
+
+    next_grant = circuit.mux(owner_requesting, rotated, grant_register, name="grant_next")
+    circuit.dff_into(grant_register, next_grant, init_value=1)
+    circuit.output(grant_register)
+
+    # Acknowledge outputs: a client is acknowledged when it requests and owns
+    # the grant in the same cycle.
+    acks: List[Net] = []
+    for index in range(num_clients):
+        ack = circuit.and_(grants[index], requests[index], name="ack_%d" % index)
+        circuit.output(ack)
+        acks.append(ack)
+
+    return ArbiterPorts(
+        circuit=circuit,
+        grants=grants,
+        requests=requests,
+        grant_register=grant_register,
+        acks=acks,
+    )

@@ -1,0 +1,234 @@
+"""Synthetic stand-ins for the paper's industrial designs.
+
+The five ``industry_0x`` circuits of the paper are proprietary; these
+generators reproduce their *structure classes* so that properties p10-p14
+exercise the same code paths:
+
+* ``industry_01`` -- a large control/datapath block whose mode register has
+  internal don't-care encodings (p10: the don't-care states are unreachable);
+* ``industry_02`` -- a wide tri-state bus whose drivers are enabled by a
+  decoded (one-hot by construction) select register (p11: no bus contention);
+* ``industry_03`` -- a wide tri-state bus with overlapping enables but a
+  single broadcast data source (consensus -- p12: no bus contention);
+* ``industry_04`` -- a tri-state bus whose enables are primary inputs
+  constrained one-hot by the environment (p13: no bus contention);
+* ``industry_05`` -- a small one-hot-encoded controller whose non-one-hot
+  states are internal don't-cares (p14: they are unreachable).
+
+Every generator accepts size parameters so the scalability benchmark can grow
+the designs; the defaults keep the Table 2 reproduction fast on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net, NetKind
+
+
+# ----------------------------------------------------------------------
+# industry_01: don't-care mode register inside a pipelined datapath
+# ----------------------------------------------------------------------
+@dataclass
+class Industry01Ports:
+    circuit: Circuit
+    mode: Net
+    command: Net
+    pipeline: List[Net]
+
+
+def build_industry_01(
+    num_stages: int = 4, data_width: int = 16, source_lines: int = 11280
+) -> Industry01Ports:
+    """A control FSM plus datapath pipeline with don't-care mode encodings.
+
+    The 3-bit mode register is updated from a command input through selection
+    logic that only ever produces the values 0..4; encodings 5-7 are internal
+    don't-cares (p10 asserts they are unreachable).
+    """
+    circuit = Circuit("industry_01", source_lines=source_lines)
+    command = circuit.input("command", 3)
+    operand = circuit.input("operand", data_width)
+    enable = circuit.input("enable", 1)
+
+    mode = circuit.state("mode", 3, kind=NetKind.CONTROL)
+    # The next mode is a decoded function of the command: commands 0..4 map
+    # to modes 0..4, every other command falls back to mode 0.
+    command_valid = circuit.le(command, 4, name="command_valid")
+    clamped = circuit.mux(command_valid, circuit.const(0, 3), command, name="mode_clamped")
+    advance = circuit.and_(enable, circuit.ne(clamped, mode), name="mode_advance")
+    mode_next = circuit.mux(advance, mode, clamped, name="mode_next")
+    circuit.dff_into(mode, mode_next, init_value=0)
+    circuit.output(mode)
+
+    # Datapath pipeline: each stage accumulates the operand scaled by the
+    # stage index when its mode matches, otherwise it holds.
+    pipeline: List[Net] = []
+    previous = operand
+    for stage in range(num_stages):
+        stage_reg = circuit.state("stage_%d" % stage, data_width)
+        selected = circuit.eq(mode, stage % 5, name="stage_sel_%d" % stage)
+        summed = circuit.add(previous, stage_reg, name="stage_sum_%d" % stage)
+        stage_next = circuit.mux(selected, stage_reg, summed, name="stage_next_%d" % stage)
+        circuit.dff_into(stage_reg, stage_next, init_value=0)
+        circuit.output(stage_reg)
+        pipeline.append(stage_reg)
+        previous = stage_reg
+
+    return Industry01Ports(circuit=circuit, mode=mode, command=command, pipeline=pipeline)
+
+
+# ----------------------------------------------------------------------
+# Shared tri-state bus helpers (industry_02/03/04)
+# ----------------------------------------------------------------------
+@dataclass
+class TristateBusPorts:
+    circuit: Circuit
+    bus: Net
+    enables: List[Net]
+    driver_data: List[Net]
+
+
+def build_industry_02(
+    num_drivers: int = 4, bus_width: int = 16, source_lines: int = 5726
+) -> TristateBusPorts:
+    """Bus contention class 1: enables decoded from a select register.
+
+    The select register is loaded from an input; the enables are its decode,
+    which is one-hot by construction, so contention is impossible (p11).
+    The paper's design uses 152-bit buses; the width is a parameter.
+    """
+    circuit = Circuit("industry_02", source_lines=source_lines)
+    select_width = max(1, (num_drivers - 1).bit_length())
+    select_in = circuit.input("select_in", select_width)
+    load = circuit.input("load", 1)
+
+    select = circuit.state("select", select_width, kind=NetKind.CONTROL)
+    select_next = circuit.mux(load, select, select_in, name="select_next")
+    circuit.dff_into(select, select_next, init_value=0)
+
+    enables: List[Net] = []
+    driver_data: List[Net] = []
+    drivers: List[Tuple[Net, Net]] = []
+    for index in range(num_drivers):
+        data_in = circuit.input("src_%d" % index, bus_width)
+        data_reg = circuit.state("data_%d" % index, bus_width)
+        circuit.dff_into(data_reg, data_in, init_value=index)
+        enable = circuit.eq(select, index, name="enable_%d" % index)
+        circuit.output(enable)
+        enables.append(enable)
+        driver_data.append(data_reg)
+        drivers.append((circuit.tribuf(data_reg, enable), enable))
+
+    bus = circuit.bus(drivers, name="bus")
+    circuit.output(bus)
+    return TristateBusPorts(circuit=circuit, bus=bus, enables=enables, driver_data=driver_data)
+
+
+def build_industry_03(
+    num_drivers: int = 4, bus_width: int = 16, source_lines: int = 694
+) -> TristateBusPorts:
+    """Bus contention class 2: overlapping enables with consensus data.
+
+    Every driver forwards the *same* broadcast register, so even when several
+    enables are active simultaneously the driven values agree (p12).
+    """
+    circuit = Circuit("industry_03", source_lines=source_lines)
+    broadcast_in = circuit.input("broadcast_in", bus_width)
+    load = circuit.input("load", 1)
+
+    broadcast = circuit.state("broadcast", bus_width)
+    circuit.dff_into(broadcast, broadcast_in, enable=load, init_value=0)
+
+    enables: List[Net] = []
+    driver_data: List[Net] = []
+    drivers: List[Tuple[Net, Net]] = []
+    for index in range(num_drivers):
+        request = circuit.input("req_%d" % index, 1)
+        enable = circuit.buf(request, name="enable_%d" % index)
+        circuit.output(enable)
+        enables.append(enable)
+        driver_data.append(broadcast)
+        drivers.append((circuit.tribuf(broadcast, enable), enable))
+
+    bus = circuit.bus(drivers, name="bus")
+    circuit.output(bus)
+    return TristateBusPorts(circuit=circuit, bus=bus, enables=enables, driver_data=driver_data)
+
+
+def build_industry_04(
+    num_drivers: int = 4, bus_width: int = 8, source_lines: int = 599
+) -> TristateBusPorts:
+    """Bus contention class 3: enables are environment-constrained inputs.
+
+    The enables come straight from primary inputs; the environment of p13
+    constrains them to be one-hot, which is what makes the assertion hold.
+    """
+    circuit = Circuit("industry_04", source_lines=source_lines)
+
+    enables: List[Net] = []
+    driver_data: List[Net] = []
+    drivers: List[Tuple[Net, Net]] = []
+    for index in range(num_drivers):
+        enable = circuit.input("en_%d" % index, 1)
+        data = circuit.input("d_%d" % index, bus_width)
+        enables.append(enable)
+        driver_data.append(data)
+        drivers.append((circuit.tribuf(data, enable), enable))
+
+    bus = circuit.bus(drivers, name="bus")
+    circuit.output(bus)
+    return TristateBusPorts(circuit=circuit, bus=bus, enables=enables, driver_data=driver_data)
+
+
+# ----------------------------------------------------------------------
+# industry_05: small one-hot controller with don't-care states
+# ----------------------------------------------------------------------
+@dataclass
+class Industry05Ports:
+    circuit: Circuit
+    state: Net
+    start: Net
+    done: Net
+
+
+def build_industry_05(source_lines: int = 47) -> Industry05Ports:
+    """A three-state one-hot controller (IDLE -> BUSY -> DONE -> IDLE).
+
+    Any non-one-hot encoding of the state register is an internal don't-care;
+    p14 asserts those encodings are unreachable.
+    """
+    circuit = Circuit("industry_05", source_lines=source_lines)
+    start = circuit.input("start", 1)
+    finish = circuit.input("finish", 1)
+    abort = circuit.input("abort", 1)
+
+    state = circuit.state("state", 3, kind=NetKind.CONTROL)
+    idle = circuit.bit(state, 0, name="state_idle")
+    busy = circuit.bit(state, 1, name="state_busy")
+    done = circuit.bit(state, 2, name="state_done")
+
+    go_busy = circuit.and_(idle, start, name="go_busy")
+    go_done = circuit.and_(busy, finish, name="go_done")
+    # An abort only returns to IDLE when the job is not finishing this cycle,
+    # which keeps the next state one-hot even when both inputs pulse at once.
+    go_idle = circuit.or_(
+        circuit.and_(busy, abort, circuit.not_(finish)), done, name="go_idle"
+    )
+
+    next_idle = circuit.or_(circuit.and_(idle, circuit.not_(start)), go_idle, name="next_idle")
+    next_busy = circuit.or_(
+        go_busy, circuit.and_(busy, circuit.not_(finish), circuit.not_(abort)), name="next_busy"
+    )
+    next_done = circuit.buf(go_done, name="next_done")
+
+    state_next = circuit.concat(next_done, next_busy, next_idle, name="state_next")
+    circuit.dff_into(state, state_next, init_value=1)
+    circuit.output(state)
+
+    done_out = circuit.buf(done, name="done_out")
+    circuit.output(done_out)
+
+    return Industry05Ports(circuit=circuit, state=state, start=start, done=done_out)

@@ -1,0 +1,73 @@
+"""The ``token_ring`` benchmark: a rotating-token shared bus.
+
+A one-hot token register rotates by one position every clock cycle; the
+client holding the token drives the shared data bus through a tri-state
+driver.  The paper checks (p3) that the bus-select signals are one-hot and
+(p4) that every client is granted the bus after waiting a bounded number of
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net, NetKind
+
+
+@dataclass
+class TokenRingPorts:
+    """Handles to the interesting nets of the generated design."""
+
+    circuit: Circuit
+    grants: List[Net]
+    requests: List[Net]
+    client_data: List[Net]
+    bus: Net
+    token: Net
+
+
+def build_token_ring(
+    num_clients: int = 6, data_width: int = 8, source_lines: int = 157
+) -> TokenRingPorts:
+    """Build the token-ring bus design with ``num_clients`` stations."""
+    if num_clients < 2:
+        raise ValueError("token ring needs at least two clients")
+
+    circuit = Circuit("token_ring", source_lines=source_lines)
+
+    requests: List[Net] = []
+    client_data: List[Net] = []
+    for index in range(num_clients):
+        requests.append(circuit.input("req_%d" % index, 1))
+        client_data.append(circuit.input("data_%d" % index, data_width))
+
+    # One-hot token register, rotated left by one position every cycle.
+    token = circuit.state("token", num_clients, kind=NetKind.CONTROL)
+    low_part = circuit.slice(token, num_clients - 2, 0)
+    high_bit = circuit.slice(token, num_clients - 1, num_clients - 1)
+    rotated = circuit.concat(low_part, high_bit, name="token_rotated")
+    circuit.dff_into(token, rotated, init_value=1)
+    circuit.output(token)
+
+    grants: List[Net] = []
+    drivers = []
+    for index in range(num_clients):
+        grant = circuit.bit(token, index, name="grant_%d" % index)
+        circuit.output(grant)
+        grants.append(grant)
+        driver_out = circuit.tribuf(client_data[index], grant, name="drive_%d" % index)
+        drivers.append((driver_out, grant))
+
+    bus = circuit.bus(drivers, name="bus")
+    circuit.output(bus)
+
+    return TokenRingPorts(
+        circuit=circuit,
+        grants=grants,
+        requests=requests,
+        client_data=client_data,
+        bus=bus,
+        token=token,
+    )

@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the flows described in the paper:
+
+``stats``
+    Quick-synthesise a Verilog file and print the Table-1 style statistics
+    together with the control/datapath structure report.
+
+``analyze``
+    Run the structural analyses (counter / shift-register recognition and
+    local FSM extraction) on a Verilog file.
+
+``check``
+    Check assertion / witness properties (given as expression strings) on a
+    Verilog file, with optional environment constraints, JSON output and VCD
+    trace dumping.
+
+``table1`` / ``table2``
+    Regenerate the paper's evaluation tables from the bundled benchmark
+    designs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import analyze_structure, extract_local_fsms, recognize_modules
+from repro.checker import (
+    AssertionChecker,
+    CheckerOptions,
+    CheckResult,
+    format_result,
+    format_results_table,
+    results_to_json,
+)
+from repro.hdl import compile_verilog
+from repro.netlist.circuit import Circuit
+from repro.properties import Assertion, Environment, Witness
+from repro.properties.parse import PropertyParseError, parse_expression
+from repro.simulation.vcd import trace_to_vcd
+
+
+def _load_circuit(path: str, top: Optional[str] = None) -> Circuit:
+    """Read and elaborate a Verilog file."""
+    with open(path) as stream:
+        source = stream.read()
+    circuit = compile_verilog(source, top=top)
+    circuit.validate()
+    return circuit
+
+
+def _parse_named_property(text: str) -> Tuple[Optional[str], object]:
+    """Parse ``name=expression``; the name part is optional."""
+    if "=" in text and not text.split("=", 1)[0].strip().isdigit():
+        candidate_name, expression_text = text.split("=", 1)
+        # Avoid eating a leading comparison such as "a==b".
+        if not candidate_name.rstrip().endswith(("=", "!", "<", ">")):
+            name = candidate_name.strip()
+            expression = parse_expression(expression_text)
+            return name, expression
+    return None, parse_expression(text)
+
+
+def _build_environment(args: argparse.Namespace) -> Environment:
+    environment = Environment()
+    for group in getattr(args, "one_hot", None) or []:
+        environment.one_hot([name.strip() for name in group.split(",")])
+    for pin in getattr(args, "pin", None) or []:
+        if "=" not in pin:
+            raise SystemExit("--pin expects signal=value, got %r" % (pin,))
+        name, value = pin.split("=", 1)
+        environment.pin(name.strip(), int(value, 0))
+    for assumption in getattr(args, "assume", None) or []:
+        environment.assume(parse_expression(assumption))
+    return environment
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _command_stats(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.design, top=args.top)
+    stats = circuit.stats()
+    print(
+        "%-14s %8s %8s %6s %6s %6s"
+        % ("ckt name", "#lines", "#gates", "#FFs", "#ins", "#outs")
+    )
+    print(
+        "%-14s %8d %8d %6d %6d %6d"
+        % (stats.name, stats.lines, stats.gates, stats.flip_flops, stats.inputs, stats.outputs)
+    )
+    print()
+    print(analyze_structure(circuit).format())
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.design, top=args.top)
+    print(analyze_structure(circuit).format())
+    print()
+    print(recognize_modules(circuit).format())
+    fsms = extract_local_fsms(circuit, max_width=args.max_fsm_width)
+    if fsms:
+        print()
+        for fsm in fsms:
+            print(fsm.format())
+    return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.design, top=args.top)
+    environment = _build_environment(args)
+
+    properties = []
+    for index, text in enumerate(args.assertion or []):
+        try:
+            name, expression = _parse_named_property(text)
+        except PropertyParseError as exc:
+            raise SystemExit(str(exc))
+        properties.append(Assertion(name or "assert_%d" % index, expression))
+    for index, text in enumerate(args.witness or []):
+        try:
+            name, expression = _parse_named_property(text)
+        except PropertyParseError as exc:
+            raise SystemExit(str(exc))
+        properties.append(Witness(name or "witness_%d" % index, expression))
+    if not properties:
+        raise SystemExit("no properties given; use --assert and/or --witness")
+
+    options = CheckerOptions(
+        max_frames=args.max_frames,
+        use_local_fsm_guidance=args.fsm_guidance,
+    )
+    checker = AssertionChecker(circuit, environment=environment, options=options)
+    results: List[CheckResult] = [checker.check(prop) for prop in properties]
+
+    if args.json:
+        print(results_to_json(results))
+    else:
+        for result in results:
+            print(format_result(result))
+            print()
+        print(format_results_table(results))
+
+    if args.vcd:
+        dumped = False
+        for result in results:
+            if result.counterexample is not None:
+                with open(args.vcd, "w") as stream:
+                    stream.write(trace_to_vcd(circuit, result.counterexample.trace))
+                print("trace of %s written to %s" % (result.prop.name, args.vcd))
+                dumped = True
+                break
+        if not dumped:
+            print("no trace produced; %s not written" % (args.vcd,))
+
+    failing = [
+        result
+        for result in results
+        if (result.prop.is_assertion and result.status.value == "fails")
+        or result.status.value == "aborted"
+    ]
+    return 1 if failing else 0
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    from repro.circuits import circuit_statistics
+
+    print(
+        "%-14s %8s %8s %6s %6s %6s"
+        % ("ckt name", "#lines", "#gates", "#FFs", "#ins", "#outs")
+    )
+    for stats in circuit_statistics():
+        print(
+            "%-14s %8d %8d %6d %6d %6d"
+            % (stats.name, stats.lines, stats.gates, stats.flip_flops, stats.inputs, stats.outputs)
+        )
+    return 0
+
+
+def _command_table2(args: argparse.Namespace) -> int:
+    from repro.circuits import all_case_ids, build_case
+
+    case_ids = args.cases.split(",") if args.cases else all_case_ids()
+    results = []
+    labels = []
+    for case_id in case_ids:
+        case_id = case_id.strip()
+        case = build_case(case_id)
+        checker = AssertionChecker(
+            case.circuit,
+            environment=case.environment,
+            initial_state=case.initial_state,
+            options=CheckerOptions(max_frames=case.max_frames),
+        )
+        result = checker.check(case.prop)
+        results.append(result)
+        labels.append("%s (%s)" % (case_id, case.design))
+        status = "ok" if result.status is case.expected_status else "UNEXPECTED"
+        print("%s: %s [%s]" % (case_id, result.status.value, status))
+    print()
+    print(format_results_table(results, labels=labels))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Word-level ATPG + modular arithmetic RTL assertion checking",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="print circuit statistics for a Verilog file")
+    stats.add_argument("design", help="Verilog source file")
+    stats.add_argument("--top", help="top module name (default: last module)")
+    stats.set_defaults(func=_command_stats)
+
+    analyze = subparsers.add_parser("analyze", help="run structural analyses on a Verilog file")
+    analyze.add_argument("design", help="Verilog source file")
+    analyze.add_argument("--top", help="top module name")
+    analyze.add_argument(
+        "--max-fsm-width", type=int, default=4, help="register width limit for FSM extraction"
+    )
+    analyze.set_defaults(func=_command_analyze)
+
+    check = subparsers.add_parser("check", help="check properties on a Verilog file")
+    check.add_argument("design", help="Verilog source file")
+    check.add_argument("--top", help="top module name")
+    check.add_argument(
+        "--assert",
+        dest="assertion",
+        action="append",
+        metavar="NAME=EXPR",
+        help="assertion property (may be repeated)",
+    )
+    check.add_argument(
+        "--witness",
+        action="append",
+        metavar="NAME=EXPR",
+        help="witness property (may be repeated)",
+    )
+    check.add_argument("--max-frames", type=int, default=8, help="unrolling bound")
+    check.add_argument(
+        "--one-hot",
+        action="append",
+        metavar="SIG1,SIG2,...",
+        help="one-hot input group (may be repeated)",
+    )
+    check.add_argument(
+        "--pin", action="append", metavar="SIG=VALUE", help="pin an input to a constant"
+    )
+    check.add_argument(
+        "--assume", action="append", metavar="EXPR", help="environment assumption expression"
+    )
+    check.add_argument(
+        "--fsm-guidance",
+        action="store_true",
+        help="seed the search with local FSM reachability facts",
+    )
+    check.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    check.add_argument("--vcd", metavar="FILE", help="dump the first trace as VCD")
+    check.set_defaults(func=_command_check)
+
+    table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.set_defaults(func=_command_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
+    table2.add_argument("--cases", help="comma-separated property ids (default: all)")
+    table2.set_defaults(func=_command_table2)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""A Verilog-subset front end producing word-level RTL netlists.
+
+The paper's prototype uses an industrial HDL parser / quick-synthesis front
+end; this package provides an equivalent path for a synthesisable Verilog
+subset so that designs can enter the checker as source text:
+
+* continuous assignments (``assign``),
+* one clocked ``always @(posedge clk)`` process per register with
+  non-blocking assignments, ``if``/``else`` and ``case``,
+* the operator set of the word-level netlist (bit-wise logic, arithmetic,
+  comparisons, ternary selection, concatenation, bit/part selects).
+
+``parse_verilog`` returns the AST; ``elaborate`` (or the convenience
+``compile_verilog``) turns it into a :class:`repro.netlist.Circuit` without
+logic minimisation, preserving the design intent as the paper requires.
+"""
+
+from repro.hdl.lexer import Lexer, Token, TokenKind
+from repro.hdl.ast import (
+    ModuleDecl,
+    PortDecl,
+    NetDecl,
+    AssignStmt,
+    AlwaysBlock,
+    IfStmt,
+    CaseStmt,
+    NonBlockingAssign,
+    Identifier,
+    Number,
+    UnaryOp,
+    BinaryOp,
+    TernaryOp,
+    Concat,
+    BitSelect,
+    PartSelect,
+)
+from repro.hdl.parser import Parser, parse_verilog, ParseError
+from repro.hdl.elaborate import Elaborator, elaborate, compile_verilog, ElaborationError
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "ModuleDecl",
+    "PortDecl",
+    "NetDecl",
+    "AssignStmt",
+    "AlwaysBlock",
+    "IfStmt",
+    "CaseStmt",
+    "NonBlockingAssign",
+    "Identifier",
+    "Number",
+    "UnaryOp",
+    "BinaryOp",
+    "TernaryOp",
+    "Concat",
+    "BitSelect",
+    "PartSelect",
+    "Parser",
+    "parse_verilog",
+    "ParseError",
+    "Elaborator",
+    "elaborate",
+    "compile_verilog",
+    "ElaborationError",
+]

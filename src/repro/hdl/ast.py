@@ -1,0 +1,176 @@
+"""Abstract syntax tree of the supported Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class HdlExpression:
+    """Base class of HDL expressions."""
+
+
+@dataclass
+class Identifier(HdlExpression):
+    """A reference to a declared net or register."""
+
+    name: str
+
+
+@dataclass
+class Number(HdlExpression):
+    """A numeric literal, optionally with an explicit width."""
+
+    value: int
+    width: Optional[int] = None
+
+
+@dataclass
+class UnaryOp(HdlExpression):
+    """Unary operator: ``~``, ``!``, ``-``, ``&`` (reduction), ``|``, ``^``."""
+
+    op: str
+    operand: HdlExpression
+
+
+@dataclass
+class BinaryOp(HdlExpression):
+    """Binary operator over two sub-expressions."""
+
+    op: str
+    lhs: HdlExpression
+    rhs: HdlExpression
+
+
+@dataclass
+class TernaryOp(HdlExpression):
+    """Conditional selection ``condition ? when_true : when_false``."""
+
+    condition: HdlExpression
+    when_true: HdlExpression
+    when_false: HdlExpression
+
+
+@dataclass
+class Concat(HdlExpression):
+    """Concatenation ``{a, b, c}`` (most significant part first)."""
+
+    parts: List[HdlExpression]
+
+
+@dataclass
+class BitSelect(HdlExpression):
+    """Single-bit select ``name[index]`` (constant index only)."""
+
+    name: str
+    index: int
+
+
+@dataclass
+class PartSelect(HdlExpression):
+    """Part select ``name[msb:lsb]`` (constant bounds only)."""
+
+    name: str
+    msb: int
+    lsb: int
+
+
+# ----------------------------------------------------------------------
+# Statements and declarations
+# ----------------------------------------------------------------------
+class HdlStatement:
+    """Base class of procedural statements."""
+
+
+@dataclass
+class NonBlockingAssign(HdlStatement):
+    """``target <= expression;`` inside a clocked process."""
+
+    target: str
+    expr: HdlExpression
+
+
+@dataclass
+class IfStmt(HdlStatement):
+    """``if (condition) ... else ...``."""
+
+    condition: HdlExpression
+    then_body: List[HdlStatement]
+    else_body: List[HdlStatement] = field(default_factory=list)
+
+
+@dataclass
+class CaseStmt(HdlStatement):
+    """``case (selector) value: ...; default: ...; endcase``."""
+
+    selector: HdlExpression
+    items: List[Tuple[List[HdlExpression], List[HdlStatement]]]
+    default: List[HdlStatement] = field(default_factory=list)
+
+
+@dataclass
+class AssignStmt:
+    """Continuous assignment ``assign target = expression;``."""
+
+    target: Union[str, "PartSelect", "BitSelect"]
+    expr: HdlExpression
+
+
+@dataclass
+class AlwaysBlock:
+    """A clocked process ``always @(posedge clock) ...``."""
+
+    clock: str
+    edge: str
+    body: List[HdlStatement]
+    reset: Optional[str] = None
+    reset_edge: Optional[str] = None
+
+
+@dataclass
+class PortDecl:
+    """A module port with direction and width."""
+
+    direction: str
+    name: str
+    width: int
+
+
+@dataclass
+class NetDecl:
+    """An internal ``wire`` or ``reg`` declaration."""
+
+    kind: str
+    name: str
+    width: int
+
+
+@dataclass
+class ParameterDecl:
+    """A ``parameter``/``localparam`` constant."""
+
+    name: str
+    value: int
+
+
+@dataclass
+class ModuleDecl:
+    """One Verilog module."""
+
+    name: str
+    ports: List[PortDecl] = field(default_factory=list)
+    nets: List[NetDecl] = field(default_factory=list)
+    parameters: List[ParameterDecl] = field(default_factory=list)
+    assigns: List[AssignStmt] = field(default_factory=list)
+    always_blocks: List[AlwaysBlock] = field(default_factory=list)
+    source_lines: int = 0
+
+    def port(self, name: str) -> PortDecl:
+        """Look up a port by name."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError("no port named %r in module %r" % (name, self.name))

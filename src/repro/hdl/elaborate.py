@@ -1,0 +1,334 @@
+"""Elaboration ("quick synthesis") of parsed Verilog into the word-level netlist.
+
+Following the paper, elaboration performs no logic minimisation: every
+operator in the source maps directly onto one word-level primitive, so the
+design intent survives into the netlist that the checker reasons about.
+
+Supported semantics:
+
+* continuous ``assign`` statements become combinational primitives;
+* each ``reg`` assigned in an ``always @(posedge clk)`` block becomes a
+  word-level register whose next-value function is built from the block's
+  ``if``/``case``/non-blocking assignments (unassigned paths hold the
+  register's current value);
+* an additional ``posedge <rst>`` in the sensitivity list together with a
+  top-level ``if (<rst>) ...`` branch is mapped onto the register's
+  asynchronous reset pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.hdl.ast import (
+    AlwaysBlock,
+    AssignStmt,
+    BinaryOp,
+    BitSelect,
+    CaseStmt,
+    Concat,
+    HdlExpression,
+    HdlStatement,
+    Identifier,
+    IfStmt,
+    ModuleDecl,
+    NonBlockingAssign,
+    Number,
+    PartSelect,
+    TernaryOp,
+    UnaryOp,
+)
+from repro.hdl.parser import parse_verilog
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net
+
+
+class ElaborationError(Exception):
+    """Raised when the design uses constructs outside the supported subset."""
+
+
+class Elaborator:
+    """Builds a :class:`Circuit` from a parsed module."""
+
+    def __init__(self, module: ModuleDecl):
+        self.module = module
+        self.circuit = Circuit(module.name, source_lines=module.source_lines)
+        self._nets: Dict[str, Net] = {}
+        self._register_names: List[str] = []
+        self._clock_names: List[str] = []
+
+    # ------------------------------------------------------------------
+    def elaborate(self) -> Circuit:
+        """Run elaboration and return the resulting circuit."""
+        self._collect_registers_and_clocks()
+        self._declare_nets()
+        for assign in self.module.assigns:
+            self._elaborate_assign(assign)
+        for block in self.module.always_blocks:
+            self._elaborate_always(block)
+        self._mark_outputs()
+        return self.circuit
+
+    # ------------------------------------------------------------------
+    def _collect_registers_and_clocks(self) -> None:
+        for block in self.module.always_blocks:
+            self._clock_names.append(block.clock)
+            for name in self._assigned_names(block.body):
+                if name not in self._register_names:
+                    self._register_names.append(name)
+
+    def _assigned_names(self, statements: List[HdlStatement]) -> List[str]:
+        names: List[str] = []
+        for statement in statements:
+            if isinstance(statement, NonBlockingAssign):
+                names.append(statement.target)
+            elif isinstance(statement, IfStmt):
+                names.extend(self._assigned_names(statement.then_body))
+                names.extend(self._assigned_names(statement.else_body))
+            elif isinstance(statement, CaseStmt):
+                for _, body in statement.items:
+                    names.extend(self._assigned_names(body))
+                names.extend(self._assigned_names(statement.default))
+        return names
+
+    def _declare_nets(self) -> None:
+        declared: Dict[str, int] = {}
+        directions: Dict[str, str] = {}
+        for port in self.module.ports:
+            declared[port.name] = port.width
+            directions[port.name] = port.direction
+        for net in self.module.nets:
+            declared.setdefault(net.name, net.width)
+
+        for name, width in declared.items():
+            direction = directions.get(name)
+            if direction == "input":
+                self._nets[name] = self.circuit.input(name, width)
+            else:
+                self._nets[name] = self.circuit.new_net(name, width)
+
+    def _mark_outputs(self) -> None:
+        for port in self.module.ports:
+            if port.direction == "output":
+                self.circuit.output(self._nets[port.name])
+
+    # ------------------------------------------------------------------
+    # Continuous assignments
+    # ------------------------------------------------------------------
+    def _elaborate_assign(self, assign: AssignStmt) -> None:
+        if not isinstance(assign.target, str):
+            raise ElaborationError(
+                "bit/part-select assignment targets are not supported (module %s)"
+                % (self.module.name,)
+            )
+        target = self._net(assign.target)
+        value = self._expression(assign.expr, width_hint=target.width)
+        value = self._fit(value, target.width)
+        # Connect through a buffer so the declared net keeps its name.
+        from repro.netlist.gates import BufGate
+
+        self.circuit._register(BufGate(self.circuit._unique_name("buf"), [value], target))
+
+    # ------------------------------------------------------------------
+    # Clocked processes
+    # ------------------------------------------------------------------
+    def _elaborate_always(self, block: AlwaysBlock) -> None:
+        body = block.body
+        reset_net: Optional[Net] = None
+        reset_values: Dict[str, int] = {}
+
+        if block.reset is not None:
+            reset_net = self._net(block.reset)
+            # The conventional async-reset shape: if (rst) <resets> else <logic>
+            if len(body) == 1 and isinstance(body[0], IfStmt) and self._is_reset_condition(
+                body[0].condition, block.reset
+            ):
+                for statement in body[0].then_body:
+                    if isinstance(statement, NonBlockingAssign) and isinstance(
+                        statement.expr, Number
+                    ):
+                        reset_values[statement.target] = statement.expr.value
+                body = body[0].else_body
+
+        registers = sorted(set(self._assigned_names(body)) | set(reset_values))
+        current = {name: self._net(name) for name in registers}
+        next_values = self._interpret(body, dict(current))
+
+        for name in registers:
+            target = current.get(name, self._net(name))
+            next_net = self._fit(next_values.get(name, target), target.width)
+            self.circuit.dff_into(
+                target,
+                next_net,
+                reset=reset_net,
+                reset_value=reset_values.get(name, 0),
+                init_value=0,
+            )
+
+    def _is_reset_condition(self, condition: HdlExpression, reset_name: str) -> bool:
+        return isinstance(condition, Identifier) and condition.name == reset_name
+
+    def _interpret(
+        self, statements: List[HdlStatement], values: Dict[str, Net]
+    ) -> Dict[str, Net]:
+        """Symbolically execute a statement list, returning next-value nets."""
+        result = dict(values)
+        for statement in statements:
+            if isinstance(statement, NonBlockingAssign):
+                target_width = self._net(statement.target).width
+                result[statement.target] = self._fit(
+                    self._expression(statement.expr, width_hint=target_width), target_width
+                )
+            elif isinstance(statement, IfStmt):
+                condition = self._condition(statement.condition)
+                then_values = self._interpret(statement.then_body, result)
+                else_values = self._interpret(statement.else_body, result)
+                result = self._merge(condition, then_values, else_values)
+            elif isinstance(statement, CaseStmt):
+                result = self._interpret_case(statement, result)
+            else:
+                raise ElaborationError("unsupported statement %r" % (statement,))
+        return result
+
+    def _interpret_case(self, statement: CaseStmt, values: Dict[str, Net]) -> Dict[str, Net]:
+        selector = self._expression(statement.selector)
+        result = self._interpret(statement.default, values) if statement.default else dict(values)
+        # Later case items take priority when labels overlap, matching the
+        # first-match semantics of a Verilog case evaluated top to bottom.
+        for labels, body in reversed(statement.items):
+            branch = self._interpret(body, values)
+            match_terms = []
+            for label in labels:
+                label_net = self._fit(self._expression(label, width_hint=selector.width), selector.width)
+                match_terms.append(self.circuit.eq(selector, label_net))
+            matches = match_terms[0] if len(match_terms) == 1 else self.circuit.or_(*match_terms)
+            result = self._merge(matches, branch, result)
+        return result
+
+    def _merge(
+        self, condition: Net, when_true: Dict[str, Net], when_false: Dict[str, Net]
+    ) -> Dict[str, Net]:
+        merged: Dict[str, Net] = {}
+        for name in set(when_true) | set(when_false):
+            true_net = when_true.get(name, self._net(name))
+            false_net = when_false.get(name, self._net(name))
+            if true_net is false_net:
+                merged[name] = true_net
+            else:
+                merged[name] = self.circuit.mux(condition, false_net, true_net)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise ElaborationError(
+                "undeclared identifier %r in module %r" % (name, self.module.name)
+            ) from None
+
+    def _fit(self, net: Net, width: int) -> Net:
+        if net.width == width:
+            return net
+        if net.width < width:
+            return self.circuit.zext(net, width)
+        return self.circuit.slice(net, width - 1, 0)
+
+    def _condition(self, expr: HdlExpression) -> Net:
+        net = self._expression(expr)
+        if net.width == 1:
+            return net
+        return self.circuit.ne(net, 0)
+
+    def _expression(self, expr: HdlExpression, width_hint: Optional[int] = None) -> Net:
+        circuit = self.circuit
+        if isinstance(expr, Identifier):
+            return self._net(expr.name)
+        if isinstance(expr, Number):
+            width = expr.width or width_hint or max(1, expr.value.bit_length())
+            return circuit.const(expr.value, width)
+        if isinstance(expr, BitSelect):
+            return circuit.bit(self._net(expr.name), expr.index)
+        if isinstance(expr, PartSelect):
+            return circuit.slice(self._net(expr.name), expr.msb, expr.lsb)
+        if isinstance(expr, Concat):
+            parts = [self._expression(part) for part in expr.parts]
+            return circuit.concat(*parts)
+        if isinstance(expr, UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr, width_hint)
+        if isinstance(expr, TernaryOp):
+            condition = self._condition(expr.condition)
+            when_true = self._expression(expr.when_true, width_hint)
+            when_false = self._expression(expr.when_false, width_hint)
+            width = max(when_true.width, when_false.width)
+            return circuit.mux(condition, self._fit(when_false, width), self._fit(when_true, width))
+        raise ElaborationError("unsupported expression %r" % (expr,))
+
+    def _unary(self, expr: UnaryOp) -> Net:
+        circuit = self.circuit
+        operand = self._expression(expr.operand)
+        if expr.op == "~":
+            return circuit.not_(operand)
+        if expr.op == "!":
+            return circuit.eq(operand, 0)
+        if expr.op == "-":
+            return circuit.sub(circuit.const(0, operand.width), operand)
+        if expr.op == "&":
+            return circuit.reduce_and(operand)
+        if expr.op == "|":
+            return circuit.reduce_or(operand)
+        if expr.op == "^":
+            return circuit.reduce_xor(operand)
+        raise ElaborationError("unsupported unary operator %r" % (expr.op,))
+
+    def _binary(self, expr: BinaryOp, width_hint: Optional[int]) -> Net:
+        circuit = self.circuit
+        op = expr.op
+        if op in ("&&", "||"):
+            lhs = self._condition(expr.lhs)
+            rhs = self._condition(expr.rhs)
+            return circuit.and_(lhs, rhs) if op == "&&" else circuit.or_(lhs, rhs)
+
+        lhs = self._expression(expr.lhs, width_hint)
+        rhs = self._expression(expr.rhs, width_hint)
+        if op in ("<<", ">>"):
+            if isinstance(expr.rhs, Number):
+                amount: Union[Net, int] = expr.rhs.value
+            else:
+                amount = rhs
+            return circuit.shl(lhs, amount) if op == "<<" else circuit.shr(lhs, amount)
+
+        width = max(lhs.width, rhs.width)
+        lhs, rhs = self._fit(lhs, width), self._fit(rhs, width)
+        builders = {
+            "+": circuit.add, "-": circuit.sub, "*": circuit.mul,
+            "&": circuit.and_, "|": circuit.or_, "^": circuit.xor,
+            "==": circuit.eq, "!=": circuit.ne, "<": circuit.lt,
+            "<=": circuit.le, ">": circuit.gt, ">=": circuit.ge,
+            "~^": circuit.xnor, "^~": circuit.xnor,
+        }
+        if op not in builders:
+            raise ElaborationError("unsupported binary operator %r" % (op,))
+        return builders[op](lhs, rhs)
+
+
+def elaborate(module: ModuleDecl) -> Circuit:
+    """Elaborate a parsed module into a circuit."""
+    return Elaborator(module).elaborate()
+
+
+def compile_verilog(source: str, top: Optional[str] = None) -> Circuit:
+    """Parse and elaborate Verilog source text (single-module designs)."""
+    modules = parse_verilog(source)
+    if top is None:
+        module = modules[0]
+    else:
+        matches = [m for m in modules if m.name == top]
+        if not matches:
+            raise ElaborationError("no module named %r in source" % (top,))
+        module = matches[0]
+    return elaborate(module)

@@ -1,0 +1,417 @@
+"""Recursive-descent parser for the supported Verilog subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.hdl.ast import (
+    AlwaysBlock,
+    AssignStmt,
+    BinaryOp,
+    BitSelect,
+    CaseStmt,
+    Concat,
+    HdlExpression,
+    HdlStatement,
+    Identifier,
+    IfStmt,
+    ModuleDecl,
+    NetDecl,
+    NonBlockingAssign,
+    Number,
+    ParameterDecl,
+    PartSelect,
+    PortDecl,
+    TernaryOp,
+    UnaryOp,
+)
+from repro.hdl.lexer import Lexer, Token, TokenKind, parse_number_literal
+
+
+class ParseError(Exception):
+    """Raised on syntax errors, with the offending source position."""
+
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "~^": 4, "^~": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    """Parses one or more module definitions."""
+
+    def __init__(self, source: str):
+        self.tokens = Lexer(source).tokenize()
+        self.index = 0
+        self.source_lines = source.count("\n") + 1
+        self._parameters = {}
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError("expected %r, got %r at line %d" % (word, token.text, token.line))
+        return token
+
+    def _expect_punct(self, punct: str) -> Token:
+        token = self._advance()
+        if not token.is_punct(punct):
+            raise ParseError("expected %r, got %r at line %d" % (punct, token.text, token.line))
+        return token
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._advance()
+        if not token.is_op(op):
+            raise ParseError("expected %r, got %r at line %d" % (op, token.text, token.line))
+        return token
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError("expected identifier, got %r at line %d" % (token.text, token.line))
+        return token.text
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse(self) -> List[ModuleDecl]:
+        """Parse every module in the source."""
+        modules: List[ModuleDecl] = []
+        while not self._peek().kind is TokenKind.EOF:
+            modules.append(self._parse_module())
+        if not modules:
+            raise ParseError("no module found in source")
+        return modules
+
+    def _parse_module(self) -> ModuleDecl:
+        self._expect_keyword("module")
+        module = ModuleDecl(name=self._expect_ident(), source_lines=self.source_lines)
+        self._parameters = {}
+
+        # Port name list (ANSI headers with directions are also accepted).
+        declared_in_header = {}
+        if self._peek().is_punct("("):
+            self._advance()
+            while not self._peek().is_punct(")"):
+                token = self._peek()
+                if token.kind is TokenKind.KEYWORD and token.text in ("input", "output", "inout"):
+                    direction = self._advance().text
+                    width = self._parse_optional_range()
+                    if self._peek().is_keyword("wire") or self._peek().is_keyword("reg"):
+                        self._advance()
+                        if width == 1:
+                            width = self._parse_optional_range()
+                    name = self._expect_ident()
+                    declared_in_header[name] = PortDecl(direction, name, width)
+                    module.ports.append(declared_in_header[name])
+                elif token.kind is TokenKind.IDENT:
+                    self._advance()
+                elif self._peek().is_punct(","):
+                    pass
+                else:
+                    raise ParseError(
+                        "unexpected token %r in port list at line %d"
+                        % (token.text, token.line)
+                    )
+                if self._peek().is_punct(","):
+                    self._advance()
+            self._expect_punct(")")
+        self._expect_punct(";")
+
+        while not self._peek().is_keyword("endmodule"):
+            token = self._peek()
+            if token.kind is TokenKind.KEYWORD and token.text in ("input", "output", "inout"):
+                self._parse_port_declaration(module)
+            elif token.kind is TokenKind.KEYWORD and token.text in ("wire", "reg"):
+                self._parse_net_declaration(module)
+            elif token.kind is TokenKind.KEYWORD and token.text in ("parameter", "localparam"):
+                self._parse_parameter(module)
+            elif token.is_keyword("assign"):
+                module.assigns.append(self._parse_assign())
+            elif token.is_keyword("always"):
+                module.always_blocks.append(self._parse_always())
+            else:
+                raise ParseError(
+                    "unexpected token %r at line %d" % (token.text, token.line)
+                )
+        self._expect_keyword("endmodule")
+        return module
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _parse_optional_range(self) -> int:
+        """Parse ``[msb:lsb]`` and return the width (1 when absent)."""
+        if not self._peek().is_punct("["):
+            return 1
+        self._advance()
+        msb = self._parse_constant_expression()
+        self._expect_punct(":")
+        lsb = self._parse_constant_expression()
+        self._expect_punct("]")
+        return msb - lsb + 1
+
+    def _parse_port_declaration(self, module: ModuleDecl) -> None:
+        direction = self._advance().text
+        if self._peek().is_keyword("wire") or self._peek().is_keyword("reg"):
+            self._advance()
+        width = self._parse_optional_range()
+        while True:
+            name = self._expect_ident()
+            existing = next((p for p in module.ports if p.name == name), None)
+            if existing is not None:
+                existing.direction = direction
+                existing.width = width
+            else:
+                module.ports.append(PortDecl(direction, name, width))
+            if self._peek().is_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect_punct(";")
+
+    def _parse_net_declaration(self, module: ModuleDecl) -> None:
+        kind = self._advance().text
+        width = self._parse_optional_range()
+        while True:
+            name = self._expect_ident()
+            if not any(p.name == name for p in module.ports):
+                module.nets.append(NetDecl(kind, name, width))
+            if self._peek().is_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect_punct(";")
+
+    def _parse_parameter(self, module: ModuleDecl) -> None:
+        self._advance()
+        self._parse_optional_range()
+        while True:
+            name = self._expect_ident()
+            self._expect_op("=")
+            value = self._parse_constant_expression()
+            module.parameters.append(ParameterDecl(name, value))
+            self._parameters[name] = value
+            if self._peek().is_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect_punct(";")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_assign(self) -> AssignStmt:
+        self._expect_keyword("assign")
+        target = self._parse_assignment_target()
+        self._expect_op("=")
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return AssignStmt(target, expr)
+
+    def _parse_assignment_target(self) -> Union[str, BitSelect, PartSelect]:
+        name = self._expect_ident()
+        if self._peek().is_punct("["):
+            self._advance()
+            first = self._parse_constant_expression()
+            if self._peek().is_punct(":"):
+                self._advance()
+                second = self._parse_constant_expression()
+                self._expect_punct("]")
+                return PartSelect(name, first, second)
+            self._expect_punct("]")
+            return BitSelect(name, first)
+        return name
+
+    def _parse_always(self) -> AlwaysBlock:
+        self._expect_keyword("always")
+        self._expect_punct("@")
+        self._expect_punct("(")
+        edge = self._advance()
+        if not (edge.is_keyword("posedge") or edge.is_keyword("negedge")):
+            raise ParseError(
+                "only edge-triggered always blocks are supported (line %d)" % (edge.line,)
+            )
+        clock = self._expect_ident()
+        reset = None
+        reset_edge = None
+        if self._peek().is_keyword("or") if self._peek().kind is TokenKind.IDENT else False:
+            pass
+        while self._peek().kind is TokenKind.IDENT and self._peek().text == "or":
+            self._advance()
+            extra_edge = self._advance()
+            reset_edge = extra_edge.text
+            reset = self._expect_ident()
+        self._expect_punct(")")
+        body = self._parse_statement_block()
+        return AlwaysBlock(clock=clock, edge=edge.text, body=body, reset=reset, reset_edge=reset_edge)
+
+    def _parse_statement_block(self) -> List[HdlStatement]:
+        if self._peek().is_keyword("begin"):
+            self._advance()
+            statements: List[HdlStatement] = []
+            while not self._peek().is_keyword("end"):
+                statements.append(self._parse_statement())
+            self._expect_keyword("end")
+            return statements
+        return [self._parse_statement()]
+
+    def _parse_statement(self) -> HdlStatement:
+        token = self._peek()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.kind is TokenKind.IDENT:
+            name = self._expect_ident()
+            self._expect_op("<=")
+            expr = self._parse_expression()
+            self._expect_punct(";")
+            return NonBlockingAssign(name, expr)
+        raise ParseError("unexpected statement at line %d: %r" % (token.line, token.text))
+
+    def _parse_if(self) -> IfStmt:
+        self._expect_keyword("if")
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        then_body = self._parse_statement_block()
+        else_body: List[HdlStatement] = []
+        if self._peek().is_keyword("else"):
+            self._advance()
+            if self._peek().is_keyword("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_statement_block()
+        return IfStmt(condition, then_body, else_body)
+
+    def _parse_case(self) -> CaseStmt:
+        self._expect_keyword("case")
+        self._expect_punct("(")
+        selector = self._parse_expression()
+        self._expect_punct(")")
+        items: List[Tuple[List[HdlExpression], List[HdlStatement]]] = []
+        default: List[HdlStatement] = []
+        while not self._peek().is_keyword("endcase"):
+            if self._peek().is_keyword("default"):
+                self._advance()
+                self._expect_punct(":")
+                default = self._parse_statement_block()
+                continue
+            labels = [self._parse_expression()]
+            while self._peek().is_punct(","):
+                self._advance()
+                labels.append(self._parse_expression())
+            self._expect_punct(":")
+            body = self._parse_statement_block()
+            items.append((labels, body))
+        self._expect_keyword("endcase")
+        return CaseStmt(selector, items, default)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_constant_expression(self) -> int:
+        expr = self._parse_expression()
+        return self._fold_constant(expr)
+
+    def _fold_constant(self, expr: HdlExpression) -> int:
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, Identifier) and expr.name in self._parameters:
+            return self._parameters[expr.name]
+        if isinstance(expr, BinaryOp):
+            lhs = self._fold_constant(expr.lhs)
+            rhs = self._fold_constant(expr.rhs)
+            operations = {
+                "+": lhs + rhs, "-": lhs - rhs, "*": lhs * rhs,
+                "/": lhs // rhs if rhs else 0, "%": lhs % rhs if rhs else 0,
+                "<<": lhs << rhs, ">>": lhs >> rhs,
+            }
+            if expr.op in operations:
+                return operations[expr.op]
+        raise ParseError("expected a constant expression, got %r" % (expr,))
+
+    def _parse_expression(self, min_precedence: int = 0) -> HdlExpression:
+        lhs = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.OPERATOR or token.text not in _PRECEDENCE:
+                break
+            precedence = _PRECEDENCE[token.text]
+            if precedence < min_precedence:
+                break
+            op = self._advance().text
+            rhs = self._parse_expression(precedence + 1)
+            lhs = BinaryOp(op, lhs, rhs)
+        # Ternary operator has the lowest precedence.
+        if min_precedence == 0 and self._peek().is_op("?"):
+            self._advance()
+            when_true = self._parse_expression()
+            self._expect_punct(":")
+            when_false = self._parse_expression()
+            return TernaryOp(lhs, when_true, when_false)
+        return lhs
+
+    def _parse_unary(self) -> HdlExpression:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text in ("~", "!", "-", "&", "|", "^"):
+            self._advance()
+            return UnaryOp(token.text, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> HdlExpression:
+        token = self._advance()
+        if token.kind in (TokenKind.NUMBER, TokenKind.BASED_NUMBER):
+            width, value = parse_number_literal(token.text)
+            return Number(value, width)
+        if token.is_punct("("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.is_punct("{"):
+            parts = [self._parse_expression()]
+            while self._peek().is_punct(","):
+                self._advance()
+                parts.append(self._parse_expression())
+            self._expect_punct("}")
+            return Concat(parts)
+        if token.kind is TokenKind.IDENT:
+            name = token.text
+            if name in self._parameters:
+                return Number(self._parameters[name])
+            if self._peek().is_punct("["):
+                self._advance()
+                first = self._parse_constant_expression()
+                if self._peek().is_punct(":"):
+                    self._advance()
+                    second = self._parse_constant_expression()
+                    self._expect_punct("]")
+                    return PartSelect(name, first, second)
+                self._expect_punct("]")
+                return BitSelect(name, first)
+            return Identifier(name)
+        raise ParseError("unexpected token %r at line %d" % (token.text, token.line))
+
+
+def parse_verilog(source: str) -> List[ModuleDecl]:
+    """Parse Verilog source text into module declarations."""
+    return Parser(source).parse()

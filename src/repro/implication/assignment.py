@@ -1,0 +1,148 @@
+"""Three-valued assignment store with decision levels and a restore trail.
+
+Unlike bit-level ATPG, where a backtracked signal simply returns to ``x``, a
+word-level signal may have been refined several times before the decision
+being undone; the store therefore records, per decision level, the previous
+cube of every signal it changes and restores those cubes on backtrack
+(Section 3.1, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.bitvector import BV3, BV3Conflict
+
+
+class ImplicationConflict(Exception):
+    """Raised when an implication contradicts the current assignment."""
+
+    def __init__(self, message: str, key: Optional[Hashable] = None):
+        super().__init__(message)
+        self.key = key
+
+
+class Assignment:
+    """Maps variable keys to three-valued cubes, with chronological backtracking.
+
+    A *key* is any hashable object; the unrolled model uses ``(net, frame)``
+    tuples.  The width of a key is fixed the first time it is assigned or
+    registered via :meth:`register`.
+    """
+
+    def __init__(self):
+        self._values: Dict[Hashable, BV3] = {}
+        self._widths: Dict[Hashable, int] = {}
+        # Each trail entry is (key, previous cube or None when first assigned).
+        self._trail: List[Tuple[Hashable, Optional[BV3]]] = []
+        self._level_marks: List[int] = []
+
+    # ------------------------------------------------------------------
+    def register(self, key: Hashable, width: int) -> None:
+        """Declare a key's width without assigning it a value."""
+        existing = self._widths.get(key)
+        if existing is not None and existing != width:
+            raise ValueError("key %r re-registered with width %d (was %d)" % (key, width, existing))
+        self._widths[key] = width
+
+    def width(self, key: Hashable) -> int:
+        """Width of a registered key."""
+        return self._widths[key]
+
+    def get(self, key: Hashable) -> BV3:
+        """Current cube of ``key`` (fully unknown if never assigned)."""
+        value = self._values.get(key)
+        if value is not None:
+            return value
+        width = self._widths.get(key)
+        if width is None:
+            raise KeyError("key %r was never registered" % (key,))
+        return BV3.unknown(width)
+
+    def is_assigned(self, key: Hashable) -> bool:
+        """True when at least one bit of ``key`` is known."""
+        value = self._values.get(key)
+        return value is not None and not value.is_fully_unknown()
+
+    def known_keys(self) -> Iterator[Hashable]:
+        """Keys with at least one known bit."""
+        for key, value in self._values.items():
+            if not value.is_fully_unknown():
+                yield key
+
+    def snapshot(self) -> Dict[Hashable, BV3]:
+        """A copy of all current (partially) known values."""
+        return dict(self._values)
+
+    # ------------------------------------------------------------------
+    def assign(self, key: Hashable, cube: BV3) -> bool:
+        """Refine ``key`` with ``cube`` (cube intersection).
+
+        Returns ``True`` when new information was added, ``False`` when the
+        cube was already implied.  Raises :class:`ImplicationConflict` when
+        the refinement contradicts the current value.
+        """
+        width = self._widths.get(key)
+        if width is None:
+            self._widths[key] = cube.width
+        elif width != cube.width:
+            raise ValueError(
+                "cube width %d does not match key %r width %d" % (cube.width, key, width)
+            )
+        current = self._values.get(key)
+        if current is None:
+            if cube.is_fully_unknown():
+                return False
+            self._trail.append((key, None))
+            self._values[key] = cube
+            return True
+        try:
+            refined = current.intersect(cube)
+        except BV3Conflict as exc:
+            raise ImplicationConflict(
+                "conflict on %r: %s vs %s" % (key, current, cube), key=key
+            ) from exc
+        if refined == current:
+            return False
+        self._trail.append((key, current))
+        self._values[key] = refined
+        return True
+
+    # ------------------------------------------------------------------
+    # Decision levels
+    # ------------------------------------------------------------------
+    @property
+    def decision_level(self) -> int:
+        """Current decision depth (0 = no decisions made)."""
+        return len(self._level_marks)
+
+    def push_level(self) -> None:
+        """Open a new decision level."""
+        self._level_marks.append(len(self._trail))
+
+    def pop_level(self) -> None:
+        """Undo every refinement made since the last :meth:`push_level`.
+
+        Signals return to their *previous partially implied* cubes, not to
+        fully unknown.
+        """
+        if not self._level_marks:
+            raise RuntimeError("pop_level called with no open decision level")
+        mark = self._level_marks.pop()
+        while len(self._trail) > mark:
+            key, previous = self._trail.pop()
+            if previous is None:
+                del self._values[key]
+            else:
+                self._values[key] = previous
+
+    def pop_all_levels(self) -> None:
+        """Return to decision level 0."""
+        while self._level_marks:
+            self.pop_level()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return "Assignment(%d assigned, level=%d)" % (len(self._values), self.decision_level)

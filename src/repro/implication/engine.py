@@ -1,0 +1,234 @@
+"""Event-driven word-level implication engine.
+
+The engine is agnostic of frames and netlists: it operates on
+:class:`ImplicationNode` objects, each of which relates a list of variable
+*keys* (hashable identifiers, e.g. ``(net, frame)`` tuples) through an
+implication rule.  Whenever a key's cube is refined, every node watching that
+key is re-evaluated, until a fixpoint is reached or a conflict surfaces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+from repro.bitvector import BV3, BV3Conflict
+from repro.implication.assignment import Assignment, ImplicationConflict
+
+
+class ImplicationNode:
+    """One constraint node relating several keys through a gate rule.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name (usually ``"<gate>@<frame>"``).
+    keys:
+        Variable keys in the rule's canonical pin order (inputs first).
+    rule:
+        Callable refining a list of cubes (same order as ``keys``).
+    num_outputs:
+        How many trailing keys are outputs (used by the justification test).
+    """
+
+    __slots__ = ("name", "keys", "rule", "num_outputs", "tag")
+
+    def __init__(
+        self,
+        name: str,
+        keys: Sequence[Hashable],
+        rule: Callable[[Sequence[BV3]], List[BV3]],
+        num_outputs: int = 1,
+        tag: Optional[object] = None,
+    ):
+        self.name = name
+        self.keys = list(keys)
+        self.rule = rule
+        self.num_outputs = num_outputs
+        self.tag = tag
+
+    @property
+    def input_keys(self) -> List[Hashable]:
+        return self.keys[: len(self.keys) - self.num_outputs]
+
+    @property
+    def output_keys(self) -> List[Hashable]:
+        return self.keys[len(self.keys) - self.num_outputs :]
+
+    def __repr__(self) -> str:
+        return "ImplicationNode(%s)" % (self.name,)
+
+
+class ImplicationEngine:
+    """Propagates word-level implications to a fixpoint over a node network."""
+
+    def __init__(self, assignment: Optional[Assignment] = None):
+        self.assignment = assignment if assignment is not None else Assignment()
+        self.nodes: List[ImplicationNode] = []
+        self._watchers: Dict[Hashable, List[ImplicationNode]] = {}
+        self._queue: deque = deque()
+        self._queued: Set[int] = set()
+        self.implication_count = 0
+        self.node_evaluations = 0
+        # Memoized justification results keyed by the node's pin cubes; the
+        # justification test is pure, so identical cubes give identical
+        # results.  This makes the repeated unjustified-gate scans of the
+        # branch-and-bound search cheap.
+        self._justified_cache: Dict[int, Tuple[Tuple[BV3, ...], bool]] = {}
+        # Memoized rule evaluations.  Branch-and-bound revisits many
+        # identical pin-cube combinations across backtracked branches; rules
+        # are pure functions of their cubes, so their results can be reused.
+        self._rule_cache: Dict[int, Dict[Tuple[BV3, ...], List[BV3]]] = {}
+        self._rule_cache_limit = 256
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: ImplicationNode, widths: Optional[Sequence[int]] = None) -> None:
+        """Register a node; optionally declare the widths of its keys."""
+        self.nodes.append(node)
+        if widths is not None:
+            for key, width in zip(node.keys, widths):
+                self.assignment.register(key, width)
+        for key in node.keys:
+            self._watchers.setdefault(key, []).append(node)
+
+    def watchers(self, key: Hashable) -> List[ImplicationNode]:
+        """Nodes that read or drive ``key``."""
+        return self._watchers.get(key, [])
+
+    # ------------------------------------------------------------------
+    def assign(self, key: Hashable, cube: BV3, propagate: bool = True) -> bool:
+        """Refine ``key`` with ``cube`` and (optionally) propagate to fixpoint.
+
+        Returns ``True`` when new information was added.  Raises
+        :class:`ImplicationConflict` on contradiction.
+        """
+        changed = self.assignment.assign(key, cube)
+        if changed:
+            self.implication_count += 1
+            self._enqueue_watchers(key)
+            if propagate:
+                self.propagate()
+        return changed
+
+    def _enqueue_watchers(self, key: Hashable) -> None:
+        for node in self._watchers.get(key, []):
+            marker = id(node)
+            if marker not in self._queued:
+                self._queued.add(marker)
+                self._queue.append(node)
+
+    def enqueue(self, nodes: Iterable[ImplicationNode]) -> None:
+        """Schedule specific nodes for (re-)evaluation."""
+        for node in nodes:
+            marker = id(node)
+            if marker not in self._queued:
+                self._queued.add(marker)
+                self._queue.append(node)
+
+    def propagate(self) -> None:
+        """Run the implication worklist to a fixpoint.
+
+        Raises :class:`ImplicationConflict` when any rule detects a
+        contradiction; the queue is cleared in that case so the caller can
+        backtrack and restart cleanly.
+        """
+        try:
+            while self._queue:
+                node = self._queue.popleft()
+                self._queued.discard(id(node))
+                self._evaluate(node)
+        except (ImplicationConflict, BV3Conflict) as exc:
+            self._queue.clear()
+            self._queued.clear()
+            if isinstance(exc, ImplicationConflict):
+                raise
+            raise ImplicationConflict(str(exc)) from exc
+
+    def _evaluate(self, node: ImplicationNode) -> None:
+        self.node_evaluations += 1
+        cubes = [self.assignment.get(key) for key in node.keys]
+        cache = self._rule_cache.setdefault(id(node), {})
+        cache_key = tuple(cubes)
+        refined = cache.get(cache_key)
+        if refined is None:
+            try:
+                refined = node.rule(cubes)
+            except BV3Conflict as exc:
+                raise ImplicationConflict("%s: %s" % (node.name, exc)) from exc
+            if len(cache) >= self._rule_cache_limit:
+                cache.clear()
+            cache[cache_key] = refined
+        for key, old, new in zip(node.keys, cubes, refined):
+            if new is old or new == old:
+                continue
+            if self.assignment.assign(key, new):
+                self.implication_count += 1
+                self._enqueue_watchers(key)
+
+    # ------------------------------------------------------------------
+    # Decision level management (delegates to the assignment store)
+    # ------------------------------------------------------------------
+    def push_level(self) -> None:
+        """Open a decision level (see :class:`Assignment`)."""
+        self.assignment.push_level()
+
+    def pop_level(self) -> None:
+        """Backtrack one decision level, restoring partially implied cubes."""
+        self._queue.clear()
+        self._queued.clear()
+        self.assignment.pop_level()
+
+    # ------------------------------------------------------------------
+    # Justification support
+    # ------------------------------------------------------------------
+    def forward_outputs(self, node: ImplicationNode) -> List[BV3]:
+        """Three-valued forward simulation of a node's outputs."""
+        num_inputs = len(node.keys) - node.num_outputs
+        cubes = [self.assignment.get(key) for key in node.keys[:num_inputs]]
+        cubes += [
+            BV3.unknown(self.assignment.width(key)) for key in node.keys[num_inputs:]
+        ]
+        refined = node.rule(cubes)
+        return refined[num_inputs:]
+
+    def is_justified(self, node: ImplicationNode) -> bool:
+        """The paper's unjustified-gate test.
+
+        A node is justified when its three-valued forward simulation value
+        covers every known bit of the required output value(s); i.e. the
+        output requirement already follows from the current input cubes.
+        """
+        cubes = tuple(self.assignment.get(key) for key in node.keys)
+        cached = self._justified_cache.get(id(node))
+        if cached is not None and cached[0] == cubes:
+            return cached[1]
+        result = self._compute_justified(node)
+        self._justified_cache[id(node)] = (cubes, result)
+        return result
+
+    def _compute_justified(self, node: ImplicationNode) -> bool:
+        try:
+            forward = self.forward_outputs(node)
+        except BV3Conflict:
+            return False
+        for key, simulated in zip(node.output_keys, forward):
+            required = self.assignment.get(key)
+            if required.is_fully_unknown():
+                continue
+            if not required.covers(simulated):
+                return False
+        return True
+
+    def unjustified_nodes(
+        self, nodes: Optional[Iterable[ImplicationNode]] = None
+    ) -> List[ImplicationNode]:
+        """All nodes whose required output is not yet justified."""
+        candidates = self.nodes if nodes is None else nodes
+        result = []
+        for node in candidates:
+            has_requirement = any(
+                self.assignment.is_assigned(key) for key in node.output_keys
+            )
+            if has_requirement and not self.is_justified(node):
+                result.append(node)
+        return result

@@ -1,0 +1,247 @@
+"""Forward/backward implication rules for bit-wise and reduction gates.
+
+All rules operate on lists of three-valued cubes (one per pin, inputs first,
+output last), return the refined cubes in the same order, and raise
+:class:`repro.bitvector.BV3Conflict` when the current knowledge is
+inconsistent with the gate function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bitvector import BV3, BV3Conflict
+from repro.bitvector.bv3 import Bit
+
+
+def _imply_bitwise(kind: str, cubes: Sequence[BV3]) -> List[BV3]:
+    """Generic n-ary bit-wise rule; ``kind`` in and/or/xor/nand/nor/xnor."""
+    *input_cubes, output_cube = cubes
+    width = output_cube.width
+    invert = kind in ("nand", "nor", "xnor")
+    base = {"nand": "and", "nor": "or", "xnor": "xor"}.get(kind, kind)
+
+    new_inputs = [list(c.bits()) for c in input_cubes]
+    new_output = list(output_cube.bits())
+
+    for position in range(width):
+        ins = [bits[position] for bits in new_inputs]
+        out = new_output[position]
+        core_out = out if out is None or not invert else 1 - out
+        ins, core_out = _imply_bit(base, ins, core_out)
+        for bits, value in zip(new_inputs, ins):
+            bits[position] = value
+        if core_out is not None:
+            new_output[position] = core_out if not invert else 1 - core_out
+
+    refined = [BV3.from_bits(bits) for bits in new_inputs]
+    refined.append(BV3.from_bits(new_output))
+    return refined
+
+
+def _imply_bit(kind: str, ins: List[Bit], out: Bit) -> (List[Bit], Bit):
+    """Single-bit implication for an n-ary AND/OR/XOR cell."""
+    known = [b for b in ins if b is not None]
+    unknown_count = len(ins) - len(known)
+
+    if kind == "and":
+        if out == 1:
+            for b in ins:
+                if b == 0:
+                    raise BV3Conflict("AND output 1 with a 0 input")
+            ins = [1] * len(ins)
+        elif out == 0:
+            if all(b == 1 for b in ins):
+                raise BV3Conflict("AND output 0 with all inputs 1")
+            if unknown_count == 1 and all(b == 1 for b in known):
+                ins = [0 if b is None else b for b in ins]
+        if any(b == 0 for b in ins):
+            out = _merge_out(out, 0)
+        elif all(b == 1 for b in ins):
+            out = _merge_out(out, 1)
+    elif kind == "or":
+        if out == 0:
+            for b in ins:
+                if b == 1:
+                    raise BV3Conflict("OR output 0 with a 1 input")
+            ins = [0] * len(ins)
+        elif out == 1:
+            if all(b == 0 for b in ins):
+                raise BV3Conflict("OR output 1 with all inputs 0")
+            if unknown_count == 1 and all(b == 0 for b in known):
+                ins = [1 if b is None else b for b in ins]
+        if any(b == 1 for b in ins):
+            out = _merge_out(out, 1)
+        elif all(b == 0 for b in ins):
+            out = _merge_out(out, 0)
+    elif kind == "xor":
+        if unknown_count == 0:
+            parity = sum(ins) & 1
+            out = _merge_out(out, parity)
+        elif unknown_count == 1 and out is not None:
+            needed = (out - sum(known)) & 1
+            ins = [needed if b is None else b for b in ins]
+    else:  # pragma: no cover - guarded by callers
+        raise ValueError("unknown bitwise kind %r" % (kind,))
+    return ins, out
+
+
+def _merge_out(current: Bit, forced: int) -> Bit:
+    if current is not None and current != forced:
+        raise BV3Conflict("output bit forced to %d but already %d" % (forced, current))
+    return forced
+
+
+# ----------------------------------------------------------------------
+# Public rules
+# ----------------------------------------------------------------------
+def imply_and(cubes: Sequence[BV3]) -> List[BV3]:
+    """n-ary bit-wise AND."""
+    return _imply_bitwise("and", cubes)
+
+
+def imply_or(cubes: Sequence[BV3]) -> List[BV3]:
+    """n-ary bit-wise OR."""
+    return _imply_bitwise("or", cubes)
+
+
+def imply_xor(cubes: Sequence[BV3]) -> List[BV3]:
+    """n-ary bit-wise XOR."""
+    return _imply_bitwise("xor", cubes)
+
+
+def imply_nand(cubes: Sequence[BV3]) -> List[BV3]:
+    """n-ary bit-wise NAND."""
+    return _imply_bitwise("nand", cubes)
+
+
+def imply_nor(cubes: Sequence[BV3]) -> List[BV3]:
+    """n-ary bit-wise NOR."""
+    return _imply_bitwise("nor", cubes)
+
+
+def imply_xnor(cubes: Sequence[BV3]) -> List[BV3]:
+    """n-ary bit-wise XNOR."""
+    return _imply_bitwise("xnor", cubes)
+
+
+def imply_not(cubes: Sequence[BV3]) -> List[BV3]:
+    """Bit-wise inverter: fully bidirectional."""
+    a, out = cubes
+    new_out = out.intersect(~a)
+    new_a = a.intersect(~new_out)
+    return [new_a, new_out]
+
+
+def imply_buf(cubes: Sequence[BV3]) -> List[BV3]:
+    """Buffer: the two pins always share the same cube."""
+    a, out = cubes
+    merged = a.intersect(out)
+    return [merged, merged]
+
+
+def imply_reduce_and(cubes: Sequence[BV3]) -> List[BV3]:
+    """AND-reduction of a word to one bit."""
+    a, out = cubes
+    out_bit = out.bit(0)
+    new_a = a
+    # Forward.
+    if all(b == 1 for b in a.bits()):
+        out = out.intersect(BV3.from_int(1, 1))
+    elif any(b == 0 for b in a.bits()):
+        out = out.intersect(BV3.from_int(1, 0))
+    # Backward.
+    out_bit = out.bit(0)
+    if out_bit == 1:
+        new_a = a.intersect(BV3.from_int(a.width, a.mask))
+    elif out_bit == 0:
+        bits = list(a.bits())
+        unknown = [i for i, b in enumerate(bits) if b is None]
+        if all(b == 1 for b in bits if b is not None) and len(unknown) == 1:
+            new_a = a.set_bit(unknown[0], 0)
+        elif all(b == 1 for b in bits):
+            raise BV3Conflict("AND-reduction is 0 but every bit is 1")
+    return [new_a, out]
+
+
+def imply_reduce_or(cubes: Sequence[BV3]) -> List[BV3]:
+    """OR-reduction of a word to one bit."""
+    a, out = cubes
+    new_a = a
+    if any(b == 1 for b in a.bits()):
+        out = out.intersect(BV3.from_int(1, 1))
+    elif all(b == 0 for b in a.bits()):
+        out = out.intersect(BV3.from_int(1, 0))
+    out_bit = out.bit(0)
+    if out_bit == 0:
+        new_a = a.intersect(BV3.from_int(a.width, 0))
+    elif out_bit == 1:
+        bits = list(a.bits())
+        unknown = [i for i, b in enumerate(bits) if b is None]
+        if all(b == 0 for b in bits if b is not None) and len(unknown) == 1:
+            new_a = a.set_bit(unknown[0], 1)
+        elif all(b == 0 for b in bits):
+            raise BV3Conflict("OR-reduction is 1 but every bit is 0")
+    return [new_a, out]
+
+
+def imply_reduce_xor(cubes: Sequence[BV3]) -> List[BV3]:
+    """XOR (parity) reduction of a word to one bit."""
+    a, out = cubes
+    bits = list(a.bits())
+    unknown = [i for i, b in enumerate(bits) if b is None]
+    new_a = a
+    if not unknown:
+        parity = sum(b for b in bits if b) & 1
+        out = out.intersect(BV3.from_int(1, parity))
+    elif len(unknown) == 1 and out.bit(0) is not None:
+        parity_known = sum(b for b in bits if b == 1) & 1
+        needed = (out.bit(0) ^ parity_known) & 1
+        new_a = a.set_bit(unknown[0], needed)
+    return [new_a, out]
+
+
+def imply_const(value: int, cubes: Sequence[BV3]) -> List[BV3]:
+    """Constant driver: the output is always the constant."""
+    (out,) = cubes
+    return [out.intersect(BV3.from_int(out.width, value))]
+
+
+def imply_slice(msb: int, lsb: int, cubes: Sequence[BV3]) -> List[BV3]:
+    """Bit-slice: fully bidirectional bit remapping."""
+    a, out = cubes
+    new_out = out.intersect(a.slice(msb, lsb))
+    # Push output knowledge back into the corresponding input bits.
+    new_a = a
+    for i in range(new_out.width):
+        bit = new_out.bit(i)
+        if bit is not None:
+            new_a = new_a.set_bit(lsb + i, bit)
+    return [new_a, new_out]
+
+
+def imply_concat(widths: Sequence[int], cubes: Sequence[BV3]) -> List[BV3]:
+    """Concatenation: bidirectional remapping; ``widths`` are input widths,
+    most significant part first."""
+    *input_cubes, out = cubes
+    # Forward: assemble the output from the parts.
+    assembled = input_cubes[0]
+    for part in input_cubes[1:]:
+        assembled = assembled.concat(part)
+    new_out = out.intersect(assembled)
+    # Backward: split the output back onto the parts.
+    new_inputs: List[BV3] = []
+    offset = new_out.width
+    for cube, width in zip(input_cubes, widths):
+        offset -= width
+        piece = new_out.slice(offset + width - 1, offset)
+        new_inputs.append(cube.intersect(piece))
+    return new_inputs + [new_out]
+
+
+def imply_zext(cubes: Sequence[BV3]) -> List[BV3]:
+    """Zero extension: low bits mirror the input, high bits are 0."""
+    a, out = cubes
+    new_out = out.intersect(a.zero_extend(out.width))
+    new_a = a.intersect(new_out.slice(a.width - 1, 0))
+    return [new_a, new_out]

@@ -1,0 +1,118 @@
+"""Implication rules for comparators (paper Fig. 4).
+
+Comparators are the datapath-to-control interface.  Forward implication
+decides the 1-bit output when the operand ranges are conclusive; backward
+implication tightens the operand ranges from a known output and maps the
+tightened ranges back to cubes with the MSB-first procedure of Rules 1-2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bitvector import BV3, BV3Conflict
+from repro.bitvector.intervals import (
+    ValueRange,
+    cube_to_range,
+    range_to_cube,
+    tighten_for_compare,
+)
+
+
+def imply_comparator(op: str, cubes: Sequence[BV3]) -> List[BV3]:
+    """Comparator pins: ``a, b, out`` with ``out = (a <op> b)``."""
+    a, b, out = cubes
+
+    # ------------------------------------------------------------------
+    # Forward: decide the output when the operand information is conclusive.
+    # ------------------------------------------------------------------
+    forced = _forward_decide(op, a, b)
+    new_out = out
+    if forced is not None:
+        new_out = out.intersect(BV3.from_int(1, forced))
+
+    # ------------------------------------------------------------------
+    # Backward: a known output tightens both operand ranges (Fig. 4).
+    # ------------------------------------------------------------------
+    new_a, new_b = a, b
+    out_bit = new_out.bit(0)
+    if out_bit is not None:
+        if op in ("==", "!="):
+            equal_required = (op == "==") == (out_bit == 1)
+            if equal_required:
+                # Both operands must agree on every known bit.
+                merged = new_a.intersect(new_b)
+                new_a, new_b = merged, merged
+            else:
+                # Must differ: conflict when both are known and equal.
+                if new_a.is_fully_known() and new_b.is_fully_known() and new_a.value == new_b.value:
+                    raise BV3Conflict("operands equal but comparator requires difference")
+        else:
+            result = out_bit == 1
+            range_a, range_b = cube_to_range(new_a), cube_to_range(new_b)
+            tight_a, tight_b = tighten_for_compare(op, range_a, range_b, result)
+            if tight_a.is_empty() or tight_b.is_empty():
+                raise BV3Conflict(
+                    "comparator %s with output %d has empty operand range" % (op, out_bit)
+                )
+            new_a = range_to_cube(new_a, tight_a)
+            new_b = range_to_cube(new_b, tight_b)
+            # A second pass can tighten further once the cubes improved
+            # (the Fig. 4 example needs it for the second operand).
+            range_a, range_b = cube_to_range(new_a), cube_to_range(new_b)
+            tight_a, tight_b = tighten_for_compare(op, range_a, range_b, result)
+            if tight_a.is_empty() or tight_b.is_empty():
+                raise BV3Conflict(
+                    "comparator %s with output %d has empty operand range" % (op, out_bit)
+                )
+            new_a = range_to_cube(new_a, tight_a)
+            new_b = range_to_cube(new_b, tight_b)
+
+    # Re-run the forward decision with the refined operands to catch
+    # conflicts (e.g. output requires > but ranges now force <=).
+    forced = _forward_decide(op, new_a, new_b)
+    if forced is not None:
+        new_out = new_out.intersect(BV3.from_int(1, forced))
+    return [new_a, new_b, new_out]
+
+
+def _forward_decide(op: str, a: BV3, b: BV3):
+    """Return 0/1 when the comparator output is already determined, else None."""
+    if op == "==":
+        if a.is_fully_known() and b.is_fully_known():
+            return 1 if a.value == b.value else 0
+        if not a.compatible(b):
+            return 0
+        return None
+    if op == "!=":
+        if a.is_fully_known() and b.is_fully_known():
+            return 1 if a.value != b.value else 0
+        if not a.compatible(b):
+            return 1
+        return None
+
+    min_a, max_a = a.min_value(), a.max_value()
+    min_b, max_b = b.min_value(), b.max_value()
+    if op == ">":
+        if min_a > max_b:
+            return 1
+        if max_a <= min_b:
+            return 0
+    elif op == ">=":
+        if min_a >= max_b:
+            return 1
+        if max_a < min_b:
+            return 0
+    elif op == "<":
+        if max_a < min_b:
+            return 1
+        if min_a >= max_b:
+            return 0
+    elif op == "<=":
+        if max_a <= min_b:
+            return 1
+        if min_a > max_b:
+            return 0
+    else:  # pragma: no cover - guarded by the Comparator constructor
+        raise ValueError("unknown comparison operator %r" % (op,))
+    return None

@@ -1,0 +1,111 @@
+"""Implication rules for multiplexors, tri-state buffers and bus resolvers.
+
+Multiplexors are the control-to-datapath interface.  The output cube is the
+*cube union* of the still-selectable data inputs; a data input whose cube has
+an empty intersection with the output cube rules out the corresponding select
+value (paper Section 3.1, "Multiplexors").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bitvector import BV3, BV3Conflict
+
+
+def imply_mux(num_data: int, cubes: Sequence[BV3]) -> List[BV3]:
+    """Mux pins: ``select, data_0 .. data_{n-1}, out``."""
+    select = cubes[0]
+    data = list(cubes[1 : 1 + num_data])
+    out = cubes[1 + num_data]
+
+    if select.num_unknown() > 12:
+        # Degenerate very-wide unknown select: only propagate the output
+        # union, do not enumerate select completions.
+        union = data[0]
+        for cube in data[1:]:
+            union = union.union(cube)
+        return [select] + data + [out.intersect(union)]
+
+    # Which select values are still possible?  Select values beyond the
+    # number of data inputs alias onto the last input (matching Mux.evaluate).
+    feasible_selects = []
+    feasible_indices = set()
+    for select_value in select.completions():
+        index = select_value if select_value < num_data else num_data - 1
+        if data[index].compatible(out):
+            feasible_selects.append(select_value)
+            feasible_indices.add(index)
+    if not feasible_selects:
+        raise BV3Conflict("no mux input is compatible with the required output")
+
+    # Refine the select: keep only bits common to every feasible select value.
+    new_select = select
+    common_known = select.mask
+    common_value = feasible_selects[0]
+    for value in feasible_selects[1:]:
+        common_known &= ~(common_value ^ value)
+    new_select = select.intersect(BV3(select.width, common_value & common_known, common_known))
+
+    # Output: union of the cubes of the feasible inputs, intersected with the
+    # current output knowledge.
+    union = None
+    for index in feasible_indices:
+        union = data[index] if union is None else union.union(data[index])
+    new_out = out.intersect(union)
+
+    # When exactly one input remains selectable, it must equal the output.
+    new_data = list(data)
+    if len(feasible_indices) == 1:
+        index = next(iter(feasible_indices))
+        merged = new_data[index].intersect(new_out)
+        new_data[index] = merged
+        new_out = merged
+
+    return [new_select] + new_data + [new_out]
+
+
+def imply_tristate(cubes: Sequence[BV3]) -> List[BV3]:
+    """Tri-state buffer pins: ``data, enable, out``.
+
+    The buffer output mirrors its data input (bus resolution is modelled by
+    the :class:`~repro.netlist.tristate.BusResolver`); the enable pin is not
+    constrained here.
+    """
+    data, enable, out = cubes
+    merged = data.intersect(out)
+    return [merged, enable, merged]
+
+
+def imply_bus(num_drivers: int, cubes: Sequence[BV3]) -> List[BV3]:
+    """Bus resolver pins: ``data_0, en_0, ..., data_{n-1}, en_{n-1}, out``.
+
+    Conservative rules: when exactly one driver is known-enabled and every
+    other driver is known-disabled, the bus equals that driver's data; when
+    every driver is known-disabled the bus is zero.
+    """
+    pins = list(cubes)
+    out = pins[-1]
+    data = [pins[2 * i] for i in range(num_drivers)]
+    enables = [pins[2 * i + 1] for i in range(num_drivers)]
+
+    enable_bits = [e.bit(0) for e in enables]
+    if all(bit == 0 for bit in enable_bits):
+        new_out = out.intersect(BV3.from_int(out.width, 0))
+        return _reassemble(data, enables, new_out)
+    known_on = [i for i, bit in enumerate(enable_bits) if bit == 1]
+    known_off = [i for i, bit in enumerate(enable_bits) if bit == 0]
+    if len(known_on) == 1 and len(known_off) == num_drivers - 1:
+        index = known_on[0]
+        merged = data[index].intersect(out)
+        data[index] = merged
+        return _reassemble(data, enables, merged)
+    return _reassemble(data, enables, out)
+
+
+def _reassemble(data: List[BV3], enables: List[BV3], out: BV3) -> List[BV3]:
+    pins: List[BV3] = []
+    for d, e in zip(data, enables):
+        pins.extend([d, e])
+    pins.append(out)
+    return pins

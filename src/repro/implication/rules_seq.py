@@ -1,0 +1,130 @@
+"""Implication rules for registers / flip-flops across a clock edge.
+
+In the time-frame expanded model a register instance relates the value of its
+output in frame ``t+1`` to its data/control pins in frame ``t`` (and to its
+own previous output, for the hold case).  The rule below performs the case
+analysis of the paper: which of {reset, set, hold, capture} can still explain
+the required next value?  If only one case remains, the corresponding control
+values are implied (e.g. the paper's example: next value all-zero while the
+data input has a one bit implies that the asynchronous reset is asserted).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bitvector import BV3, BV3Conflict
+
+
+def imply_dff(
+    has_enable: bool,
+    has_reset: bool,
+    has_set: bool,
+    reset_value: int,
+    cubes: Sequence[BV3],
+) -> List[BV3]:
+    """Register pins: ``d, [enable], [reset], [set], q_prev, q_next``.
+
+    ``q_prev`` is the register output in the current frame (frame ``t``),
+    ``q_next`` the output in the following frame.
+    """
+    index = 0
+    d = cubes[index]; index += 1
+    enable = cubes[index] if has_enable else None
+    if has_enable:
+        index += 1
+    reset = cubes[index] if has_reset else None
+    if has_reset:
+        index += 1
+    set_ = cubes[index] if has_set else None
+    if has_set:
+        index += 1
+    q_prev = cubes[index]; index += 1
+    q_next = cubes[index]
+
+    width = q_next.width
+    reset_cube = BV3.from_int(width, reset_value)
+    ones_cube = BV3.from_int(width, (1 << width) - 1)
+
+    # Case analysis: which load sources remain possible?
+    cases = []  # (name, source cube or None, guard condition checks)
+    reset_bit = reset.bit(0) if reset is not None else 0
+    set_bit = set_.bit(0) if set_ is not None else 0
+    enable_bit = enable.bit(0) if enable is not None else 1
+
+    possible_reset = reset is not None and reset_bit != 0
+    possible_set = set_ is not None and set_bit != 0 and reset_bit != 1
+    possible_hold = enable is not None and enable_bit != 1 and reset_bit != 1 and set_bit != 1
+    possible_capture = enable_bit != 0 and reset_bit != 1 and set_bit != 1
+
+    if possible_reset and q_next.compatible(reset_cube):
+        cases.append("reset")
+    if possible_set and q_next.compatible(ones_cube):
+        cases.append("set")
+    if possible_hold and q_next.compatible(q_prev):
+        cases.append("hold")
+    if possible_capture and q_next.compatible(d):
+        cases.append("capture")
+
+    if not cases:
+        raise BV3Conflict("no register load case can produce the required next value")
+
+    new_d, new_enable, new_reset, new_set, new_q_prev, new_q_next = (
+        d,
+        enable,
+        reset,
+        set_,
+        q_prev,
+        q_next,
+    )
+
+    if len(cases) == 1:
+        case = cases[0]
+        if case == "reset":
+            new_q_next = q_next.intersect(reset_cube)
+            new_reset = reset.intersect(BV3.from_int(1, 1))
+        elif case == "set":
+            new_q_next = q_next.intersect(ones_cube)
+            new_set = set_.intersect(BV3.from_int(1, 1))
+            if reset is not None:
+                new_reset = reset.intersect(BV3.from_int(1, 0))
+        elif case == "hold":
+            merged = q_next.intersect(q_prev)
+            new_q_next, new_q_prev = merged, merged
+            new_enable = enable.intersect(BV3.from_int(1, 0))
+            if reset is not None:
+                new_reset = reset.intersect(BV3.from_int(1, 0))
+            if set_ is not None:
+                new_set = set_.intersect(BV3.from_int(1, 0))
+        else:  # capture
+            merged = q_next.intersect(d)
+            new_q_next, new_d = merged, merged
+            if enable is not None:
+                new_enable = enable.intersect(BV3.from_int(1, 1))
+            if reset is not None:
+                new_reset = reset.intersect(BV3.from_int(1, 0))
+            if set_ is not None:
+                new_set = set_.intersect(BV3.from_int(1, 0))
+    else:
+        # Multiple cases: only forward-imply the output with the union of the
+        # possible sources.
+        union: Optional[BV3] = None
+        for case in cases:
+            source = {
+                "reset": reset_cube,
+                "set": ones_cube,
+                "hold": q_prev,
+                "capture": d,
+            }[case]
+            union = source if union is None else union.union(source)
+        new_q_next = q_next.intersect(union)
+
+    result = [new_d]
+    if has_enable:
+        result.append(new_enable)
+    if has_reset:
+        result.append(new_reset)
+    if has_set:
+        result.append(new_set)
+    result.extend([new_q_prev, new_q_next])
+    return result

@@ -1,0 +1,55 @@
+"""Modular arithmetic constraint solving (Section 4 of the paper).
+
+Datapath constraints are solved in the modulo-``2**n`` number system rather
+than over the integers, because hardware signals are fixed-width bit-vectors
+and solutions that arise from value wrap-around ("modulation") must not be
+missed -- otherwise the checker would report *false negatives* (missed
+counterexamples).
+
+* :mod:`repro.modsolver.modular` -- multiplicative inverses of bit-vectors,
+  plain and *with product k* (paper Definitions 3-4, Theorems 1-2).
+* :mod:`repro.modsolver.linear` -- complete solution of linear systems
+  ``A·x = b (mod 2**n)`` in the closed form ``x = x0 + N·f`` of the paper.
+* :mod:`repro.modsolver.nonlinear` -- heuristic factoring-based enumeration
+  for multiplier / shifter constraints, which are substituted to make the
+  remaining system linear.
+* :mod:`repro.modsolver.extract` -- extraction of arithmetic constraints from
+  the datapath portion of a (time-frame expanded) netlist.
+"""
+
+from repro.modsolver.modular import (
+    multiplicative_inverse,
+    multiplicative_inverse_with_product,
+    solve_scalar_congruence,
+    odd_part,
+    two_adic_valuation,
+    ScalarSolutions,
+)
+from repro.modsolver.linear import (
+    ModularLinearSystem,
+    ModularSolutionSet,
+    LinearConstraint,
+)
+from repro.modsolver.nonlinear import (
+    NonlinearConstraint,
+    enumerate_factor_pairs,
+    NonlinearSolver,
+)
+from repro.modsolver.extract import DatapathConstraintExtractor, ArithmeticProblem
+
+__all__ = [
+    "multiplicative_inverse",
+    "multiplicative_inverse_with_product",
+    "solve_scalar_congruence",
+    "odd_part",
+    "two_adic_valuation",
+    "ScalarSolutions",
+    "ModularLinearSystem",
+    "ModularSolutionSet",
+    "LinearConstraint",
+    "NonlinearConstraint",
+    "enumerate_factor_pairs",
+    "NonlinearSolver",
+    "DatapathConstraintExtractor",
+    "ArithmeticProblem",
+]

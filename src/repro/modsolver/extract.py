@@ -1,0 +1,344 @@
+"""Extraction of arithmetic constraints from the unrolled datapath.
+
+After the word-level ATPG has satisfied the control constraints, the
+remaining requirements sit on arithmetic primitives whose operands are not
+yet fully determined.  This module walks those primitives and produces an
+:class:`ArithmeticProblem`: a set of linear equations (adders, subtractors,
+constant-operand multipliers, constant shifts) plus non-linear constraints
+(general multipliers, variable shifts), over ``(net, frame)`` variables,
+grouped by bit width.
+
+Partial knowledge from implication is preserved in two ways: fully known
+operands become constants in the equations, and partially known operands
+carry their cube so that candidate solutions from the solver can be checked
+against the already-implied bits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bitvector import BV3
+from repro.implication.engine import ImplicationEngine, ImplicationNode
+from repro.modsolver.linear import ModularLinearSystem
+from repro.modsolver.nonlinear import NonlinearConstraint, NonlinearSolver
+from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
+from repro.netlist.gates import ConstGate
+
+
+@dataclass
+class ArithmeticProblem:
+    """Arithmetic constraints over unrolled-model variables, grouped by width."""
+
+    linear_by_width: Dict[int, ModularLinearSystem] = field(default_factory=dict)
+    nonlinear: List[NonlinearConstraint] = field(default_factory=list)
+    cubes: Dict[Hashable, BV3] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        """True when no arithmetic constraint was extracted."""
+        return not self.nonlinear and all(
+            not system.constraints for system in self.linear_by_width.values()
+        )
+
+    def variables(self) -> List[Hashable]:
+        """All variables that appear in some constraint."""
+        seen: List[Hashable] = []
+        for system in self.linear_by_width.values():
+            for var in system.variables:
+                if var not in seen:
+                    seen.append(var)
+        for constraint in self.nonlinear:
+            for var in constraint.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def solve(
+        self, budget: int = 256, enumeration_limit: int = 64
+    ) -> Optional[Dict[Hashable, int]]:
+        """Find one assignment satisfying every extracted constraint.
+
+        Widths are solved independently; the non-linear constraints of each
+        width are handled by :class:`NonlinearSolver`.  Candidate solutions
+        are filtered against the partially-implied cubes.  Returns ``None``
+        when any group is infeasible (or no candidate within the budget
+        respects the cubes).
+        """
+        solver = NonlinearSolver(budget=budget, enumeration_limit=enumeration_limit)
+        combined: Dict[Hashable, int] = {}
+        widths = sorted(set(self.linear_by_width) | {c.width for c in self.nonlinear})
+        for width in widths:
+            linear = self.linear_by_width.get(width, ModularLinearSystem(width))
+            nonlinear = [c for c in self.nonlinear if c.width == width]
+            solution = self._solve_width(solver, linear, nonlinear, width)
+            if solution is None:
+                return None
+            combined.update(solution)
+        return combined
+
+    def _solve_width(
+        self,
+        solver: NonlinearSolver,
+        linear: ModularLinearSystem,
+        nonlinear: List[NonlinearConstraint],
+        width: int,
+    ) -> Optional[Dict[Hashable, int]]:
+        # Pin fully known variables, and try a small set of completions for
+        # partially known ones (their cube's min/max completions).
+        fixed: Dict[Hashable, int] = {}
+        partial: List[Hashable] = []
+        for var in set(linear.variables) | {
+            v for c in nonlinear for v in c.variables()
+        }:
+            cube = self.cubes.get(var)
+            if cube is None:
+                continue
+            if cube.is_fully_known():
+                fixed[var] = cube.to_int()
+            elif not cube.is_fully_unknown():
+                partial.append(var)
+
+        solution = solver.solve(linear, nonlinear, fixed=fixed)
+        if solution is None:
+            return None
+        # Respect partially implied cubes; when violated, retry with the
+        # offending variable pinned to a completion of its cube.
+        for attempt in range(4):
+            violating = [
+                var
+                for var in partial
+                if var in solution and not self.cubes[var].contains_int(solution[var])
+            ]
+            if not violating:
+                return solution
+            for var in violating:
+                fixed[var] = self.cubes[var].min_value() if attempt % 2 == 0 else self.cubes[var].max_value()
+            solution = solver.solve(linear, nonlinear, fixed=fixed)
+            if solution is None:
+                return None
+        return solution if all(
+            var not in solution or self.cubes[var].contains_int(solution[var])
+            for var in partial
+        ) else None
+
+
+class DatapathConstraintExtractor:
+    """Builds an :class:`ArithmeticProblem` from unjustified arithmetic nodes."""
+
+    def __init__(self, engine: ImplicationEngine):
+        self.engine = engine
+
+    def extract(self, nodes: Iterable[ImplicationNode]) -> ArithmeticProblem:
+        """Extract constraints from the given (unjustified) nodes.
+
+        Only arithmetic primitives contribute constraints; other node types
+        are ignored (their requirements are handled by implication and by the
+        completion phase of the justifier).
+
+        The extraction closes over the *connected arithmetic network*: any
+        arithmetic node sharing a still-undetermined variable with an already
+        extracted constraint is pulled in as well.  Without this closure a
+        solution for one equation could silently violate a neighbouring
+        arithmetic gate (e.g. ``diff = scaled - a`` solved while ignoring
+        ``scaled = 3 * a``), which is exactly the false-negative effect the
+        paper's combined solver avoids.
+        """
+        problem = ArithmeticProblem()
+        worklist = deque(nodes)
+        processed: set = set()
+        while worklist:
+            node = worklist.popleft()
+            if id(node) in processed:
+                continue
+            processed.add(id(node))
+            tag = node.tag
+            gate = tag[0] if isinstance(tag, tuple) else None
+            if isinstance(gate, Adder):
+                self._extract_adder(problem, node, gate)
+            elif isinstance(gate, Subtractor):
+                self._extract_subtractor(problem, node, gate)
+            elif isinstance(gate, Multiplier):
+                self._extract_multiplier(problem, node, gate)
+            elif isinstance(gate, (ShiftLeft, ShiftRight)):
+                self._extract_shift(problem, node, gate)
+            else:
+                continue
+            # Pull in neighbouring arithmetic nodes connected through any
+            # variable that is not yet fully determined.
+            for key in node.keys:
+                cube = self.engine.assignment.get(key)
+                if cube.is_fully_known():
+                    continue
+                for neighbour in self.engine.watchers(key):
+                    if id(neighbour) in processed:
+                        continue
+                    neighbour_gate = (
+                        neighbour.tag[0] if isinstance(neighbour.tag, tuple) else None
+                    )
+                    if isinstance(
+                        neighbour_gate,
+                        (Adder, Subtractor, Multiplier, ShiftLeft, ShiftRight),
+                    ):
+                        worklist.append(neighbour)
+        return problem
+
+    # ------------------------------------------------------------------
+    def _linear_system(self, problem: ArithmeticProblem, width: int) -> ModularLinearSystem:
+        system = problem.linear_by_width.get(width)
+        if system is None:
+            system = ModularLinearSystem(width)
+            problem.linear_by_width[width] = system
+        return system
+
+    def _term(self, problem: ArithmeticProblem, key: Hashable) -> Tuple[Optional[Hashable], int]:
+        """Return (variable or None, constant part) for a pin key."""
+        cube = self.engine.assignment.get(key)
+        problem.cubes[key] = cube
+        if cube.is_fully_known():
+            return None, cube.to_int()
+        return key, 0
+
+    def _extract_adder(self, problem: ArithmeticProblem, node: ImplicationNode, gate: Adder) -> None:
+        width = gate.output.width
+        system = self._linear_system(problem, width)
+        keys = dict(zip(self._adder_pin_names(gate), node.keys))
+        coefficients: Dict[Hashable, int] = {}
+        constant = 0
+        for name, sign in (("a", 1), ("b", 1), ("out", -1)):
+            var, const = self._term(problem, keys[name])
+            if var is None:
+                constant += sign * const
+            else:
+                coefficients[var] = coefficients.get(var, 0) + sign
+        if "cin" in keys:
+            var, const = self._term(problem, keys["cin"])
+            if var is None:
+                constant += const
+            else:
+                coefficients[var] = coefficients.get(var, 0) + 1
+        # a + b + cin - out = 0  ->  sum(coeff * var) = -constant
+        system.add_constraint(coefficients, -constant)
+
+    def _extract_subtractor(
+        self, problem: ArithmeticProblem, node: ImplicationNode, gate: Subtractor
+    ) -> None:
+        width = gate.output.width
+        system = self._linear_system(problem, width)
+        keys = dict(zip(("a", "b", "out"), node.keys))
+        coefficients: Dict[Hashable, int] = {}
+        constant = 0
+        for name, sign in (("a", 1), ("b", -1), ("out", -1)):
+            var, const = self._term(problem, keys[name])
+            if var is None:
+                constant += sign * const
+            else:
+                coefficients[var] = coefficients.get(var, 0) + sign
+        system.add_constraint(coefficients, -constant)
+
+    def _extract_multiplier(
+        self, problem: ArithmeticProblem, node: ImplicationNode, gate: Multiplier
+    ) -> None:
+        width = gate.output.width
+        keys = dict(zip(("a", "b", "out"), node.keys))
+        a_var, a_const = self._term(problem, keys["a"])
+        b_var, b_const = self._term(problem, keys["b"])
+        out_var, out_const = self._term(problem, keys["out"])
+
+        constant_operand = None
+        if isinstance(gate.a.driver, ConstGate):
+            constant_operand = "a"
+        elif isinstance(gate.b.driver, ConstGate):
+            constant_operand = "b"
+
+        if a_var is None or b_var is None or constant_operand is not None:
+            # Linear: at least one operand is a known constant.
+            system = self._linear_system(problem, width)
+            if a_var is None and b_var is None:
+                product = (a_const * b_const) % (1 << width)
+                if out_var is None:
+                    system.add_constraint({}, product - out_const)
+                else:
+                    system.add_constraint({out_var: 1}, product)
+            else:
+                known = a_const if a_var is None else b_const
+                variable = b_var if a_var is None else a_var
+                coefficients = {variable: known}
+                if out_var is None:
+                    system.add_constraint(coefficients, out_const)
+                else:
+                    coefficients[out_var] = coefficients.get(out_var, 0) - 1
+                    system.add_constraint(coefficients, 0)
+            return
+
+        problem.nonlinear.append(
+            NonlinearConstraint(
+                kind="mul",
+                a=a_var if a_var is not None else a_const,
+                b=b_var if b_var is not None else b_const,
+                product=out_var if out_var is not None else out_const,
+                width=width,
+            )
+        )
+
+    def _extract_shift(
+        self, problem: ArithmeticProblem, node: ImplicationNode, gate
+    ) -> None:
+        width = gate.output.width
+        kind = "shl" if isinstance(gate, ShiftLeft) else "shr"
+        if gate.amount is None:
+            # Constant shift: left shift is a linear multiplication by 2**k;
+            # right shift is handled as a non-linear constraint only when the
+            # operand is unknown (division is not linear in the modular ring).
+            keys = dict(zip(("a", "out"), node.keys))
+            a_var, a_const = self._term(problem, keys["a"])
+            out_var, out_const = self._term(problem, keys["out"])
+            if kind == "shl":
+                system = self._linear_system(problem, width)
+                factor = (1 << gate.constant) % (1 << width)
+                coefficients: Dict[Hashable, int] = {}
+                constant = 0
+                if a_var is None:
+                    constant += factor * a_const
+                else:
+                    coefficients[a_var] = factor
+                if out_var is None:
+                    constant -= out_const
+                else:
+                    coefficients[out_var] = coefficients.get(out_var, 0) - 1
+                system.add_constraint(coefficients, -constant)
+            else:
+                problem.nonlinear.append(
+                    NonlinearConstraint(
+                        kind="shr",
+                        a=a_var if a_var is not None else a_const,
+                        b=gate.constant,
+                        product=out_var if out_var is not None else out_const,
+                        width=width,
+                    )
+                )
+            return
+        keys = dict(zip(("a", "amount", "out"), node.keys))
+        a_var, a_const = self._term(problem, keys["a"])
+        amount_var, amount_const = self._term(problem, keys["amount"])
+        out_var, out_const = self._term(problem, keys["out"])
+        problem.nonlinear.append(
+            NonlinearConstraint(
+                kind=kind,
+                a=a_var if a_var is not None else a_const,
+                b=amount_var if amount_var is not None else amount_const,
+                product=out_var if out_var is not None else out_const,
+                width=width,
+            )
+        )
+
+    @staticmethod
+    def _adder_pin_names(gate: Adder) -> List[str]:
+        names = ["a", "b"]
+        if gate.carry_in is not None:
+            names.append("cin")
+        names.append("out")
+        if gate.carry_out is not None:
+            names.append("cout")
+        return names

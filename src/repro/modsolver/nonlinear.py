@@ -1,0 +1,274 @@
+"""Heuristic handling of non-linear datapath constraints.
+
+Non-linear constraints arise from multipliers with two variable operands and
+from shifters with a variable shift amount.  Completely solving them is hard,
+so -- following the paper -- we *enumerate* candidate values analytically
+(prime/power-of-two factoring of the product, shift-amount enumeration),
+substitute each candidate to make the remaining constraint system linear, and
+let the linear solver finish the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.modsolver.linear import ModularLinearSystem, ModularSolutionSet
+from repro.modsolver.modular import solve_scalar_congruence
+
+
+@dataclass
+class NonlinearConstraint:
+    """A constraint ``a * b = product (mod 2**width)`` or a variable shift.
+
+    ``kind`` is ``"mul"`` or ``"shl"``/``"shr"``.  Each operand is either a
+    variable identifier or an ``int`` constant; ``product`` likewise.
+    """
+
+    kind: str
+    a: Hashable
+    b: Hashable
+    product: Hashable
+    width: int
+
+    def operands(self) -> Tuple[Hashable, Hashable, Hashable]:
+        return (self.a, self.b, self.product)
+
+    def variables(self) -> List[Hashable]:
+        """The non-constant operands."""
+        return [op for op in self.operands() if not isinstance(op, int)]
+
+    def is_satisfied(self, assignment: Mapping[Hashable, int]) -> bool:
+        """Check the constraint under a full assignment."""
+        modulus = 1 << self.width
+
+        def value(op: Hashable) -> int:
+            return op % modulus if isinstance(op, int) else assignment[op] % modulus
+
+        a, b, product = value(self.a), value(self.b), value(self.product)
+        if self.kind == "mul":
+            return (a * b) % modulus == product
+        if self.kind == "shl":
+            return (a << b) % modulus == product if b < self.width else product == 0
+        if self.kind == "shr":
+            return (a >> b) % modulus == product
+        raise ValueError("unknown nonlinear constraint kind %r" % (self.kind,))
+
+
+def enumerate_factor_pairs(
+    product: int, width: int, limit: int = 256
+) -> Iterator[Tuple[int, int]]:
+    """Enumerate pairs ``(a, b)`` with ``a * b = product (mod 2**width)``.
+
+    The enumeration is heuristic but sound: every yielded pair satisfies the
+    congruence.  It walks candidate values of ``a`` in a factor-first order
+    (divisors of the product and of its small modular representatives, then
+    odd values, then the remaining even values) and solves for ``b`` with the
+    multiplicative-inverse-with-product machinery.  At most ``limit`` pairs
+    are produced.
+    """
+    modulus = 1 << width
+    product %= modulus
+    produced = 0
+    seen = set()
+
+    for a in _candidate_factors(product, width):
+        solutions = solve_scalar_congruence(a, product, width)
+        if solutions is None:
+            continue
+        for b in solutions.values():
+            if (a, b) in seen:
+                continue
+            seen.add((a, b))
+            yield a, b
+            produced += 1
+            if produced >= limit:
+                return
+
+
+def _candidate_factors(product: int, width: int) -> Iterator[int]:
+    """Candidate values for one multiplier operand, best-first."""
+    modulus = 1 << width
+    emitted = set()
+
+    def emit(value: int) -> Iterator[int]:
+        value %= modulus
+        if value not in emitted:
+            emitted.add(value)
+            yield value
+
+    # Divisors of small modular representatives of the product first: these
+    # are the "prime factoring" candidates of the paper.
+    for representative in (product, product + modulus, product + 2 * modulus):
+        if representative == 0:
+            continue
+        for divisor in _divisors(representative):
+            if divisor < modulus:
+                yield from emit(divisor)
+    # Then every odd value (each has a unique partner), then the rest.
+    for a in range(1, modulus, 2):
+        yield from emit(a)
+    for a in range(0, modulus, 2):
+        yield from emit(a)
+
+
+def _divisors(value: int) -> List[int]:
+    """All positive divisors of ``value`` (small values only)."""
+    value = abs(value)
+    result = []
+    d = 1
+    while d * d <= value:
+        if value % d == 0:
+            result.append(d)
+            result.append(value // d)
+        d += 1
+    return sorted(set(result))
+
+
+class NonlinearSolver:
+    """Solve a mixed linear / non-linear constraint system by enumeration.
+
+    The solver repeatedly picks candidate substitutions for the non-linear
+    constraints (factor pairs for multipliers, shift amounts for shifters),
+    adds the induced linear equations to a copy of the linear system, solves
+    it modulo ``2**width`` and checks the remaining constraints.  The number
+    of candidate substitutions explored is bounded by ``budget``.
+    """
+
+    def __init__(self, budget: int = 512, enumeration_limit: int = 64):
+        self.budget = budget
+        self.enumeration_limit = enumeration_limit
+
+    def solve(
+        self,
+        linear: ModularLinearSystem,
+        nonlinear: Sequence[NonlinearConstraint],
+        fixed: Optional[Mapping[Hashable, int]] = None,
+    ) -> Optional[Dict[Hashable, int]]:
+        """Return a satisfying assignment or ``None`` if none was found.
+
+        ``fixed`` pins selected variables to known values (from implication).
+        A ``None`` result means no solution was found within the search
+        budget; for purely linear systems the answer is exact.
+        """
+        fixed = dict(fixed or {})
+        base = self._with_fixed(linear, fixed)
+        if not nonlinear:
+            return self._solve_linear(base, fixed, ())
+        return self._solve_recursive(base, list(nonlinear), fixed, self.budget)
+
+    # ------------------------------------------------------------------
+    def _with_fixed(
+        self, linear: ModularLinearSystem, fixed: Mapping[Hashable, int]
+    ) -> ModularLinearSystem:
+        system = ModularLinearSystem(linear.width, linear.variables)
+        for constraint in linear.constraints:
+            system.add_constraint(constraint.coefficients, constraint.rhs)
+        for var, value in fixed.items():
+            if var in system._var_index or any(
+                var in c.coefficients for c in linear.constraints
+            ):
+                system.add_constraint({var: 1}, value)
+        return system
+
+    def _solve_linear(
+        self,
+        system: ModularLinearSystem,
+        fixed: Mapping[Hashable, int],
+        remaining_nonlinear: Sequence[NonlinearConstraint],
+    ) -> Optional[Dict[Hashable, int]]:
+        solutions = system.solve()
+        if solutions is None:
+            return None
+        for candidate in solutions.enumerate(limit=self.enumeration_limit):
+            assignment = dict(fixed)
+            assignment.update(candidate)
+            if all(c.is_satisfied(assignment) for c in remaining_nonlinear):
+                return assignment
+        return None
+
+    def _solve_recursive(
+        self,
+        system: ModularLinearSystem,
+        nonlinear: List[NonlinearConstraint],
+        fixed: Dict[Hashable, int],
+        budget: int,
+    ) -> Optional[Dict[Hashable, int]]:
+        if budget <= 0:
+            return None
+        if not nonlinear:
+            return self._solve_linear(system, fixed, ())
+
+        constraint = nonlinear[0]
+        rest = nonlinear[1:]
+        spent = 0
+        for substitution in self._candidate_substitutions(constraint, fixed):
+            if spent >= budget:
+                return None
+            spent += 1
+            extended = ModularLinearSystem(system.width, system.variables)
+            for c in system.constraints:
+                extended.add_constraint(c.coefficients, c.rhs)
+            new_fixed = dict(fixed)
+            consistent = True
+            for var, value in substitution.items():
+                if var in new_fixed and new_fixed[var] != value:
+                    consistent = False
+                    break
+                new_fixed[var] = value
+                extended.add_constraint({var: 1}, value)
+            if not consistent:
+                continue
+            result = self._solve_recursive(extended, rest, new_fixed, budget - spent)
+            if result is not None and constraint.is_satisfied(result):
+                return result
+        return None
+
+    def _candidate_substitutions(
+        self, constraint: NonlinearConstraint, fixed: Mapping[Hashable, int]
+    ) -> Iterator[Dict[Hashable, int]]:
+        """Candidate variable substitutions that linearise one constraint."""
+        modulus = 1 << constraint.width
+
+        def known(op: Hashable) -> Optional[int]:
+            if isinstance(op, int):
+                return op % modulus
+            return fixed.get(op)
+
+        a, b, product = known(constraint.a), known(constraint.b), known(constraint.product)
+
+        if constraint.kind == "mul":
+            if a is not None and b is not None:
+                yield self._bind(constraint.product, (a * b) % modulus)
+            elif product is not None and a is not None:
+                scalar = solve_scalar_congruence(a, product, constraint.width)
+                if scalar is not None:
+                    for value in scalar.values():
+                        yield self._bind(constraint.b, value)
+            elif product is not None and b is not None:
+                scalar = solve_scalar_congruence(b, product, constraint.width)
+                if scalar is not None:
+                    for value in scalar.values():
+                        yield self._bind(constraint.a, value)
+            elif product is not None:
+                for fa, fb in enumerate_factor_pairs(product, constraint.width):
+                    combined = self._bind(constraint.a, fa)
+                    combined.update(self._bind(constraint.b, fb))
+                    yield combined
+            else:
+                # Nothing known: try small operand values for one side.
+                for value in range(min(modulus, 16)):
+                    yield self._bind(constraint.a, value)
+        elif constraint.kind in ("shl", "shr"):
+            # Enumerate the shift amount; each choice makes the constraint
+            # linear (a power-of-two multiplication / division).
+            for amount in range(constraint.width + 1):
+                yield self._bind(constraint.b, amount)
+        else:
+            raise ValueError("unknown nonlinear constraint kind %r" % (constraint.kind,))
+
+    @staticmethod
+    def _bind(op: Hashable, value: int) -> Dict[Hashable, int]:
+        if isinstance(op, int):
+            return {}
+        return {op: value}

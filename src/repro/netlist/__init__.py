@@ -1,0 +1,84 @@
+"""Word-level RTL netlist: nets, primitives and the circuit container.
+
+The paper's "quick synthesis" step maps HDL into a flattened netlist of
+high-level primitives:
+
+1. Boolean (bit-wise) gates,
+2. arithmetic units (adders, subtractors, multipliers, shifters),
+3. comparators (datapath-to-control interface),
+4. multiplexors (control-to-datapath interface),
+5. memory elements (flip-flops / registers),
+
+plus the structural glue (constants, slices, concatenations, tri-state
+buffers and bus resolvers) needed to express the benchmark designs.  The
+:class:`~repro.netlist.circuit.Circuit` class is the container and offers a
+builder API used by the HDL elaborator, the benchmark circuit generators and
+by user code directly.
+"""
+
+from repro.netlist.nets import Net, NetKind
+from repro.netlist.gates import (
+    Gate,
+    AndGate,
+    OrGate,
+    XorGate,
+    NotGate,
+    BufGate,
+    NandGate,
+    NorGate,
+    XnorGate,
+    ReduceAnd,
+    ReduceOr,
+    ReduceXor,
+    ConstGate,
+    SliceGate,
+    ConcatGate,
+    ZeroExtendGate,
+)
+from repro.netlist.arith import (
+    Adder,
+    Subtractor,
+    Multiplier,
+    ShiftLeft,
+    ShiftRight,
+)
+from repro.netlist.compare import Comparator
+from repro.netlist.mux import Mux
+from repro.netlist.seq import DFF
+from repro.netlist.tristate import TristateBuffer, BusResolver
+from repro.netlist.circuit import Circuit
+from repro.netlist.classify import classify_nets, SignalClass
+
+__all__ = [
+    "Net",
+    "NetKind",
+    "Gate",
+    "AndGate",
+    "OrGate",
+    "XorGate",
+    "NotGate",
+    "BufGate",
+    "NandGate",
+    "NorGate",
+    "XnorGate",
+    "ReduceAnd",
+    "ReduceOr",
+    "ReduceXor",
+    "ConstGate",
+    "SliceGate",
+    "ConcatGate",
+    "ZeroExtendGate",
+    "Adder",
+    "Subtractor",
+    "Multiplier",
+    "ShiftLeft",
+    "ShiftRight",
+    "Comparator",
+    "Mux",
+    "DFF",
+    "TristateBuffer",
+    "BusResolver",
+    "Circuit",
+    "classify_nets",
+    "SignalClass",
+]

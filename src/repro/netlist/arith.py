@@ -1,0 +1,146 @@
+"""Arithmetic word-level primitives: adders, subtractors, multipliers, shifters.
+
+These are the datapath primitives whose constraints are handed to the modular
+arithmetic solver (Section 4 of the paper).  Adders, subtractors and
+multipliers with one constant input generate *linear* constraints; general
+multipliers and variable shifters generate *non-linear* constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.netlist.gates import Gate
+from repro.netlist.nets import Net
+
+
+class Adder(Gate):
+    """``out = (a + b + carry_in) mod 2**width``.
+
+    ``carry_out``, when connected, is a 1-bit net receiving the carry out of
+    the most significant position (used by the Fig. 3 implication example).
+    """
+
+    kind = "add"
+
+    def __init__(
+        self,
+        name: str,
+        a: Net,
+        b: Net,
+        output: Net,
+        carry_in: Optional[Net] = None,
+        carry_out: Optional[Net] = None,
+    ):
+        if a.width != b.width or a.width != output.width:
+            raise ValueError("adder %s operand/output widths must match" % (name,))
+        if carry_in is not None and carry_in.width != 1:
+            raise ValueError("adder %s carry_in must be 1 bit" % (name,))
+        inputs = [a, b] + ([carry_in] if carry_in is not None else [])
+        super().__init__(name, inputs, output)
+        self.a = a
+        self.b = b
+        self.carry_in = carry_in
+        self.carry_out = carry_out
+        if carry_out is not None:
+            if carry_out.width != 1:
+                raise ValueError("adder %s carry_out must be 1 bit" % (name,))
+            if carry_out.driver is not None:
+                raise ValueError("adder %s carry_out already driven" % (name,))
+            carry_out.driver = self
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        cin = values[self.carry_in] & 1 if self.carry_in is not None else 0
+        return (values[self.a] + values[self.b] + cin) & self.output.mask()
+
+    def evaluate_carry_out(self, values: Dict[Net, int]) -> int:
+        """Concrete carry-out of the most significant bit."""
+        cin = values[self.carry_in] & 1 if self.carry_in is not None else 0
+        total = (values[self.a] & self.a.mask()) + (values[self.b] & self.b.mask()) + cin
+        return 1 if total > self.output.mask() else 0
+
+
+class Subtractor(Gate):
+    """``out = (a - b) mod 2**width``."""
+
+    kind = "sub"
+
+    def __init__(self, name: str, a: Net, b: Net, output: Net):
+        if a.width != b.width or a.width != output.width:
+            raise ValueError("subtractor %s operand/output widths must match" % (name,))
+        super().__init__(name, [a, b], output)
+        self.a = a
+        self.b = b
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return (values[self.a] - values[self.b]) & self.output.mask()
+
+
+class Multiplier(Gate):
+    """``out = (a * b) mod 2**out_width``.
+
+    The output width may differ from the operand widths (the paper's Section 4
+    example multiplies two 3-bit operands into a 4-bit product, which is the
+    source of the modular "false negative" discussion).
+    """
+
+    kind = "mul"
+
+    def __init__(self, name: str, a: Net, b: Net, output: Net):
+        super().__init__(name, [a, b], output)
+        self.a = a
+        self.b = b
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return (values[self.a] * values[self.b]) & self.output.mask()
+
+    def constant_operand(self) -> Optional[Net]:
+        """Return the operand driven by a constant, if any (linear case)."""
+        from repro.netlist.gates import ConstGate
+
+        for operand in (self.a, self.b):
+            if isinstance(operand.driver, ConstGate):
+                return operand
+        return None
+
+
+class ShiftLeft(Gate):
+    """``out = (a << amount) mod 2**width``; ``amount`` may be a net or constant."""
+
+    kind = "shl"
+
+    def __init__(self, name: str, a: Net, output: Net, amount: Optional[Net] = None, constant: Optional[int] = None):
+        if (amount is None) == (constant is None):
+            raise ValueError("shift %s needs exactly one of amount net / constant" % (name,))
+        inputs = [a] + ([amount] if amount is not None else [])
+        super().__init__(name, inputs, output)
+        self.a = a
+        self.amount = amount
+        self.constant = constant
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        shift = self.constant if self.constant is not None else values[self.amount]
+        if shift >= self.output.width:
+            return 0
+        return (values[self.a] << shift) & self.output.mask()
+
+
+class ShiftRight(Gate):
+    """``out = a >> amount`` (logical shift); ``amount`` may be a net or constant."""
+
+    kind = "shr"
+
+    def __init__(self, name: str, a: Net, output: Net, amount: Optional[Net] = None, constant: Optional[int] = None):
+        if (amount is None) == (constant is None):
+            raise ValueError("shift %s needs exactly one of amount net / constant" % (name,))
+        inputs = [a] + ([amount] if amount is not None else [])
+        super().__init__(name, inputs, output)
+        self.a = a
+        self.amount = amount
+        self.constant = constant
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        shift = self.constant if self.constant is not None else values[self.amount]
+        if shift >= self.a.width:
+            return 0
+        return (values[self.a] >> shift) & self.output.mask()

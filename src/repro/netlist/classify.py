@@ -1,0 +1,59 @@
+"""Control / datapath classification of nets.
+
+The paper views the RTL netlist as an interconnection of a control portion
+and a datapath portion, with comparator outputs (data-to-control) and
+multiplexor selects (control-to-data) as the interface.  The ATPG restricts
+its decision making to *control* signals; everything else is left to the
+arithmetic constraint solver.
+
+The default classification below follows that model:
+
+* 1-bit nets are control, unless they are squarely inside an arithmetic
+  cone (e.g. a carry), in which case they are still treated as control --
+  making them decision candidates is safe, just potentially less efficient;
+* multi-bit nets are datapath, unless their :class:`~repro.netlist.nets.NetKind`
+  was forced to ``CONTROL`` by the designer (e.g. one-hot state registers).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net, NetKind
+
+
+class SignalClass(enum.Enum):
+    """Final classification of a net."""
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+def classify_nets(circuit: Circuit) -> Dict[Net, SignalClass]:
+    """Classify every net of ``circuit`` as control or datapath.
+
+    Returns a mapping usable by the ATPG decision-point selection and by the
+    constraint extractor.
+    """
+    result: Dict[Net, SignalClass] = {}
+    for net in circuit.nets:
+        if net.kind == NetKind.CONTROL:
+            result[net] = SignalClass.CONTROL
+        elif net.kind == NetKind.DATA:
+            result[net] = SignalClass.DATA
+        elif net.width == 1:
+            result[net] = SignalClass.CONTROL
+        else:
+            result[net] = SignalClass.DATA
+    return result
+
+
+def is_control(net: Net) -> bool:
+    """Convenience single-net classification (AUTO nets: 1-bit == control)."""
+    if net.kind == NetKind.CONTROL:
+        return True
+    if net.kind == NetKind.DATA:
+        return False
+    return net.width == 1

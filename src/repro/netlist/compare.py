@@ -1,0 +1,56 @@
+"""Comparators: the datapath-to-control interface primitives."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.netlist.gates import Gate
+from repro.netlist.nets import Net
+
+#: Supported (unsigned) comparison operators.
+COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class Comparator(Gate):
+    """``out = (a <op> b)`` as a single control bit.
+
+    Comparators form the boundary between datapath and control logic: their
+    1-bit outputs are decision candidates for the word-level ATPG, and their
+    implications are translated between the Boolean and arithmetic domains
+    with the range technique of the paper's Fig. 4.
+    """
+
+    kind = "cmp"
+
+    def __init__(self, name: str, op: str, a: Net, b: Net, output: Net):
+        if op not in COMPARE_OPS:
+            raise ValueError("comparator %s has unsupported operator %r" % (name, op))
+        if a.width != b.width:
+            raise ValueError("comparator %s operand widths must match" % (name,))
+        if output.width != 1:
+            raise ValueError("comparator %s output must be 1 bit" % (name,))
+        super().__init__(name, [a, b], output)
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        lhs = values[self.a] & self.a.mask()
+        rhs = values[self.b] & self.b.mask()
+        if self.op == "==":
+            return 1 if lhs == rhs else 0
+        if self.op == "!=":
+            return 1 if lhs != rhs else 0
+        if self.op == "<":
+            return 1 if lhs < rhs else 0
+        if self.op == "<=":
+            return 1 if lhs <= rhs else 0
+        if self.op == ">":
+            return 1 if lhs > rhs else 0
+        return 1 if lhs >= rhs else 0
+
+    def is_control_interface(self) -> bool:
+        return True
+
+    def gate_count(self) -> int:
+        return max(1, self.a.width)

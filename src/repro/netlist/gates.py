@@ -1,0 +1,299 @@
+"""Boolean (bit-wise) and structural word-level primitives.
+
+Every primitive derives from :class:`Gate`.  A gate has named input nets, a
+single output net, and two evaluation hooks:
+
+``evaluate(values)``
+    concrete (two-valued) evaluation used by the cycle simulator and by the
+    counterexample validator; ``values`` maps each input net to an ``int``.
+
+The three-valued implication rules live in :mod:`repro.implication`; keeping
+them out of the gate classes keeps the netlist a plain data structure that
+the front end, the bit-blaster and the constraint extractor can all share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.nets import Net
+
+
+class Gate:
+    """Base class for every word-level primitive.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name within the circuit.
+    inputs:
+        Input nets in positional order (semantics defined by the subclass).
+    output:
+        The single output net driven by this gate.
+    """
+
+    #: short mnemonic used in dumps and statistics, overridden by subclasses.
+    kind = "gate"
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        self.name = name
+        self.inputs: List[Net] = list(inputs)
+        self.output = output
+        self.uid = -1
+        for net in self.inputs:
+            net.readers.append(self)
+        if output.driver is not None:
+            raise ValueError(
+                "net %s already driven by %s, cannot also drive from %s"
+                % (output.name, output.driver.name, name)
+            )
+        output.driver = self
+
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        """Concrete evaluation; must be overridden by combinational gates."""
+        raise NotImplementedError(self.__class__.__name__)
+
+    def is_sequential(self) -> bool:
+        """True for state-holding primitives (flip-flops / registers)."""
+        return False
+
+    def is_control_interface(self) -> bool:
+        """True for primitives whose output feeds control logic from data
+        (comparators) -- the datapath/control boundary of the paper."""
+        return False
+
+    def gate_count(self) -> int:
+        """Equivalent primitive-gate count used for Table 1 statistics.
+
+        Word-level primitives count roughly as their bit-sliced size so that
+        reported #gates is comparable across designs of different widths.
+        """
+        return max(1, self.output.width)
+
+    def __repr__(self) -> str:
+        ins = ", ".join(n.name for n in self.inputs)
+        return "%s(%s: %s -> %s)" % (self.__class__.__name__, self.name, ins, self.output.name)
+
+
+# ----------------------------------------------------------------------
+# Bit-wise logic
+# ----------------------------------------------------------------------
+class _BitwiseGate(Gate):
+    """Common base for n-ary bit-wise gates (all operands share the output width)."""
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        widths = {net.width for net in inputs} | {output.width}
+        if len(widths) != 1:
+            raise ValueError(
+                "bitwise gate %s requires equal widths, got %s" % (name, sorted(widths))
+            )
+        if len(inputs) < 1:
+            raise ValueError("bitwise gate %s needs at least one input" % (name,))
+        super().__init__(name, inputs, output)
+
+
+class AndGate(_BitwiseGate):
+    kind = "and"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = self.output.mask()
+        for net in self.inputs:
+            result &= values[net]
+        return result
+
+
+class OrGate(_BitwiseGate):
+    kind = "or"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = 0
+        for net in self.inputs:
+            result |= values[net]
+        return result & self.output.mask()
+
+
+class XorGate(_BitwiseGate):
+    kind = "xor"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = 0
+        for net in self.inputs:
+            result ^= values[net]
+        return result & self.output.mask()
+
+
+class NandGate(_BitwiseGate):
+    kind = "nand"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = self.output.mask()
+        for net in self.inputs:
+            result &= values[net]
+        return (~result) & self.output.mask()
+
+
+class NorGate(_BitwiseGate):
+    kind = "nor"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = 0
+        for net in self.inputs:
+            result |= values[net]
+        return (~result) & self.output.mask()
+
+
+class XnorGate(_BitwiseGate):
+    kind = "xnor"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = 0
+        for net in self.inputs:
+            result ^= values[net]
+        return (~result) & self.output.mask()
+
+
+class NotGate(_BitwiseGate):
+    kind = "not"
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        if len(inputs) != 1:
+            raise ValueError("NOT gate %s takes exactly one input" % (name,))
+        super().__init__(name, inputs, output)
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return (~values[self.inputs[0]]) & self.output.mask()
+
+
+class BufGate(_BitwiseGate):
+    kind = "buf"
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        if len(inputs) != 1:
+            raise ValueError("BUF gate %s takes exactly one input" % (name,))
+        super().__init__(name, inputs, output)
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return values[self.inputs[0]] & self.output.mask()
+
+
+# ----------------------------------------------------------------------
+# Reduction gates (word -> single bit)
+# ----------------------------------------------------------------------
+class _ReductionGate(Gate):
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        if len(inputs) != 1:
+            raise ValueError("reduction gate %s takes exactly one input" % (name,))
+        if output.width != 1:
+            raise ValueError("reduction gate %s output must be 1 bit" % (name,))
+        super().__init__(name, inputs, output)
+
+
+class ReduceAnd(_ReductionGate):
+    kind = "redand"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        net = self.inputs[0]
+        return 1 if values[net] == net.mask() else 0
+
+
+class ReduceOr(_ReductionGate):
+    kind = "redor"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return 1 if values[self.inputs[0]] != 0 else 0
+
+
+class ReduceXor(_ReductionGate):
+    kind = "redxor"
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return bin(values[self.inputs[0]]).count("1") & 1
+
+
+# ----------------------------------------------------------------------
+# Structural gates
+# ----------------------------------------------------------------------
+class ConstGate(Gate):
+    """Drives a net with a constant value."""
+
+    kind = "const"
+
+    def __init__(self, name: str, output: Net, value: int):
+        super().__init__(name, [], output)
+        self.value = value & output.mask()
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return self.value
+
+    def gate_count(self) -> int:
+        return 0
+
+
+class SliceGate(Gate):
+    """Extracts bits ``[msb:lsb]`` of its input."""
+
+    kind = "slice"
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net, msb: int, lsb: int):
+        if len(inputs) != 1:
+            raise ValueError("slice gate %s takes exactly one input" % (name,))
+        if msb < lsb or msb >= inputs[0].width:
+            raise ValueError(
+                "invalid slice [%d:%d] of %d-bit net in gate %s"
+                % (msb, lsb, inputs[0].width, name)
+            )
+        if output.width != msb - lsb + 1:
+            raise ValueError("slice gate %s output width mismatch" % (name,))
+        super().__init__(name, inputs, output)
+        self.msb = msb
+        self.lsb = lsb
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return (values[self.inputs[0]] >> self.lsb) & self.output.mask()
+
+    def gate_count(self) -> int:
+        return 0
+
+
+class ConcatGate(Gate):
+    """Concatenates its inputs; ``inputs[0]`` is the most significant part."""
+
+    kind = "concat"
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        total = sum(net.width for net in inputs)
+        if total != output.width:
+            raise ValueError(
+                "concat gate %s output width %d != sum of input widths %d"
+                % (name, output.width, total)
+            )
+        super().__init__(name, inputs, output)
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = 0
+        for net in self.inputs:
+            result = (result << net.width) | (values[net] & net.mask())
+        return result
+
+    def gate_count(self) -> int:
+        return 0
+
+
+class ZeroExtendGate(Gate):
+    """Zero-extends its input to the (wider) output width."""
+
+    kind = "zext"
+
+    def __init__(self, name: str, inputs: Sequence[Net], output: Net):
+        if len(inputs) != 1:
+            raise ValueError("zero-extend gate %s takes exactly one input" % (name,))
+        if output.width < inputs[0].width:
+            raise ValueError("zero-extend gate %s output narrower than input" % (name,))
+        super().__init__(name, inputs, output)
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return values[self.inputs[0]] & self.inputs[0].mask()
+
+    def gate_count(self) -> int:
+        return 0

@@ -1,0 +1,82 @@
+"""Sequential primitives: word-level D flip-flops / registers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netlist.gates import Gate
+from repro.netlist.nets import Net
+
+
+class DFF(Gate):
+    """A word-level D register with optional enable and asynchronous set/reset.
+
+    Semantics per clock edge (evaluated by the simulator and by time-frame
+    expansion, in priority order):
+
+    1. if ``reset`` is asserted the register is loaded with ``reset_value``;
+    2. else if ``set`` is asserted the register is loaded with all ones;
+    3. else if ``enable`` is present and deasserted the register holds;
+    4. else the register captures ``d``.
+
+    ``init_value`` is the power-on value used to form the initial state set;
+    ``None`` means the power-on value is unknown (all ``x``), in which case an
+    initialization sequence must drive the register to a known value before
+    properties that depend on it can be proved.
+    """
+
+    kind = "dff"
+
+    def __init__(
+        self,
+        name: str,
+        d: Net,
+        q: Net,
+        enable: Optional[Net] = None,
+        reset: Optional[Net] = None,
+        set_: Optional[Net] = None,
+        reset_value: int = 0,
+        init_value: Optional[int] = 0,
+    ):
+        if d.width != q.width:
+            raise ValueError("DFF %s data/output widths must match" % (name,))
+        for ctrl, label in ((enable, "enable"), (reset, "reset"), (set_, "set")):
+            if ctrl is not None and ctrl.width != 1:
+                raise ValueError("DFF %s %s must be 1 bit" % (name, label))
+        inputs = [d]
+        for ctrl in (enable, reset, set_):
+            if ctrl is not None:
+                inputs.append(ctrl)
+        super().__init__(name, inputs, q)
+        self.d = d
+        self.q = q
+        self.enable = enable
+        self.reset = reset
+        self.set = set_
+        self.reset_value = reset_value & q.mask()
+        self.init_value = None if init_value is None else (init_value & q.mask())
+
+    def is_sequential(self) -> bool:
+        return True
+
+    def next_value(self, values: Dict[Net, int], current: int) -> int:
+        """Value captured at the next clock edge given current net values."""
+        if self.reset is not None and values[self.reset] & 1:
+            return self.reset_value
+        if self.set is not None and values[self.set] & 1:
+            return self.q.mask()
+        if self.enable is not None and not (values[self.enable] & 1):
+            return current & self.q.mask()
+        return values[self.d] & self.q.mask()
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        raise RuntimeError(
+            "DFF %s has no combinational evaluation; use the simulator" % (self.name,)
+        )
+
+    def gate_count(self) -> int:
+        return 0
+
+    def flip_flop_count(self) -> int:
+        """Number of single-bit flip-flops this register contributes."""
+        return self.q.width

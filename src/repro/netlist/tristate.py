@@ -1,0 +1,93 @@
+"""Tri-state buffers and bus resolution.
+
+The industrial properties p11-p13 of the paper are *bus contention* checks:
+either the tri-state enable signals driving a shared bus are one-hot, or all
+simultaneously enabled drivers present consensus data.  To express those
+designs we model tri-state drivers explicitly:
+
+* :class:`TristateBuffer` produces a (data, enable) pair feeding a
+  :class:`BusResolver`;
+* :class:`BusResolver` combines all drivers into the resolved bus value and
+  exposes a 1-bit ``contention`` condition used by the property layer.
+
+For the purpose of simulation, a bus with no enabled driver reads as all
+zeros (pulled down) and a contended bus reads the bitwise OR of the enabled
+drivers; the checker never relies on these values, only on the contention
+predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.netlist.gates import Gate
+from repro.netlist.nets import Net
+
+
+class TristateBuffer(Gate):
+    """A tri-state driver: drives ``data`` onto the bus when ``enable`` is 1.
+
+    The gate output is a plain net carrying the driver's data value; the
+    enable net is exported so that the :class:`BusResolver` (and the property
+    converter) can reason about which drivers are active.
+    """
+
+    kind = "tribuf"
+
+    def __init__(self, name: str, data: Net, enable: Net, output: Net):
+        if enable.width != 1:
+            raise ValueError("tristate buffer %s enable must be 1 bit" % (name,))
+        if data.width != output.width:
+            raise ValueError("tristate buffer %s data/output widths must match" % (name,))
+        super().__init__(name, [data, enable], output)
+        self.data = data
+        self.enable = enable
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        return values[self.data] & self.output.mask()
+
+
+class BusResolver(Gate):
+    """Resolves a set of tri-state drivers into a single bus value.
+
+    ``drivers`` is a list of ``(data_net, enable_net)`` pairs.  The resolved
+    value is the OR of all enabled drivers' data (0 when none is enabled).
+    """
+
+    kind = "bus"
+
+    def __init__(self, name: str, drivers: Sequence[Tuple[Net, Net]], output: Net):
+        if not drivers:
+            raise ValueError("bus resolver %s needs at least one driver" % (name,))
+        inputs: List[Net] = []
+        for data, enable in drivers:
+            if data.width != output.width:
+                raise ValueError("bus resolver %s driver width mismatch" % (name,))
+            if enable.width != 1:
+                raise ValueError("bus resolver %s enable must be 1 bit" % (name,))
+            inputs.extend([data, enable])
+        super().__init__(name, inputs, output)
+        self.drivers: List[Tuple[Net, Net]] = list(drivers)
+
+    def evaluate(self, values: Dict[Net, int]) -> int:
+        result = 0
+        for data, enable in self.drivers:
+            if values[enable] & 1:
+                result |= values[data]
+        return result & self.output.mask()
+
+    def has_contention(self, values: Dict[Net, int]) -> bool:
+        """True when two enabled drivers present different data values."""
+        seen = None
+        for data, enable in self.drivers:
+            if not values[enable] & 1:
+                continue
+            value = values[data] & self.output.mask()
+            if seen is None:
+                seen = value
+            elif value != seen:
+                return True
+        return False
+
+    def gate_count(self) -> int:
+        return max(1, self.output.width) * len(self.drivers)

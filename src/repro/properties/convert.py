@@ -1,0 +1,201 @@
+"""Compilation of property expressions into monitor logic and frame requirements.
+
+The property-to-constraint converter of the paper turns the (inverted)
+assertion into value requirements in different time frames.  We realise this
+by compiling the property expression into a 1-bit *monitor net* built from
+the same word-level primitives as the design, so that every implication and
+justification technique applies to the property logic as well.  The
+requirement then reduces to a single-bit assignment at the target frame:
+``monitor = 0`` to generate an assertion counter-example, ``monitor = 1`` to
+generate a witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net, NetKind
+from repro.properties.spec import (
+    And,
+    Assertion,
+    AtMostOneHot,
+    BinOp,
+    Const,
+    Delayed,
+    Expression,
+    Implies,
+    Not,
+    OneHot,
+    Or,
+    Property,
+    Signal,
+    Witness,
+)
+
+
+@dataclass
+class CompiledProperty:
+    """A property compiled into monitor logic inside the circuit."""
+
+    prop: Property
+    monitor: Net
+    #: value the monitor must take at the target frame to produce a
+    #: counter-example (assertions) or a witness (witness properties).
+    goal_value: int
+    #: number of leading frames in which the property is not meaningful
+    #: because Delayed() registers still hold their initial values.
+    warmup_frames: int
+
+    @property
+    def is_assertion(self) -> bool:
+        return isinstance(self.prop, Assertion)
+
+
+class PropertyCompiler:
+    """Compiles property expressions into monitor nets of a circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def compile(self, prop: Property) -> CompiledProperty:
+        """Compile a property; the monitor gates are added to the circuit."""
+        monitor, delay_depth = self._compile_bool(prop.expr)
+        named = self.circuit.buf(monitor, name=self._fresh("monitor_%s" % prop.name))
+        goal_value = 0 if isinstance(prop, Assertion) else 1
+        return CompiledProperty(
+            prop=prop,
+            monitor=named,
+            goal_value=goal_value,
+            warmup_frames=delay_depth,
+        )
+
+    def compile_condition(self, expr: Expression, name: str = "cond") -> Net:
+        """Compile a bare 1-bit condition (used for environment constraints)."""
+        net, _ = self._compile_bool(expr)
+        return self.circuit.buf(net, name=self._fresh(name))
+
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            candidate = "%s_%d" % (prefix, self._counter)
+            if not self.circuit.has_net(candidate):
+                return candidate
+
+    def _compile_bool(self, expr: Expression) -> Tuple[Net, int]:
+        """Compile an expression to a 1-bit net; returns (net, delay depth)."""
+        net, depth = self._compile(expr)
+        if net.width != 1:
+            net = self.circuit.ne(net, 0)
+        return net, depth
+
+    def _compile(self, expr: Expression) -> Tuple[Net, int]:
+        circuit = self.circuit
+
+        if isinstance(expr, Signal):
+            return circuit.net(expr.name), 0
+
+        if isinstance(expr, Const):
+            width = expr.width if expr.width is not None else max(1, expr.value.bit_length())
+            return circuit.const(expr.value, width), 0
+
+        if isinstance(expr, BinOp):
+            lhs, depth_l = self._compile(expr.lhs)
+            rhs, depth_r = self._compile(expr.rhs)
+            lhs, rhs = self._match_widths(lhs, rhs)
+            depth = max(depth_l, depth_r)
+            op = expr.op
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                build = {
+                    "==": circuit.eq, "!=": circuit.ne, "<": circuit.lt,
+                    "<=": circuit.le, ">": circuit.gt, ">=": circuit.ge,
+                }[op]
+                return build(lhs, rhs), depth
+            if op == "&":
+                return circuit.and_(lhs, rhs), depth
+            if op == "|":
+                return circuit.or_(lhs, rhs), depth
+            if op == "^":
+                return circuit.xor(lhs, rhs), depth
+            if op == "+":
+                return circuit.add(lhs, rhs), depth
+            if op == "-":
+                return circuit.sub(lhs, rhs), depth
+            if op == "*":
+                return circuit.mul(lhs, rhs), depth
+            raise ValueError("unsupported operator %r" % (op,))
+
+        if isinstance(expr, Not):
+            net, depth = self._compile_bool(expr.expr)
+            return circuit.not_(net), depth
+
+        if isinstance(expr, And):
+            nets, depth = self._compile_terms(expr.terms)
+            return circuit.and_(*nets), depth
+
+        if isinstance(expr, Or):
+            nets, depth = self._compile_terms(expr.terms)
+            return circuit.or_(*nets), depth
+
+        if isinstance(expr, Implies):
+            antecedent, depth_a = self._compile_bool(expr.antecedent)
+            consequent, depth_c = self._compile_bool(expr.consequent)
+            return circuit.or_(circuit.not_(antecedent), consequent), max(depth_a, depth_c)
+
+        if isinstance(expr, Delayed):
+            inner, depth = self._compile(expr.expr)
+            current = inner
+            for _ in range(expr.cycles):
+                current = circuit.dff(
+                    current,
+                    init_value=expr.initial,
+                    name=self._fresh("monitor_delay"),
+                    kind=NetKind.DATA if current.width > 1 else NetKind.CONTROL,
+                )
+            return current, depth + expr.cycles
+
+        if isinstance(expr, OneHot):
+            nets, depth = self._compile_terms(expr.terms)
+            return self._one_hot(nets, exactly=True), depth
+
+        if isinstance(expr, AtMostOneHot):
+            nets, depth = self._compile_terms(expr.terms)
+            return self._one_hot(nets, exactly=False), depth
+
+        raise TypeError("cannot compile property expression %r" % (expr,))
+
+    def _compile_terms(self, terms: List[Expression]) -> Tuple[List[Net], int]:
+        nets: List[Net] = []
+        depth = 0
+        for term in terms:
+            net, term_depth = self._compile_bool(term)
+            nets.append(net)
+            depth = max(depth, term_depth)
+        return nets, depth
+
+    def _match_widths(self, lhs: Net, rhs: Net) -> Tuple[Net, Net]:
+        if lhs.width == rhs.width:
+            return lhs, rhs
+        width = max(lhs.width, rhs.width)
+        return self.circuit.zext(lhs, width), self.circuit.zext(rhs, width)
+
+    def _one_hot(self, nets: List[Net], exactly: bool) -> Net:
+        """Build a one-hot (or at-most-one-hot) checker from 1-bit nets.
+
+        The pairwise formulation keeps the logic shallow: no two terms are
+        simultaneously 1, and (for the exact variant) at least one term is 1.
+        """
+        circuit = self.circuit
+        no_pair = None
+        for i in range(len(nets)):
+            for j in range(i + 1, len(nets)):
+                pair = circuit.nand(nets[i], nets[j])
+                no_pair = pair if no_pair is None else circuit.and_(no_pair, pair)
+        if not exactly:
+            return no_pair
+        any_set = circuit.or_(*nets) if len(nets) > 1 else nets[0]
+        return circuit.and_(no_pair, any_set)

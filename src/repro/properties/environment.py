@@ -1,0 +1,123 @@
+"""Environmental setup: input constraints and initialization sequences.
+
+The paper's framework requires an environmental setup defining constraints on
+the circuit inputs (clock waveforms, one-hot constraints, ...) and an
+initialization sequence used to derive the set of initial states.  We model:
+
+* *pinned inputs* -- an input held at a constant value in every frame;
+* *one-hot input groups* -- exactly one signal of the group is 1 per frame;
+* *assumption expressions* -- arbitrary 1-bit conditions that must hold in
+  every frame (compiled to monitor nets like properties);
+* *initialization sequences* -- concrete input vectors simulated from the
+  power-on state to produce the initial state used for checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net
+from repro.properties.spec import Expression
+from repro.simulation.simulator import Simulator
+
+
+@dataclass
+class InitializationSequence:
+    """Concrete input vectors applied from power-on to derive initial states."""
+
+    vectors: List[Dict[str, int]] = field(default_factory=list)
+
+    def derive_initial_state(self, circuit: Circuit) -> Dict[str, int]:
+        """Simulate the sequence and return the resulting register values."""
+        simulator = Simulator(circuit)
+        for vector in self.vectors:
+            simulator.step(vector)
+        return simulator.register_values()
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+
+class Environment:
+    """Constraints on the circuit inputs assumed by every property check."""
+
+    def __init__(self):
+        self.pinned: Dict[str, int] = {}
+        self.one_hot_groups: List[List[str]] = []
+        self.assumptions: List[Expression] = []
+        self.initialization: Optional[InitializationSequence] = None
+
+    # ------------------------------------------------------------------
+    def pin(self, signal: Union[str, Net], value: int) -> "Environment":
+        """Hold an input at a constant value in every frame."""
+        name = signal.name if isinstance(signal, Net) else signal
+        self.pinned[name] = value
+        return self
+
+    def one_hot(self, signals: Sequence[Union[str, Net]]) -> "Environment":
+        """Require exactly one of the listed 1-bit inputs to be 1 per frame."""
+        names = [s.name if isinstance(s, Net) else s for s in signals]
+        if len(names) < 2:
+            raise ValueError("a one-hot group needs at least two signals")
+        self.one_hot_groups.append(names)
+        return self
+
+    def assume(self, expr: Expression) -> "Environment":
+        """Add an arbitrary 1-bit assumption that must hold in every frame."""
+        self.assumptions.append(expr)
+        return self
+
+    def initialize_with(self, vectors: Sequence[Mapping[str, int]]) -> "Environment":
+        """Provide an initialization sequence (applied before checking)."""
+        self.initialization = InitializationSequence([dict(v) for v in vectors])
+        return self
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when no constraint at all was declared."""
+        return (
+            not self.pinned
+            and not self.one_hot_groups
+            and not self.assumptions
+            and self.initialization is None
+        )
+
+    def satisfied_by(self, input_vector: Mapping[str, int]) -> bool:
+        """Check a concrete input vector against pinned and one-hot constraints.
+
+        Used to validate generated counterexample traces.
+        """
+        for name, value in self.pinned.items():
+            if name in input_vector and input_vector[name] != value:
+                return False
+        for group in self.one_hot_groups:
+            ones = sum(1 for name in group if input_vector.get(name, 0) & 1)
+            if ones != 1:
+                return False
+        return True
+
+    def random_consistent_vector(
+        self, circuit: Circuit, seed: int = 0
+    ) -> Dict[str, int]:
+        """A deterministic input vector satisfying pin/one-hot constraints.
+
+        Useful for building initialization sequences and smoke tests.
+        """
+        vector: Dict[str, int] = {}
+        for net in circuit.inputs:
+            vector[net.name] = 0
+        vector.update(self.pinned)
+        for index, group in enumerate(self.one_hot_groups):
+            chosen = group[(seed + index) % len(group)]
+            for name in group:
+                vector[name] = 1 if name == chosen else 0
+        return vector
+
+    def __repr__(self) -> str:
+        return "Environment(%d pinned, %d one-hot groups, %d assumptions)" % (
+            len(self.pinned),
+            len(self.one_hot_groups),
+            len(self.assumptions),
+        )

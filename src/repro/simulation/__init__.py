@@ -1,0 +1,12 @@
+"""Cycle-accurate word-level simulation.
+
+Used to validate counterexamples / witness sequences produced by the checker
+(every generated trace is replayed through the simulator before being
+reported), to drive initialization sequences, and by the test-bench style
+examples.
+"""
+
+from repro.simulation.simulator import Simulator, SimulationTrace
+from repro.simulation.vcd import VcdWriter, trace_to_vcd
+
+__all__ = ["Simulator", "SimulationTrace", "VcdWriter", "trace_to_vcd"]

@@ -1,0 +1,99 @@
+"""Tests for don't-care recording and validation (the p10 / p14 flow)."""
+
+import pytest
+
+from repro.analysis import DontCare, DontCareSet, validate_dont_cares
+from repro.checker import CheckerOptions, CheckStatus
+from repro.netlist import Circuit
+from repro.properties import And, Environment, Signal
+
+
+def build_decoder_circuit():
+    """A 2-to-4 decoder: at most one select line is ever high, so any
+    condition requiring two lines high simultaneously is a don't-care."""
+    circuit = Circuit("decoder")
+    sel = circuit.input("sel", 2)
+    for index in range(4):
+        circuit.output(circuit.eq(sel, index), name="line%d" % index)
+    return circuit
+
+
+def build_counter_circuit(limit=5, width=3):
+    circuit = Circuit("counter")
+    cnt = circuit.state("cnt", width)
+    at_max = circuit.eq(cnt, limit)
+    circuit.dff_into(cnt, circuit.mux(at_max, circuit.add(cnt, 1), circuit.const(0, width)), init_value=0)
+    circuit.output(cnt)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping
+# ----------------------------------------------------------------------
+def test_dont_care_set_add_and_iterate():
+    dc_set = DontCareSet("decoder")
+    first = dc_set.add("two_lines", And(Signal("line0") == 1, Signal("line1") == 1))
+    dc_set.add("other", Signal("line3") == 2)
+    assert len(dc_set) == 2
+    assert list(dc_set)[0] is first
+    with pytest.raises(ValueError):
+        dc_set.add("two_lines", Signal("line0") == 1)
+
+
+def test_to_assertion_negates_the_condition():
+    dont_care = DontCare("bad", Signal("x") == 3)
+    assertion = dont_care.to_assertion()
+    assert assertion.name == "dc_bad_unreachable"
+    assert "x" in assertion.expr.signals()
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_decoder_dont_cares_are_external():
+    circuit = build_decoder_circuit()
+    dc_set = DontCareSet("decoder")
+    dc_set.add("lines_0_and_1", And(Signal("line0") == 1, Signal("line1") == 1))
+    dc_set.add("lines_2_and_3", And(Signal("line2") == 1, Signal("line3") == 1))
+    verdicts = validate_dont_cares(circuit, dc_set, options=CheckerOptions(max_frames=2))
+    assert len(verdicts) == 2
+    assert all(verdict.is_external for verdict in verdicts)
+    assert all("unreachable" in verdict.summary() for verdict in verdicts)
+
+
+def test_reachable_condition_is_reported_with_trace():
+    circuit = build_counter_circuit()
+    dc_set = DontCareSet("counter")
+    dc_set.add("counter_hits_three", Signal("cnt") == 3)
+    dc_set.add("counter_hits_seven", Signal("cnt") == 7)
+    verdicts = {
+        verdict.dont_care.name: verdict
+        for verdict in validate_dont_cares(circuit, dc_set, options=CheckerOptions(max_frames=8))
+    }
+    reachable = verdicts["counter_hits_three"]
+    unreachable = verdicts["counter_hits_seven"]
+    assert reachable.reachable and not reachable.is_external
+    assert reachable.result.status is CheckStatus.FAILS
+    assert reachable.result.counterexample is not None
+    assert "REACHABLE" in reachable.summary()
+    assert unreachable.is_external
+
+
+def test_environment_constraints_participate_in_validation():
+    """With a one-hot input environment, driving two request lines at once is
+    a don't-care that the environment makes unreachable."""
+    circuit = Circuit("pair")
+    r0 = circuit.input("r0", 1)
+    r1 = circuit.input("r1", 1)
+    circuit.output(circuit.and_(r0, r1), name="both")
+    dc_set = DontCareSet("pair")
+    dc_set.add("both_requests", Signal("both") == 1)
+
+    unconstrained = validate_dont_cares(circuit, dc_set, options=CheckerOptions(max_frames=1))
+    assert unconstrained[0].reachable
+
+    environment = Environment().one_hot(["r0", "r1"])
+    constrained = validate_dont_cares(
+        circuit, dc_set, environment=environment, options=CheckerOptions(max_frames=1)
+    )
+    assert constrained[0].is_external

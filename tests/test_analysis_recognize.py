@@ -1,0 +1,164 @@
+"""Tests for counter / shift-register recognition."""
+
+from repro.analysis import (
+    recognize_counters,
+    recognize_modules,
+    recognize_shift_registers,
+)
+from repro.circuits import build_alarm_clock
+from repro.netlist import Circuit
+
+
+def build_up_counter(width=4, step=1):
+    circuit = Circuit("up_counter")
+    en = circuit.input("en", 1)
+    cnt = circuit.state("cnt", width)
+    nxt = circuit.add(cnt, step)
+    circuit.dff_into(cnt, circuit.mux(en, cnt, nxt), init_value=0)
+    circuit.output(cnt)
+    return circuit
+
+
+def build_down_counter_with_load(width=4):
+    circuit = Circuit("down_counter")
+    load = circuit.input("load", 1)
+    cnt = circuit.state("cnt", width)
+    decremented = circuit.sub(cnt, 1)
+    reloaded = circuit.const(9, width)
+    circuit.dff_into(cnt, circuit.mux(load, decremented, reloaded), init_value=9)
+    circuit.output(cnt)
+    return circuit
+
+
+def build_word_shift_register(width=8):
+    circuit = Circuit("shifter")
+    serial_in = circuit.input("serial_in", 1)
+    reg = circuit.state("reg", width)
+    shifted = circuit.concat(circuit.slice(reg, width - 2, 0), serial_in)
+    circuit.dff_into(reg, shifted, init_value=0)
+    circuit.output(reg)
+    return circuit
+
+
+def build_bit_chain(length=4):
+    circuit = Circuit("chain")
+    serial_in = circuit.input("serial_in", 1)
+    previous = serial_in
+    for index in range(length):
+        previous = circuit.dff(previous, name="stage%d" % index)
+    circuit.output(previous, name="serial_out")
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+def test_up_counter_recognised():
+    counters = recognize_counters(build_up_counter())
+    assert len(counters) == 1
+    counter = counters[0]
+    assert counter.register_name == "cnt"
+    assert counter.step == 1
+    assert counter.direction == "up"
+    assert counter.can_hold
+
+
+def test_down_counter_with_load_recognised():
+    counters = recognize_counters(build_down_counter_with_load())
+    assert len(counters) == 1
+    counter = counters[0]
+    assert counter.step == -1
+    assert counter.direction == "down"
+    assert counter.load_values == [9]
+
+
+def test_multi_step_counter_recognised():
+    counters = recognize_counters(build_up_counter(step=2))
+    assert counters and counters[0].step == 2
+
+
+def test_non_counter_register_not_recognised():
+    circuit = Circuit("not_counter")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    circuit.dff(circuit.add(a, b), name="sum_reg")
+    assert recognize_counters(circuit) == []
+
+
+def test_register_adding_variable_step_not_recognised():
+    circuit = Circuit("variable_step")
+    step = circuit.input("step", 4)
+    cnt = circuit.state("cnt", 4)
+    circuit.dff_into(cnt, circuit.add(cnt, step), init_value=0)
+    circuit.output(cnt)
+    assert recognize_counters(circuit) == []
+
+
+# ----------------------------------------------------------------------
+# Shift registers
+# ----------------------------------------------------------------------
+def test_word_level_shift_register_recognised():
+    shifts = recognize_shift_registers(build_word_shift_register())
+    assert len(shifts) == 1
+    assert shifts[0].form == "word"
+    assert shifts[0].direction == "left"
+    assert shifts[0].length == 8
+
+
+def test_constant_shl_register_recognised():
+    circuit = Circuit("shl_reg")
+    reg = circuit.state("reg", 8)
+    circuit.dff_into(reg, circuit.shl(reg, 1), init_value=1)
+    circuit.output(reg)
+    shifts = recognize_shift_registers(circuit)
+    assert len(shifts) == 1
+    assert shifts[0].direction == "left"
+
+
+def test_bit_chain_recognised():
+    shifts = recognize_shift_registers(build_bit_chain(length=5))
+    chains = [s for s in shifts if s.form == "chain"]
+    assert len(chains) == 1
+    assert chains[0].length == 5
+    assert chains[0].register_names[0] == "stage0"
+    assert chains[0].register_names[-1] == "stage4"
+
+
+def test_unrelated_registers_do_not_form_chains():
+    circuit = Circuit("independent")
+    a = circuit.input("a", 1)
+    b = circuit.input("b", 1)
+    circuit.dff(a, name="ra")
+    circuit.dff(b, name="rb")
+    assert recognize_shift_registers(circuit) == []
+
+
+# ----------------------------------------------------------------------
+# Combined report
+# ----------------------------------------------------------------------
+def test_report_combines_both_recognisers():
+    circuit = build_up_counter()
+    serial_in = circuit.input("serial_in", 1)
+    previous = serial_in
+    for index in range(3):
+        previous = circuit.dff(previous, name="tap%d" % index)
+    report = recognize_modules(circuit)
+    assert report.counters and report.shift_registers
+    text = report.format()
+    assert "counter cnt" in text
+    assert "shift register" in text
+
+
+def test_alarm_clock_contains_counters():
+    """The alarm clock's minute/hour dividers are counter-shaped registers."""
+    ports = build_alarm_clock()
+    report = recognize_modules(ports.circuit)
+    assert report.counters, "expected at least one recognised counter"
+
+
+def test_report_format_empty():
+    circuit = Circuit("empty")
+    a = circuit.input("a", 2)
+    circuit.output(circuit.not_(a), name="na")
+    text = recognize_modules(circuit).format()
+    assert "(none)" in text

@@ -1,0 +1,77 @@
+"""Tests for the structural analysis report (histogram + partition)."""
+
+from repro.analysis import analyze_structure
+from repro.circuits import build_alarm_clock, build_arbiter
+from repro.netlist import Circuit, NetKind
+
+
+def build_mixed_circuit():
+    circuit = Circuit("mixed")
+    mode = circuit.input("mode", 1)
+    a = circuit.input("a", 8)
+    b = circuit.input("b", 8)
+    total = circuit.add(a, b, name="total")
+    limit = circuit.const(200, 8)
+    over = circuit.gt(total, limit, name="over")
+    selected = circuit.mux(mode, total, circuit.sub(a, b), name="selected")
+    held = circuit.dff(selected, enable=over, name="held")
+    circuit.output(held)
+    return circuit
+
+
+def test_histogram_counts_instances_and_bit_equivalents():
+    circuit = build_mixed_circuit()
+    report = analyze_structure(circuit)
+    histogram = report.histogram
+    assert histogram.instances["add"] == 1
+    assert histogram.instances["sub"] == 1
+    assert histogram.instances["cmp"] == 1
+    assert histogram.instances["mux"] == 1
+    assert histogram.instances["dff"] == 1
+    # Bit-equivalent counts scale with width.
+    assert histogram.bit_equivalent["add"] == 8
+    assert histogram.bit_equivalent["dff"] == 8
+    assert histogram.total_instances == len(circuit.gates)
+
+
+def test_partition_identifies_interface_nets():
+    circuit = build_mixed_circuit()
+    report = analyze_structure(circuit)
+    partition = report.partition
+    comparator_names = {net.name for net in partition.comparator_outputs}
+    select_names = {net.name for net in partition.mux_selects}
+    assert "over" in comparator_names
+    assert "mode" in select_names
+    # The 1-bit nets are control, the 8-bit nets datapath.
+    control_names = {net.name for net in partition.control_nets}
+    data_names = {net.name for net in partition.data_nets}
+    assert "mode" in control_names and "over" in control_names
+    assert "total" in data_names and "held" in data_names
+    assert partition.control_bits < partition.data_bits
+
+
+def test_forced_control_kind_overrides_width():
+    circuit = Circuit("forced")
+    state = circuit.input("state", 3, kind=NetKind.CONTROL)
+    circuit.output(circuit.eq(state, 1), name="is_one")
+    report = analyze_structure(circuit)
+    control_names = {net.name for net in report.partition.control_nets}
+    assert "state" in control_names
+
+
+def test_interface_counts_on_benchmark_designs():
+    for build in (build_alarm_clock, build_arbiter):
+        ports = build()
+        report = analyze_structure(ports.circuit)
+        assert report.num_flip_flop_bits > 0
+        assert report.histogram.total_instances > 10
+        # Every benchmark design has a control/datapath boundary.
+        assert report.partition.mux_selects or report.partition.comparator_outputs
+
+
+def test_format_is_readable():
+    report = analyze_structure(build_mixed_circuit())
+    text = report.format()
+    assert "design mixed" in text
+    assert "comparator outputs" in text
+    assert "mux selects" in text

@@ -1,0 +1,114 @@
+"""Tests for three-valued ripple-carry arithmetic (paper Fig. 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvector import BV3, BV3Conflict, add3, sub3, negate3, propagate_adder, propagate_subtractor
+from repro.bitvector.arith3 import mul3
+from repro.bitvector.bv3 import bv
+
+
+def test_fig3_adder_backward_implication():
+    """Paper Fig. 3: out = 0111, one input = 1x1x implies the other input is
+    at least 1x0x and the carry-out is 1."""
+    a = bv("1x1x")
+    out = bv("0111")
+    new_a, new_b, new_out, cin, cout = propagate_adder(a, BV3.unknown(4), out)
+    assert cout == 1
+    assert new_b.covers(bv("1x0x")) or new_b == bv("1x0x")
+    # The known bits of the derived input must match the paper's 1x0x.
+    assert new_b.bit(3) == 1
+    assert new_b.bit(1) == 0
+
+
+def test_adder_forward_fully_known():
+    a = BV3.from_int(4, 9)
+    b = BV3.from_int(4, 5)
+    new_a, new_b, out, _, cout = propagate_adder(a, b, BV3.unknown(4))
+    assert out.to_int() == 14
+    assert cout == 0
+    a = BV3.from_int(4, 9)
+    b = BV3.from_int(4, 8)
+    _, _, out, _, cout = propagate_adder(a, b, BV3.unknown(4))
+    assert out.to_int() == 1  # wraps modulo 16
+    assert cout == 1
+
+
+def test_adder_conflict_detection():
+    with pytest.raises(BV3Conflict):
+        propagate_adder(BV3.from_int(4, 3), BV3.from_int(4, 4), BV3.from_int(4, 9))
+
+
+def test_adder_carry_in():
+    _, _, out, _, _ = propagate_adder(BV3.from_int(4, 3), BV3.from_int(4, 4), BV3.unknown(4), carry_in=1)
+    assert out.to_int() == 8
+
+
+def test_subtractor_directions():
+    a, b, out = propagate_subtractor(BV3.from_int(4, 5), BV3.from_int(4, 9), BV3.unknown(4))
+    assert out.to_int() == 12  # 5 - 9 mod 16
+    # Backward: out and b known -> a implied.
+    a, b, out = propagate_subtractor(BV3.unknown(4), BV3.from_int(4, 3), BV3.from_int(4, 6))
+    assert a.to_int() == 9
+
+
+def test_add3_sub3_negate3():
+    assert add3(BV3.from_int(4, 7), BV3.from_int(4, 7)).to_int() == 14
+    assert sub3(BV3.from_int(4, 2), BV3.from_int(4, 5)).to_int() == 13
+    assert negate3(BV3.from_int(4, 5)).to_int() == 11
+
+
+def test_mul3_forward():
+    assert mul3(BV3.from_int(3, 4), BV3.from_int(3, 7), out_width=4).to_int() == 12
+    assert mul3(BV3.from_int(3, 0), BV3.unknown(3), out_width=4).to_int() == 0
+    # Known trailing zeros propagate to the product.
+    partial = mul3(bv("1x0"), bv("xx0"), out_width=4)
+    assert partial.bit(0) == 0
+    assert partial.bit(1) == 0
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        propagate_adder(BV3.unknown(4), BV3.unknown(3), BV3.unknown(4))
+
+
+# ----------------------------------------------------------------------
+# Property-based soundness: the fixpoint never removes a real solution and
+# never invents constants that contradict some completion.
+# ----------------------------------------------------------------------
+def _cube(width, value, known):
+    return BV3(width, value, known)
+
+
+small_cube = st.tuples(
+    st.integers(0, 15), st.integers(0, 15)
+).map(lambda spec: _cube(4, spec[0], spec[1]))
+
+
+@given(small_cube, small_cube, small_cube)
+def test_adder_propagation_soundness(a, b, out):
+    """For every (x, y) completion with (x+y) mod 16 in out's completions, the
+    refined cubes still contain x, y and the sum."""
+    solutions = [
+        (x, y)
+        for x in a.completions()
+        for y in b.completions()
+        if out.contains_int((x + y) & 15)
+    ]
+    try:
+        new_a, new_b, new_out, _, _ = propagate_adder(a, b, out)
+    except BV3Conflict:
+        assert not solutions
+        return
+    for x, y in solutions:
+        assert new_a.contains_int(x)
+        assert new_b.contains_int(y)
+        assert new_out.contains_int((x + y) & 15)
+
+
+@given(small_cube, small_cube)
+def test_forward_add_contains_all_sums(a, b):
+    result = add3(a, b)
+    for x in a.completions():
+        for y in b.completions():
+            assert result.contains_int((x + y) & 15)

@@ -1,0 +1,236 @@
+"""Unit and property-based tests for the three-valued bit-vector domain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvector import BV3, BV3Conflict
+from repro.bitvector.bv3 import bv
+
+
+# ----------------------------------------------------------------------
+# Construction and formatting
+# ----------------------------------------------------------------------
+def test_from_string_parses_verilog_style_literals():
+    cube = BV3.from_string("4'b10xx")
+    assert cube.width == 4
+    assert cube.bit(3) == 1
+    assert cube.bit(2) == 0
+    assert cube.bit(1) is None
+    assert cube.bit(0) is None
+    assert str(cube) == "4'b10xx"
+
+
+def test_from_string_rejects_width_mismatch_and_bad_chars():
+    with pytest.raises(ValueError):
+        BV3.from_string("3'b10xx")
+    with pytest.raises(ValueError):
+        BV3.from_string("4'b10a1")
+    with pytest.raises(ValueError):
+        BV3.from_string("")
+
+
+def test_from_int_wraps_modulo_width():
+    assert BV3.from_int(4, 18).to_int() == 2
+    assert BV3.from_int(4, -1).to_int() == 15
+
+
+def test_unknown_and_known_counts():
+    cube = bv("1x0x")
+    assert cube.num_known() == 2
+    assert cube.num_unknown() == 2
+    assert not cube.is_fully_known()
+    assert not cube.is_fully_unknown()
+    assert BV3.unknown(3).is_fully_unknown()
+    assert BV3.from_int(3, 5).is_fully_known()
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        BV3(0)
+    with pytest.raises(ValueError):
+        BV3(-2)
+
+
+def test_bits_round_trip():
+    cube = bv("x10x")
+    assert list(cube.bits()) == [None, 0, 1, None]
+    assert BV3.from_bits(list(cube.bits())) == cube
+
+
+def test_immutability():
+    cube = bv("10x1")
+    with pytest.raises(AttributeError):
+        cube.value = 3
+
+
+# ----------------------------------------------------------------------
+# Min / max / completions
+# ----------------------------------------------------------------------
+def test_min_max_values_match_paper_convention():
+    # Paper Fig. 4: in_a = 4'bx01x spans [2, 11], in_b = 4'b1x0x spans [8, 13].
+    assert bv("x01x").min_value() == 2
+    assert bv("x01x").max_value() == 11
+    assert bv("1x0x").min_value() == 8
+    assert bv("1x0x").max_value() == 13
+
+
+def test_completions_and_contains():
+    cube = bv("1x0x")
+    values = sorted(cube.completions())
+    assert values == [8, 9, 12, 13]
+    for value in values:
+        assert cube.contains_int(value)
+    assert not cube.contains_int(10)
+    assert cube.num_completions() == 4
+
+
+# ----------------------------------------------------------------------
+# Lattice operations
+# ----------------------------------------------------------------------
+def test_intersect_combines_knowledge():
+    merged = bv("1xx0").intersect(bv("x1x0"))
+    assert merged == bv("11x0")
+
+
+def test_intersect_conflict():
+    with pytest.raises(BV3Conflict):
+        bv("10xx").intersect(bv("11xx"))
+
+
+def test_union_keeps_agreeing_bits_only():
+    assert bv("1100").union(bv("1010")) == bv("1xx0")
+    assert bv("1111").union(bv("1111")) == bv("1111")
+
+
+def test_covers_and_refines():
+    general = bv("1xxx")
+    specific = bv("10x1")
+    assert general.covers(specific)
+    assert not specific.covers(general)
+    assert specific.refines(general)
+
+
+def test_compatible():
+    assert bv("1x0x").compatible(bv("xx01"))
+    assert not bv("1x0x").compatible(bv("0x0x"))
+
+
+def test_set_bit_and_conflict():
+    cube = bv("x0xx").set_bit(3, 1)
+    assert cube == bv("10xx")
+    with pytest.raises(BV3Conflict):
+        cube.set_bit(3, 0)
+    # Setting an already-known bit to the same value is a no-op.
+    assert cube.set_bit(3, 1) == cube
+
+
+# ----------------------------------------------------------------------
+# Bitwise three-valued operators
+# ----------------------------------------------------------------------
+def test_and3_matches_paper_example():
+    # Paper Section 3.1: a = 10xx, b = 1x1x implies output bits 10?x -> 4'b1_0_x_x AND.
+    a = BV3.from_string("10xx")
+    b = BV3.from_string("1x1x")
+    result = a.and3(b)
+    assert result.bit(3) == 1
+    assert result.bit(2) == 0
+    assert result.bit(1) is None
+    assert result.bit(0) is None
+
+
+def test_or3_and_xor3():
+    assert bv("1x0x").or3(bv("0x1x")) == bv("1x1x")
+    assert bv("10xx").xor3(bv("11xx")) == bv("01xx")
+
+
+def test_invert():
+    assert (~bv("1x0x")) == bv("0x1x")
+
+
+# ----------------------------------------------------------------------
+# Structural operations
+# ----------------------------------------------------------------------
+def test_slice_concat_round_trip():
+    cube = bv("10x1x0")
+    high = cube.slice(5, 3)
+    low = cube.slice(2, 0)
+    assert high.concat(low) == cube
+
+
+def test_zero_extend_and_truncate():
+    cube = bv("1x")
+    extended = cube.zero_extend(4)
+    assert extended == bv("001x")
+    assert extended.truncate(2) == cube
+    with pytest.raises(ValueError):
+        cube.zero_extend(1)
+    with pytest.raises(ValueError):
+        cube.truncate(3)
+
+
+def test_bv_helper():
+    assert bv(5, width=4) == BV3.from_int(4, 5)
+    assert bv("x1") == BV3.from_string("x1")
+    with pytest.raises(ValueError):
+        bv(3)
+    with pytest.raises(TypeError):
+        bv(1.5, width=3)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+cube_strategy = st.integers(1, 8).flatmap(
+    lambda width: st.tuples(
+        st.just(width),
+        st.integers(0, (1 << width) - 1),
+        st.integers(0, (1 << width) - 1),
+    )
+).map(lambda spec: BV3(spec[0], spec[1], spec[2]))
+
+
+@given(cube_strategy)
+def test_min_max_are_completions(cube):
+    assert cube.contains_int(cube.min_value())
+    assert cube.contains_int(cube.max_value())
+    assert cube.min_value() <= cube.max_value()
+
+
+@given(cube_strategy, cube_strategy)
+def test_intersection_is_exact_on_completions(a, b):
+    if a.width != b.width:
+        return
+    set_a = set(a.completions())
+    set_b = set(b.completions())
+    if a.compatible(b):
+        merged = a.intersect(b)
+        assert set(merged.completions()) == (set_a & set_b) or set(
+            merged.completions()
+        ).issuperset(set_a & set_b)
+    else:
+        assert not (set_a & set_b)
+
+
+@given(cube_strategy, cube_strategy)
+def test_union_over_approximates_both(a, b):
+    if a.width != b.width:
+        return
+    union = a.union(b)
+    for value in list(a.completions()) + list(b.completions()):
+        assert union.contains_int(value)
+
+
+@given(cube_strategy, cube_strategy)
+def test_and3_soundness(a, b):
+    """Every concrete AND result is contained in the three-valued AND cube."""
+    if a.width != b.width:
+        return
+    cube = a.and3(b)
+    for x in a.completions():
+        for y in b.completions():
+            assert cube.contains_int(x & y)
+
+
+@given(cube_strategy)
+def test_string_round_trip(cube):
+    assert BV3.from_string(str(cube)) == cube

@@ -1,0 +1,194 @@
+"""Tests for the benchmark designs and the paper's fourteen properties."""
+
+import pytest
+
+from repro.checker import AssertionChecker, CheckerOptions
+from repro.checker.result import CheckStatus
+from repro.circuits import (
+    all_case_ids,
+    all_cases,
+    build_addr_decoder,
+    build_alarm_clock,
+    build_arbiter,
+    build_case,
+    build_industry_01,
+    build_industry_02,
+    build_industry_03,
+    build_industry_04,
+    build_industry_05,
+    build_token_ring,
+    circuit_statistics,
+)
+from repro.simulation import Simulator
+
+
+# ----------------------------------------------------------------------
+# Structural sanity of every design (Table 1 reproduction support)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "builder, name",
+    [
+        (build_addr_decoder, "addr_decoder"),
+        (build_token_ring, "token_ring"),
+        (build_arbiter, "arbiter"),
+        (build_alarm_clock, "alarm_clock"),
+        (build_industry_01, "industry_01"),
+        (build_industry_02, "industry_02"),
+        (build_industry_03, "industry_03"),
+        (build_industry_04, "industry_04"),
+        (build_industry_05, "industry_05"),
+    ],
+)
+def test_designs_validate_and_report_stats(builder, name):
+    ports = builder()
+    circuit = ports.circuit
+    circuit.validate()
+    stats = circuit.stats()
+    assert stats.name == name
+    assert stats.inputs > 0
+    assert stats.gates > 0
+
+
+def test_circuit_statistics_table():
+    rows = circuit_statistics()
+    assert len(rows) == 9
+    names = [row.name for row in rows]
+    assert names[0] == "addr_decoder" and names[-1] == "industry_05"
+
+
+# ----------------------------------------------------------------------
+# Behavioural simulation checks
+# ----------------------------------------------------------------------
+def test_addr_decoder_write_behaviour():
+    ports = build_addr_decoder(num_cells=4, data_width=4)
+    simulator = Simulator(ports.circuit)
+    simulator.step({"addr": 2, "data_in": 9, "we": 1})
+    assert simulator.register_values()["cell_2"] == 9
+    assert simulator.register_values()["cell_1"] == 0
+    simulator.step({"addr": 2, "data_in": 5, "we": 0})
+    assert simulator.register_values()["cell_2"] == 9
+
+
+def test_token_ring_rotation_and_one_hot():
+    ports = build_token_ring(num_clients=4)
+    simulator = Simulator(ports.circuit)
+    seen = []
+    for _ in range(5):
+        out = simulator.step({"req_0": 1})
+        token = out["token"]
+        seen.append(token)
+        assert bin(token).count("1") == 1
+    assert seen[0] == 1 and seen[1] == 2 and seen[3] == 8 and seen[4] == 1
+
+
+def test_arbiter_parks_and_rotates():
+    ports = build_arbiter(num_clients=3)
+    simulator = Simulator(ports.circuit)
+    out = simulator.step({"req_0": 1, "req_1": 0, "req_2": 0})
+    assert out["grant"] == 1  # owner requesting -> hold
+    out = simulator.step({"req_0": 1, "req_1": 0, "req_2": 0})
+    assert out["grant"] == 1
+    out = simulator.step({"req_0": 0, "req_1": 0, "req_2": 1})
+    assert out["grant"] == 1  # still owned this cycle, rotation happens at the edge
+    out = simulator.step({"req_0": 0, "req_1": 0, "req_2": 1})
+    assert out["grant"] == 2  # rotated away from idle owner
+    assert bin(out["grant"]).count("1") == 1
+
+
+def test_alarm_clock_rollover():
+    ports = build_alarm_clock()
+    simulator = Simulator(ports.circuit, initial_state={"hour": 11, "minute": 59})
+    simulator.step({"tick": 1})
+    state = simulator.register_values()
+    assert state["hour"] == 12 and state["minute"] == 0
+    # Setting the hour wraps 12 -> 1.
+    simulator = Simulator(ports.circuit)
+    simulator.step({"set_time": 1, "inc_hour": 1})
+    assert simulator.register_values()["hour"] == 1
+
+
+def test_alarm_clock_alarm_fires():
+    ports = build_alarm_clock()
+    simulator = Simulator(ports.circuit, initial_state={"hour": 7, "minute": 30,
+                                                        "alarm_hour": 7, "alarm_minute": 30,
+                                                        "alarm_on": 1})
+    out = simulator.step({"tick": 0})
+    assert out["alarm_fire"] == 1
+    out = simulator.step({"tick": 0, "snooze": 1})
+    assert out["alarm_fire"] == 0
+
+
+def test_industry_01_mode_stays_valid():
+    ports = build_industry_01()
+    simulator = Simulator(ports.circuit)
+    for command in (7, 3, 6, 2, 5):
+        simulator.step({"command": command, "enable": 1, "operand": 5})
+        assert simulator.register_values()["mode"] <= 4
+
+
+def test_industry_02_bus_follows_selected_driver():
+    ports = build_industry_02(num_drivers=4, bus_width=8)
+    simulator = Simulator(ports.circuit)
+    simulator.step({"select_in": 2, "load": 1, "src_2": 77})
+    out = simulator.step({"select_in": 2, "load": 0, "src_2": 77})
+    assert out["enable_2"] == 1
+    assert sum(out["enable_%d" % i] for i in range(4)) == 1
+
+
+def test_industry_05_state_stays_one_hot():
+    ports = build_industry_05()
+    simulator = Simulator(ports.circuit)
+    sequences = [
+        {"start": 1, "finish": 0, "abort": 0},
+        {"start": 0, "finish": 1, "abort": 1},  # finish and abort together
+        {"start": 0, "finish": 0, "abort": 0},
+        {"start": 1, "finish": 1, "abort": 0},
+    ]
+    for vector in sequences:
+        simulator.step(vector)
+        state = simulator.register_values()["state"]
+        assert bin(state).count("1") == 1
+
+
+# ----------------------------------------------------------------------
+# The fourteen paper properties, end to end
+# ----------------------------------------------------------------------
+def test_case_catalog_is_complete():
+    assert all_case_ids() == ["p%d" % i for i in range(1, 15)]
+    descriptors = all_cases()
+    assert len(descriptors) == 14
+    assert all(case.design for case in descriptors)
+    with pytest.raises(KeyError):
+        build_case("p99")
+
+
+@pytest.mark.parametrize("case_id", all_case_ids())
+def test_paper_property_verdicts(case_id):
+    """Every property p1-p14 must reproduce the verdict the paper reports."""
+    case = build_case(case_id)
+    checker = AssertionChecker(
+        case.circuit,
+        environment=case.environment,
+        initial_state=case.initial_state,
+        options=CheckerOptions(max_frames=case.max_frames),
+    )
+    result = checker.check(case.prop)
+    assert result.status is case.expected_status, (
+        "%s: expected %s, got %s" % (case_id, case.expected_status, result.status)
+    )
+    if result.counterexample is not None:
+        assert result.counterexample.validated
+
+
+def test_witness_traces_replay_in_simulation():
+    case = build_case("p8")
+    checker = AssertionChecker(
+        case.circuit, options=CheckerOptions(max_frames=case.max_frames)
+    )
+    result = checker.check(case.prop)
+    trace = result.counterexample
+    simulator = Simulator(case.circuit, initial_state=trace.initial_state)
+    final = None
+    for vector in trace.inputs:
+        final = simulator.step(vector)
+    assert final["hour"] == 2

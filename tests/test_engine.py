@@ -1,0 +1,163 @@
+"""Tests for the assignment store and the implication engine."""
+
+import pytest
+
+from repro.bitvector import BV3
+from repro.bitvector.bv3 import bv
+from repro.implication import Assignment, ImplicationConflict, ImplicationEngine, ImplicationNode
+from repro.implication.rules import build_rule, forward_simulate
+from repro.netlist import Circuit
+
+
+# ----------------------------------------------------------------------
+# Assignment store
+# ----------------------------------------------------------------------
+def test_assignment_basic_refinement():
+    store = Assignment()
+    store.register("x", 4)
+    assert store.get("x") == BV3.unknown(4)
+    assert store.assign("x", bv("1xxx"))
+    assert not store.assign("x", bv("1xxx"))  # no new information
+    assert store.assign("x", bv("x0xx"))
+    assert store.get("x") == bv("10xx")
+    assert store.is_assigned("x")
+    assert list(store.known_keys()) == ["x"]
+
+
+def test_assignment_conflict():
+    store = Assignment()
+    store.assign("x", bv("1xxx"))
+    with pytest.raises(ImplicationConflict):
+        store.assign("x", bv("0xxx"))
+
+
+def test_assignment_width_checks():
+    store = Assignment()
+    store.register("x", 4)
+    with pytest.raises(ValueError):
+        store.assign("x", bv("1x"))
+    with pytest.raises(ValueError):
+        store.register("x", 5)
+    with pytest.raises(KeyError):
+        store.get("unknown_key")
+
+
+def test_backtracking_restores_partially_implied_values():
+    """The paper's point: after backtrack a word-level signal returns to its
+    previous *partially implied* cube, not to fully unknown."""
+    store = Assignment()
+    store.assign("x", bv("1xxx"))
+    store.push_level()
+    store.assign("x", bv("10xx"))
+    store.assign("y", bv("01"))
+    store.push_level()
+    store.assign("x", bv("101x"))
+    assert store.decision_level == 2
+    store.pop_level()
+    assert store.get("x") == bv("10xx")
+    store.pop_level()
+    assert store.get("x") == bv("1xxx")
+    assert store.get("y").is_fully_unknown()
+    with pytest.raises(RuntimeError):
+        store.pop_level()
+
+
+def test_pop_all_levels():
+    store = Assignment()
+    store.push_level()
+    store.assign("a", bv("1"))
+    store.push_level()
+    store.assign("b", bv("0"))
+    store.pop_all_levels()
+    assert store.decision_level == 0
+    assert not store.is_assigned("a")
+
+
+# ----------------------------------------------------------------------
+# Engine propagation
+# ----------------------------------------------------------------------
+def build_adder_network():
+    """x + y = s ; s > 7 -> flag, as two nodes over keys."""
+    circuit = Circuit("net")
+    x = circuit.input("x", 4)
+    y = circuit.input("y", 4)
+    s = circuit.add(x, y, name="s")
+    flag = circuit.gt(s, 7, name="flag")
+
+    engine = ImplicationEngine()
+    # Every combinational gate (including the constant feeding the
+    # comparator) becomes one implication node.
+    for gate in circuit.combinational_gates():
+        semantics = build_rule(gate)
+        node = ImplicationNode(
+            gate.output.name,
+            [net.name for net in semantics.pins],
+            semantics.imply,
+            semantics.num_outputs,
+            tag=(gate, 0),
+        )
+        engine.add_node(node, widths=[net.width for net in semantics.pins])
+    engine.enqueue(engine.nodes)
+    engine.propagate()
+    return circuit, engine
+
+
+def test_engine_propagates_through_chain():
+    circuit, engine = build_adder_network()
+    engine.assign("x", BV3.from_int(4, 9))
+    engine.assign("y", BV3.from_int(4, 3))
+    assert engine.assignment.get("s").to_int() == 12
+    assert engine.assignment.get("flag").to_int() == 1
+
+
+def test_engine_backward_implication_and_conflict():
+    circuit, engine = build_adder_network()
+    engine.assign("flag", BV3.from_int(1, 1))
+    engine.assign("x", BV3.from_int(4, 0))
+    # y + 0 > 7 -> y must be at least 8: its MSB is implied 1.
+    assert engine.assignment.get("y").bit(3) == 1
+    with pytest.raises(ImplicationConflict):
+        engine.assign("y", BV3.from_int(4, 3))
+
+
+def test_engine_backtracking_with_levels():
+    circuit, engine = build_adder_network()
+    engine.assign("x", BV3.from_int(4, 1))
+    engine.push_level()
+    engine.assign("y", BV3.from_int(4, 2))
+    assert engine.assignment.get("s").to_int() == 3
+    engine.pop_level()
+    assert engine.assignment.get("s").is_fully_unknown() or not engine.assignment.get(
+        "s"
+    ).is_fully_known()
+    assert engine.assignment.get("x").to_int() == 1
+
+
+def test_justification_detection():
+    circuit, engine = build_adder_network()
+    # Require the adder output without justifying its inputs.
+    engine.assign("s", BV3.from_int(4, 5))
+    adder_node = engine.nodes[0]
+    assert not engine.is_justified(adder_node)
+    assert adder_node in engine.unjustified_nodes()
+    # Once the inputs force the value, the node becomes justified.
+    engine.assign("x", BV3.from_int(4, 2))
+    engine.assign("y", BV3.from_int(4, 3))
+    assert engine.is_justified(adder_node)
+    assert adder_node not in engine.unjustified_nodes()
+
+
+def test_forward_simulate_helper():
+    circuit = Circuit("c")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    s = circuit.add(a, b)
+    outputs = forward_simulate(s.driver, [BV3.from_int(4, 3), BV3.from_int(4, 4)])
+    assert outputs[0].to_int() == 7
+
+
+def test_implication_counts_tracked():
+    circuit, engine = build_adder_network()
+    engine.assign("x", BV3.from_int(4, 9))
+    assert engine.implication_count >= 1
+    assert engine.node_evaluations >= 1

@@ -1,0 +1,107 @@
+"""Tests for datapath constraint extraction into the arithmetic solver."""
+
+import pytest
+
+from repro.atpg.timeframe import UnrolledModel
+from repro.bitvector import BV3
+from repro.modsolver.extract import DatapathConstraintExtractor
+from repro.netlist import Circuit
+
+
+def test_extract_adder_constraint_and_solve():
+    circuit = Circuit("adders")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    total = circuit.add(a, b, name="total")
+    circuit.output(total)
+
+    model = UnrolledModel(circuit, 1)
+    model.assign(total, 0, BV3.from_int(4, 11))
+    unjustified = model.engine.unjustified_nodes()
+    problem = DatapathConstraintExtractor(model.engine).extract(unjustified)
+    assert not problem.is_empty()
+    assert 4 in problem.linear_by_width
+    solution = problem.solve()
+    assert solution is not None
+    assert (solution[(a, 0)] + solution[(b, 0)]) % 16 == 11
+
+
+def test_extract_respects_known_operands():
+    circuit = Circuit("adders")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    total = circuit.add(a, b, name="total")
+
+    model = UnrolledModel(circuit, 1)
+    model.assign(total, 0, BV3.from_int(4, 5), propagate=False)
+    model.assign(a, 0, BV3.from_int(4, 2), propagate=False)
+    unjustified = model.engine.unjustified_nodes()
+    problem = DatapathConstraintExtractor(model.engine).extract(unjustified)
+    solution = problem.solve()
+    if solution and (b, 0) in solution:
+        assert solution[(b, 0)] == 3
+
+
+def test_extract_subtractor_and_constant_multiplier():
+    circuit = Circuit("linear")
+    a = circuit.input("a", 4)
+    scaled = circuit.mul(a, 3, name="scaled")
+    diff = circuit.sub(scaled, a, name="diff")
+    circuit.output(diff)
+
+    model = UnrolledModel(circuit, 1)
+    model.assign(diff, 0, BV3.from_int(4, 6))
+    unjustified = model.engine.unjustified_nodes()
+    problem = DatapathConstraintExtractor(model.engine).extract(unjustified)
+    solution = problem.solve()
+    assert solution is not None
+    value = solution.get((a, 0))
+    if value is not None:
+        assert ((3 * value) - value) % 16 == 6
+
+
+def test_extract_nonlinear_multiplier():
+    circuit = Circuit("mul")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    product = circuit.mul(a, b, name="product")
+    circuit.output(product)
+
+    model = UnrolledModel(circuit, 1)
+    model.assign(product, 0, BV3.from_int(4, 12), propagate=False)
+    unjustified = model.engine.unjustified_nodes()
+    problem = DatapathConstraintExtractor(model.engine).extract(unjustified)
+    assert problem.nonlinear
+    solution = problem.solve()
+    assert solution is not None
+    a_val = solution.get((a, 0), 0)
+    b_val = solution.get((b, 0), 0)
+    assert (a_val * b_val) % 16 == 12
+
+
+def test_extract_shift_constraints():
+    circuit = Circuit("shifts")
+    a = circuit.input("a", 4)
+    shifted = circuit.shl(a, 1, name="shifted")
+    circuit.output(shifted)
+
+    model = UnrolledModel(circuit, 1)
+    model.assign(shifted, 0, BV3.from_int(4, 6), propagate=False)
+    unjustified = model.engine.unjustified_nodes()
+    problem = DatapathConstraintExtractor(model.engine).extract(unjustified)
+    solution = problem.solve()
+    assert solution is not None
+    value = solution.get((a, 0))
+    if value is not None:
+        assert (value << 1) % 16 == 6
+
+
+def test_empty_extraction():
+    circuit = Circuit("empty")
+    a = circuit.input("a", 4)
+    circuit.output(circuit.and_(a, 3))
+    model = UnrolledModel(circuit, 1)
+    problem = DatapathConstraintExtractor(model.engine).extract([])
+    assert problem.is_empty()
+    assert problem.variables() == []
+    assert problem.solve() == {}

@@ -1,0 +1,202 @@
+"""Tests for the Verilog-subset front end (lexer, parser, elaborator)."""
+
+import pytest
+
+from repro import AssertionChecker, Assertion, CheckerOptions, CheckStatus, Signal, Witness
+from repro.hdl import ParseError, compile_verilog, parse_verilog
+from repro.hdl.ast import BinaryOp, CaseStmt, IfStmt, Number, TernaryOp
+from repro.hdl.elaborate import ElaborationError, elaborate
+from repro.hdl.lexer import Lexer, TokenKind, parse_number_literal
+from repro.simulation import Simulator
+
+
+COUNTER_SOURCE = """
+// bounded counter with synchronous clear on overflow
+module counter(input clk, input rst, input en, output [3:0] count);
+  reg [3:0] count;
+  wire at_max;
+  assign at_max = (count == 4'd9);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count <= 4'd0;
+    end else begin
+      if (en) begin
+        if (at_max) count <= 4'd0;
+        else count <= count + 4'd1;
+      end
+    end
+  end
+endmodule
+"""
+
+ALU_SOURCE = """
+module alu(input [3:0] a, input [3:0] b, input [1:0] op, output [3:0] result,
+           output zero);
+  wire [3:0] result;
+  assign result = (op == 2'd0) ? a + b :
+                  (op == 2'd1) ? a - b :
+                  (op == 2'd2) ? (a & b) : (a | b);
+  assign zero = (result == 4'd0);
+endmodule
+"""
+
+CASE_SOURCE = """
+module decoder(input clk, input [1:0] sel, output [3:0] onehot);
+  reg [3:0] onehot;
+  always @(posedge clk) begin
+    case (sel)
+      2'd0: onehot <= 4'b0001;
+      2'd1: onehot <= 4'b0010;
+      2'd2: onehot <= 4'b0100;
+      default: onehot <= 4'b1000;
+    endcase
+  end
+endmodule
+"""
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+def test_lexer_tokenizes_keywords_numbers_operators():
+    tokens = Lexer("module m; assign x = 4'b1010 + y; endmodule").tokenize()
+    kinds = [t.kind for t in tokens]
+    assert TokenKind.KEYWORD in kinds
+    assert TokenKind.BASED_NUMBER in kinds
+    assert tokens[-1].kind is TokenKind.EOF
+
+
+def test_lexer_skips_comments():
+    tokens = Lexer("// line comment\n/* block\ncomment */ module").tokenize()
+    assert tokens[0].is_keyword("module")
+
+
+def test_lexer_reports_bad_characters():
+    with pytest.raises(SyntaxError):
+        Lexer("module `bad").tokenize()
+    with pytest.raises(SyntaxError):
+        Lexer("/* unterminated").tokenize()
+
+
+def test_number_literal_parsing():
+    assert parse_number_literal("13") == (None, 13)
+    assert parse_number_literal("4'b1010") == (4, 10)
+    assert parse_number_literal("8'hff") == (8, 255)
+    assert parse_number_literal("6'd59") == (6, 59)
+    with pytest.raises(ValueError):
+        parse_number_literal("4'b10xz")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def test_parser_builds_module_structure():
+    module = parse_verilog(COUNTER_SOURCE)[0]
+    assert module.name == "counter"
+    assert {p.name for p in module.ports} == {"clk", "rst", "en", "count"}
+    assert module.port("count").width == 4
+    assert module.port("count").direction == "output"
+    assert len(module.assigns) == 1
+    assert len(module.always_blocks) == 1
+    block = module.always_blocks[0]
+    assert block.clock == "clk"
+    assert block.reset == "rst"
+    assert isinstance(block.body[0], IfStmt)
+
+
+def test_parser_expressions_and_ternary():
+    module = parse_verilog(ALU_SOURCE)[0]
+    assign = module.assigns[0]
+    assert isinstance(assign.expr, TernaryOp)
+    assert isinstance(assign.expr.condition, BinaryOp)
+
+
+def test_parser_case_statement():
+    module = parse_verilog(CASE_SOURCE)[0]
+    statement = module.always_blocks[0].body[0]
+    assert isinstance(statement, CaseStmt)
+    assert len(statement.items) == 3
+    assert statement.default
+
+
+def test_parser_parameters_fold():
+    source = """
+    module p(input [3:0] a, output y);
+      parameter LIMIT = 9;
+      assign y = (a == LIMIT);
+    endmodule
+    """
+    module = parse_verilog(source)[0]
+    comparison = module.assigns[0].expr
+    assert isinstance(comparison.rhs, Number)
+    assert comparison.rhs.value == 9
+
+
+def test_parser_errors():
+    with pytest.raises(ParseError):
+        parse_verilog("module m(input a; endmodule")  # missing paren
+    with pytest.raises(ParseError):
+        parse_verilog("")
+    with pytest.raises(ParseError):
+        parse_verilog("module m(); wire w; always @(w) begin end endmodule")
+
+
+# ----------------------------------------------------------------------
+# Elaboration
+# ----------------------------------------------------------------------
+def test_elaborated_counter_behaves_like_hand_built():
+    circuit = compile_verilog(COUNTER_SOURCE)
+    circuit.validate()
+    simulator = Simulator(circuit)
+    for _ in range(11):
+        simulator.step({"en": 1, "rst": 0})
+    assert simulator.register_values()["count"] == 1  # wrapped at 10
+    simulator.step({"en": 1, "rst": 1})
+    assert simulator.register_values()["count"] == 0
+
+
+def test_elaborated_alu_combinational_logic():
+    circuit = compile_verilog(ALU_SOURCE)
+    simulator = Simulator(circuit)
+    assert simulator.step({"a": 7, "b": 5, "op": 0})["result"] == 12
+    assert simulator.step({"a": 7, "b": 5, "op": 1})["result"] == 2
+    assert simulator.step({"a": 12, "b": 10, "op": 2})["result"] == 8
+    assert simulator.step({"a": 12, "b": 10, "op": 3})["result"] == 14
+    assert simulator.step({"a": 0, "b": 0, "op": 0})["zero"] == 1
+
+
+def test_elaborated_case_decoder():
+    circuit = compile_verilog(CASE_SOURCE)
+    simulator = Simulator(circuit)
+    simulator.step({"sel": 2})
+    assert simulator.register_values()["onehot"] == 0b0100
+    simulator.step({"sel": 3})
+    assert simulator.register_values()["onehot"] == 0b1000
+
+
+def test_compile_verilog_top_selection():
+    two_modules = COUNTER_SOURCE + "\nmodule other(input x, output y); assign y = x; endmodule"
+    circuit = compile_verilog(two_modules, top="other")
+    assert circuit.name == "other"
+    with pytest.raises(ElaborationError):
+        compile_verilog(two_modules, top="missing")
+
+
+def test_elaboration_error_on_undeclared_identifier():
+    source = """
+    module bad(input a, output y);
+      assign y = a & undeclared_net;
+    endmodule
+    """
+    with pytest.raises(ElaborationError):
+        compile_verilog(source)
+
+
+def test_checker_runs_on_elaborated_design():
+    circuit = compile_verilog(COUNTER_SOURCE)
+    environment_pinned_reset = None
+    checker = AssertionChecker(circuit, options=CheckerOptions(max_frames=4))
+    holds = checker.check(Assertion("bounded", Signal("count") <= 9))
+    assert holds.status is CheckStatus.HOLDS
+    witness = checker.check(Witness("reach2", Signal("count") == 2), max_frames=5)
+    assert witness.status is CheckStatus.WITNESS_FOUND

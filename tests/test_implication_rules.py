@@ -1,0 +1,275 @@
+"""Tests for the per-primitive word-level implication rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvector import BV3, BV3Conflict
+from repro.bitvector.bv3 import bv
+from repro.implication import rules_bool, rules_compare, rules_mux, rules_seq
+from repro.implication.rules_arith import (
+    imply_adder,
+    imply_multiplier,
+    imply_shift_const,
+    imply_shift_var,
+    imply_subtractor,
+)
+
+
+# ----------------------------------------------------------------------
+# Boolean / bitwise rules
+# ----------------------------------------------------------------------
+def test_and_forward_and_backward():
+    # Forward: inputs known -> output implied.
+    a, b, out = rules_bool.imply_and([bv("1100"), bv("1010"), BV3.unknown(4)])
+    assert out == bv("1000")
+    # Backward: output 1 forces all inputs to 1.
+    a, b, out = rules_bool.imply_and([bv("xxxx"), bv("xxxx"), bv("1xxx")])
+    assert a.bit(3) == 1 and b.bit(3) == 1
+    # Backward: output 0 with all-but-one input 1 forces the last to 0.
+    a, b, out = rules_bool.imply_and([bv("1xxx"), bv("xxxx"), bv("0xxx")])
+    assert b.bit(3) == 0
+
+
+def test_paper_and_example():
+    """Section 3.1: a=10xx, b receives 1x1x, y=x00x refines forward/backward."""
+    a, b, y = rules_bool.imply_and([bv("10xx"), bv("1x1x"), bv("x00x")])
+    assert y.bit(3) == 1  # 1 AND 1
+    assert y.bit(2) == 0
+    # Backward on a: output bit1 is 0 while b bit1 is 1 -> a bit1 must be 0...
+    # (the paper derives a = 100x from y = 100x)
+    assert a.bit(1) == 0
+
+
+def test_and_conflict():
+    with pytest.raises(BV3Conflict):
+        rules_bool.imply_and([bv("1"), bv("1"), bv("0")])
+
+
+def test_or_rules():
+    a, b, out = rules_bool.imply_or([bv("0x"), bv("xx"), bv("0x")])
+    assert b.bit(1) == 0
+    with pytest.raises(BV3Conflict):
+        rules_bool.imply_or([bv("0"), bv("0"), bv("1")])
+
+
+def test_xor_rules():
+    a, b, out = rules_bool.imply_xor([bv("10"), bv("x1"), bv("0x")])
+    assert b.bit(1) == 1
+    assert out.bit(0) is not None
+
+
+def test_nand_nor_xnor():
+    _, _, out = rules_bool.imply_nand([bv("11"), bv("11"), BV3.unknown(2)])
+    assert out == bv("00")
+    _, _, out = rules_bool.imply_nor([bv("00"), bv("00"), BV3.unknown(2)])
+    assert out == bv("11")
+    _, _, out = rules_bool.imply_xnor([bv("10"), bv("11"), BV3.unknown(2)])
+    assert out == bv("10")
+
+
+def test_not_buf():
+    a, out = rules_bool.imply_not([bv("1x0x"), BV3.unknown(4)])
+    assert out == bv("0x1x")
+    a, out = rules_bool.imply_buf([bv("1xxx"), bv("xx0x")])
+    assert a == out == bv("1x0x")
+
+
+def test_reduction_rules():
+    a, out = rules_bool.imply_reduce_or([bv("0000"), BV3.unknown(1)])
+    assert out.to_int() == 0
+    a, out = rules_bool.imply_reduce_or([bv("xxxx"), bv("0")])
+    assert a == bv("0000")
+    a, out = rules_bool.imply_reduce_and([bv("xxxx"), bv("1")])
+    assert a == bv("1111")
+    a, out = rules_bool.imply_reduce_and([bv("111x"), bv("0")])
+    assert a.bit(0) == 0
+    a, out = rules_bool.imply_reduce_xor([bv("1100"), BV3.unknown(1)])
+    assert out.to_int() == 0
+    a, out = rules_bool.imply_reduce_xor([bv("110x"), bv("1")])
+    assert a.bit(0) == 1
+    with pytest.raises(BV3Conflict):
+        rules_bool.imply_reduce_or([bv("0000"), bv("1")])
+
+
+def test_structural_rules():
+    (out,) = rules_bool.imply_const(5, [BV3.unknown(4)])
+    assert out.to_int() == 5
+    a, out = rules_bool.imply_slice(2, 1, [bv("x1x0"), bv("x0")])
+    assert a.bit(1) == 0
+    assert out == bv("10")
+    hi, lo, out = rules_bool.imply_concat([2, 2], [bv("xx"), bv("xx"), bv("10x1")])
+    assert hi == bv("10")
+    assert lo == bv("x1")
+    a, out = rules_bool.imply_zext([bv("xx"), bv("0010")])
+    assert a == bv("10")
+
+
+# ----------------------------------------------------------------------
+# Arithmetic rules
+# ----------------------------------------------------------------------
+def test_adder_rule_with_carry_pins():
+    cubes = [bv("1x1x"), BV3.unknown(4), BV3.from_int(1, 0), bv("0111"), BV3.unknown(1)]
+    a, b, cin, out, cout = imply_adder(True, True, cubes)
+    assert cout.to_int() == 1
+    assert b.bit(3) == 1 and b.bit(1) == 0
+
+
+def test_subtractor_rule():
+    a, b, out = imply_subtractor([BV3.unknown(4), BV3.from_int(4, 3), BV3.from_int(4, 6)])
+    assert a.to_int() == 9
+
+
+def test_multiplier_rule_unique_and_conflict():
+    # Odd known operand -> unique backward solution.
+    a, b, out = imply_multiplier([BV3.from_int(4, 3), BV3.unknown(4), BV3.from_int(4, 9)])
+    assert b.to_int() == 3
+    # Even operand with incompatible product -> conflict (2*x = 9 impossible).
+    with pytest.raises(BV3Conflict):
+        imply_multiplier([BV3.from_int(4, 2), BV3.unknown(4), BV3.from_int(4, 9)])
+    # Forward with both known.
+    _, _, out = imply_multiplier([BV3.from_int(3, 4), BV3.from_int(3, 7), BV3.unknown(4)])
+    assert out.to_int() == 12
+
+
+def test_shift_rules():
+    a, out = imply_shift_const("shl", 1, [bv("xx1x"), BV3.unknown(4)])
+    assert out.bit(0) == 0
+    assert out.bit(2) == 1
+    a, out = imply_shift_const("shr", 2, [bv("10xx"), BV3.unknown(4)])
+    assert out == bv("0010")
+    with pytest.raises(BV3Conflict):
+        imply_shift_const("shl", 2, [BV3.unknown(4), bv("xxx1")])
+    a, amount, out = imply_shift_var("shl", [bv("0001"), BV3.from_int(2, 2), BV3.unknown(4)])
+    assert out == bv("0100")
+    a, amount, out = imply_shift_var("shl", [bv("0001"), BV3.unknown(2), BV3.unknown(4)])
+    assert out.is_fully_unknown()
+
+
+# ----------------------------------------------------------------------
+# Comparator rules (Fig. 4)
+# ----------------------------------------------------------------------
+def test_comparator_fig4_example():
+    a, b, out = rules_compare.imply_comparator(
+        ">", [bv("x01x"), bv("1x0x"), BV3.from_int(1, 1)]
+    )
+    assert a == bv("101x")
+    assert b == bv("100x")
+
+
+def test_comparator_forward_decisions():
+    _, _, out = rules_compare.imply_comparator(
+        "<", [BV3.from_int(4, 2), BV3.from_int(4, 9), BV3.unknown(1)]
+    )
+    assert out.to_int() == 1
+    _, _, out = rules_compare.imply_comparator(
+        "==", [bv("10xx"), bv("01xx"), BV3.unknown(1)]
+    )
+    assert out.to_int() == 0  # incompatible cubes can never be equal
+
+
+def test_comparator_equality_backward():
+    a, b, out = rules_compare.imply_comparator(
+        "==", [bv("1xx0"), bv("x01x"), BV3.from_int(1, 1)]
+    )
+    assert a == b == bv("1010")
+    with pytest.raises(BV3Conflict):
+        rules_compare.imply_comparator(
+            "!=", [BV3.from_int(4, 5), BV3.from_int(4, 5), BV3.from_int(1, 1)]
+        )
+
+
+def test_comparator_conflicting_requirement():
+    with pytest.raises(BV3Conflict):
+        rules_compare.imply_comparator(
+            ">", [BV3.from_int(4, 2), BV3.from_int(4, 9), BV3.from_int(1, 1)]
+        )
+
+
+# ----------------------------------------------------------------------
+# Multiplexor / tri-state / bus rules
+# ----------------------------------------------------------------------
+def test_mux_forward_union_and_select_pruning():
+    # Unknown select: output is the union of the selectable inputs.
+    sel, d0, d1, out = rules_mux.imply_mux(
+        2, [BV3.unknown(1), bv("1100"), bv("1010"), BV3.unknown(4)]
+    )
+    assert out == bv("1xx0")
+    # An input incompatible with the output prunes the select value.
+    sel, d0, d1, out = rules_mux.imply_mux(
+        2, [BV3.unknown(1), bv("0000"), bv("1111"), bv("1xxx")]
+    )
+    assert sel.to_int() == 1
+    assert out == bv("1111")
+
+
+def test_mux_conflict_when_no_input_fits():
+    with pytest.raises(BV3Conflict):
+        rules_mux.imply_mux(
+            2, [BV3.unknown(1), bv("0000"), bv("0011"), bv("11xx")]
+        )
+
+
+def test_mux_known_select():
+    sel, d0, d1, out = rules_mux.imply_mux(
+        2, [BV3.from_int(1, 0), bv("x1x1"), bv("0000"), bv("1xxx")]
+    )
+    assert d0 == bv("11x1") or d0.bit(3) == 1
+
+
+def test_tristate_and_bus_rules():
+    data, enable, out = rules_mux.imply_tristate([bv("xx1x"), BV3.unknown(1), bv("1xxx")])
+    assert data == bv("1x1x") and out == bv("1x1x")
+    pins = rules_mux.imply_bus(
+        2,
+        [bv("xxxx"), BV3.from_int(1, 1), bv("0000"), BV3.from_int(1, 0), bv("1010")],
+    )
+    assert pins[0] == bv("1010")  # the single enabled driver matches the bus
+    pins = rules_mux.imply_bus(
+        2,
+        [bv("xxxx"), BV3.from_int(1, 0), bv("xxxx"), BV3.from_int(1, 0), BV3.unknown(4)],
+    )
+    assert pins[-1].to_int() == 0  # no driver enabled -> bus reads zero
+
+
+# ----------------------------------------------------------------------
+# Register rule
+# ----------------------------------------------------------------------
+def test_dff_capture_and_hold_cases():
+    # Only capture possible: q_next ties to d.
+    pins = rules_seq.imply_dff(False, False, False, 0, [bv("xxxx"), bv("xxxx"), bv("0101")])
+    assert pins[0] == bv("0101")
+    # Enable present and 0: hold ties q_next to q_prev.
+    pins = rules_seq.imply_dff(
+        True, False, False, 0,
+        [bv("1111"), BV3.from_int(1, 0), bv("00xx"), bv("xx01")],
+    )
+    assert pins[2] == bv("0001") and pins[3] == bv("0001")
+
+
+def test_dff_reset_inference_matches_paper():
+    """Paper: next value all zeros while the data input has a 1 bit implies
+    the asynchronous reset is asserted."""
+    pins = rules_seq.imply_dff(
+        False, True, False, 0,
+        [bv("1xxx"), BV3.unknown(1), bv("xxxx"), bv("0000")],
+    )
+    reset = pins[1]
+    assert reset.to_int() == 1
+
+
+def test_dff_no_case_conflict():
+    with pytest.raises(BV3Conflict):
+        rules_seq.imply_dff(
+            False, False, False, 0,
+            [bv("1111"), bv("0000"), bv("0000")],  # d=15 but q_next must be 0, no reset
+        )
+
+
+def test_dff_multiple_cases_union():
+    # Enable unknown: q_next can come from hold or capture -> union of sources.
+    pins = rules_seq.imply_dff(
+        True, False, False, 0,
+        [bv("1100"), BV3.unknown(1), bv("1010"), BV3.unknown(4)],
+    )
+    q_next = pins[-1]
+    assert q_next == bv("1xx0")

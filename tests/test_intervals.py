@@ -1,0 +1,116 @@
+"""Tests for the interval abstraction and Rules 1-2 cube refinement (Fig. 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvector import BV3, BV3Conflict, ValueRange, cube_to_range, range_to_cube
+from repro.bitvector.bv3 import bv
+from repro.bitvector.intervals import tighten_for_compare
+
+
+def test_range_constructors():
+    assert ValueRange.full(4) == ValueRange(4, 0, 15)
+    assert ValueRange.point(4, 20) == ValueRange(4, 4, 4)
+    assert ValueRange.empty(4).is_empty()
+    assert ValueRange(4, 3, 3).is_point()
+    assert ValueRange(4, 2, 5).size() == 4
+    assert ValueRange.empty(4).size() == 0
+
+
+def test_range_operations():
+    a = ValueRange(4, 2, 10)
+    assert a.contains(2) and a.contains(10) and not a.contains(11)
+    assert a.intersect(ValueRange(4, 8, 12)) == ValueRange(4, 8, 10)
+    assert a.clamp_below(5) == ValueRange(4, 2, 5)
+    assert a.clamp_above(4) == ValueRange(4, 4, 10)
+    with pytest.raises(ValueError):
+        a.intersect(ValueRange(5, 0, 1))
+
+
+def test_cube_to_range_matches_paper():
+    assert cube_to_range(bv("x01x")) == ValueRange(4, 2, 11)
+    assert cube_to_range(bv("1x0x")) == ValueRange(4, 8, 13)
+
+
+def test_range_to_cube_fig4_example():
+    """The worked comparator example of the paper's Fig. 4."""
+    in_a = bv("x01x")
+    in_b = bv("1x0x")
+    refined_a = range_to_cube(in_a, ValueRange(4, 9, 11))
+    refined_b = range_to_cube(in_b, ValueRange(4, 8, 10))
+    assert refined_a == bv("101x")
+    assert refined_b == bv("100x")
+
+
+def test_range_to_cube_stops_at_first_undecidable_bit():
+    # Rule 2: once an x bit cannot be decided, lower bits are not implied.
+    cube = bv("xxxx")
+    refined = range_to_cube(cube, ValueRange(4, 4, 11))
+    # Both halves [0,7] and [8,15] intersect [4,11]: nothing can be implied.
+    assert refined == cube
+
+
+def test_range_to_cube_conflict():
+    with pytest.raises(BV3Conflict):
+        range_to_cube(bv("00xx"), ValueRange(4, 8, 12))
+    with pytest.raises(BV3Conflict):
+        range_to_cube(bv("xxxx"), ValueRange.empty(4))
+
+
+def test_range_to_cube_width_mismatch():
+    with pytest.raises(ValueError):
+        range_to_cube(bv("xx"), ValueRange(4, 0, 3))
+
+
+def test_tighten_greater_matches_paper():
+    a, b = tighten_for_compare(">", ValueRange(4, 2, 11), ValueRange(4, 8, 13), True)
+    assert (a.lo, a.hi) == (9, 11)
+    assert (b.lo, b.hi) == (8, 10)
+
+
+def test_tighten_with_false_result_flips_relation():
+    # a > b is FALSE means a <= b.
+    a, b = tighten_for_compare(">", ValueRange(4, 5, 15), ValueRange(4, 0, 7), False)
+    assert a.hi <= 7
+    assert b.lo >= 5
+
+
+def test_tighten_equation_and_inequation():
+    a, b = tighten_for_compare("==", ValueRange(4, 2, 9), ValueRange(4, 5, 12), True)
+    assert (a.lo, a.hi) == (5, 9)
+    assert (b.lo, b.hi) == (5, 9)
+    a, b = tighten_for_compare("!=", ValueRange(4, 3, 3), ValueRange(4, 3, 3), True)
+    assert a.is_empty() or b.is_empty()
+
+
+def test_tighten_unknown_operator():
+    with pytest.raises(ValueError):
+        tighten_for_compare("<>", ValueRange(4, 0, 3), ValueRange(4, 0, 3), True)
+
+
+# ----------------------------------------------------------------------
+# Property-based: refinement soundness
+# ----------------------------------------------------------------------
+cube_strategy = st.integers(2, 6).flatmap(
+    lambda width: st.tuples(
+        st.just(width),
+        st.integers(0, (1 << width) - 1),
+        st.integers(0, (1 << width) - 1),
+    )
+).map(lambda spec: BV3(spec[0], spec[1], spec[2]))
+
+
+@given(cube_strategy, st.data())
+def test_range_to_cube_never_loses_valid_completions(cube, data):
+    """Any completion of the cube inside the target range survives refinement."""
+    lo = data.draw(st.integers(0, (1 << cube.width) - 1))
+    hi = data.draw(st.integers(lo, (1 << cube.width) - 1))
+    target = ValueRange(cube.width, lo, hi)
+    valid = [v for v in cube.completions() if lo <= v <= hi]
+    try:
+        refined = range_to_cube(cube, target)
+    except BV3Conflict:
+        assert not valid
+        return
+    for value in valid:
+        assert refined.contains_int(value)

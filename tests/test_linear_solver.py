@@ -1,0 +1,164 @@
+"""Tests for the modular linear constraint solver (Section 4.1 of the paper)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modsolver.linear import LinearConstraint, ModularLinearSystem
+
+
+def brute_force_solutions(rows, rhs, width):
+    """Exhaustively enumerate solutions of A*x = b mod 2**width."""
+    num_vars = len(rows[0]) if rows else 0
+    modulus = 1 << width
+    solutions = []
+    for packed in range(modulus ** num_vars):
+        values = []
+        remaining = packed
+        for _ in range(num_vars):
+            values.append(remaining % modulus)
+            remaining //= modulus
+        if all(
+            sum(c * v for c, v in zip(row, values)) % modulus == b % modulus
+            for row, b in zip(rows, rhs)
+        ):
+            solutions.append(tuple(values))
+    return solutions
+
+
+# ----------------------------------------------------------------------
+# Paper examples
+# ----------------------------------------------------------------------
+def test_paper_3bit_example_finds_modular_solution():
+    """Section 4: [[1,1],[2,7]] x = [5,4] has no integral solution but
+    (x, y) = (3, 2) modulo 2**3."""
+    system = ModularLinearSystem.from_matrix([[1, 1], [2, 7]], [5, 4], width=3)
+    solutions = system.solve()
+    assert solutions is not None
+    assert system.is_solution({"x0": 3, "x1": 2})
+    found = list(solutions.enumerate())
+    assert any(s["x0"] == 3 and s["x1"] == 2 for s in found)
+
+
+def test_paper_fig5_4bit_example():
+    """Section 4.1 worked example: the 4-bit system
+    [[3,-1,0,-2],[1,2,-2,0]] x = [2,10] has the closed-form solution set the
+    paper prints; we check the particular solution and the solution count."""
+    rows = [[3, -1, 0, -2], [1, 2, -2, 0]]
+    rhs = [2, 10]
+    system = ModularLinearSystem.from_matrix(rows, rhs, width=4)
+    solutions = system.solve()
+    assert solutions is not None
+    # The paper's particular solution x0 = (10, 0, 0, 6)^T (a, b, c, d).
+    paper_particular = {"x0": 10, "x1": 0, "x2": 0, "x3": 6}
+    assert system.is_solution(paper_particular)
+    # Every enumerated solution must satisfy the system.
+    count = 0
+    for solution in solutions.enumerate(limit=512):
+        assert system.is_solution(solution)
+        count += 1
+    # Two free 4-bit variables => 256 distinct solutions.
+    assert count == 256
+
+
+def test_multiplier_false_negative_example_linearised():
+    """a * b = c with a = 4, c = 12 over 4 bits: b in {3, 7, 11, 15}."""
+    system = ModularLinearSystem(4)
+    system.add_constraint({"b": 4}, 12)
+    solutions = system.solve()
+    values = sorted(s["b"] for s in solutions.enumerate())
+    assert values == [3, 7, 11, 15]
+
+
+# ----------------------------------------------------------------------
+# API behaviour
+# ----------------------------------------------------------------------
+def test_infeasible_system_returns_none():
+    system = ModularLinearSystem(4)
+    system.add_constraint({"x": 2}, 3)  # 2x = 3 mod 16 has no solution
+    assert system.solve() is None
+
+
+def test_contradictory_constants():
+    system = ModularLinearSystem(4)
+    system.add_constraint({}, 5)
+    assert system.solve() is None
+    empty = ModularLinearSystem(4)
+    empty.add_constraint({}, 0)
+    assert empty.solve() is not None
+
+
+def test_no_variables_no_constraints():
+    system = ModularLinearSystem(8)
+    solutions = system.solve()
+    assert solutions is not None
+    assert solutions.solution_count() == 1
+
+
+def test_more_constraints_than_variables():
+    system = ModularLinearSystem(4)
+    system.add_constraint({"x": 1}, 5)
+    system.add_constraint({"x": 3}, 15)
+    solutions = system.solve()
+    assert solutions is not None
+    assert solutions.particular["x"] == 5
+    conflicting = ModularLinearSystem(4)
+    conflicting.add_constraint({"x": 1}, 5)
+    conflicting.add_constraint({"x": 1}, 6)
+    assert conflicting.solve() is None
+
+
+def test_substitute_and_free_variables():
+    system = ModularLinearSystem(4)
+    system.add_constraint({"x": 1, "y": 1}, 6)
+    solutions = system.solve()
+    assert solutions.num_free_variables == 1
+    for value in range(4):
+        assignment = solutions.substitute([value])
+        assert system.is_solution(assignment)
+    with pytest.raises(ValueError):
+        solutions.substitute([1, 2])
+
+
+def test_linear_constraint_helpers():
+    constraint = LinearConstraint({"x": 3, "y": 1}, 7)
+    assert constraint.evaluate({"x": 1, "y": 4}, 4) == 7
+    assert constraint.is_satisfied({"x": 1, "y": 4}, 4)
+    assert not constraint.is_satisfied({"x": 1, "y": 5}, 4)
+
+
+def test_invalid_width_and_ragged_matrix():
+    with pytest.raises(ValueError):
+        ModularLinearSystem(0)
+    with pytest.raises(ValueError):
+        ModularLinearSystem.from_matrix([[1, 2], [1]], [0, 0], 4)
+
+
+# ----------------------------------------------------------------------
+# Property-based: agreement with brute force on small systems
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(2, 3),  # width
+    st.integers(1, 2),  # variables
+    st.integers(1, 2),  # constraints
+    st.data(),
+)
+def test_solver_agrees_with_brute_force(width, num_vars, num_rows, data):
+    modulus = 1 << width
+    rows = [
+        [data.draw(st.integers(0, modulus - 1)) for _ in range(num_vars)]
+        for _ in range(num_rows)
+    ]
+    rhs = [data.draw(st.integers(0, modulus - 1)) for _ in range(num_rows)]
+    expected = brute_force_solutions(rows, rhs, width)
+    system = ModularLinearSystem.from_matrix(rows, rhs, width)
+    solutions = system.solve()
+    if not expected:
+        assert solutions is None
+        return
+    assert solutions is not None
+    variables = system.variables
+    enumerated = {
+        tuple(solution[v] for v in variables) for solution in solutions.enumerate(limit=4096)
+    }
+    assert enumerated == set(expected)

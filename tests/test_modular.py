@@ -1,0 +1,124 @@
+"""Tests for multiplicative inverses modulo 2**n (Definitions 3-4, Theorems 1-2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.modsolver.modular import (
+    count_inverses_with_product,
+    multiplicative_inverse,
+    multiplicative_inverse_with_product,
+    odd_part,
+    solve_scalar_congruence,
+    two_adic_valuation,
+)
+
+
+def test_two_adic_valuation_and_odd_part():
+    assert two_adic_valuation(6) == 1
+    assert two_adic_valuation(8) == 3
+    assert two_adic_valuation(7) == 0
+    assert odd_part(12) == 3
+    assert odd_part(7) == 7
+    with pytest.raises(ValueError):
+        two_adic_valuation(0)
+    with pytest.raises(ValueError):
+        odd_part(0)
+
+
+def test_paper_example_inverse_of_3_width_3():
+    """Paper: for 3-bit vectors, 3 is its own inverse (3*3 = 9 = 1 mod 8)."""
+    assert multiplicative_inverse(3, 3) == 3
+
+
+def test_even_numbers_have_no_inverse():
+    with pytest.raises(ValueError):
+        multiplicative_inverse(2, 3)
+    with pytest.raises(ValueError):
+        multiplicative_inverse(6, 4)
+
+
+def test_paper_example_inverse_with_product():
+    """Paper: for 3-bit vectors, 3 is the inverse of 6 with product 2."""
+    assert 3 in multiplicative_inverse_with_product(6, 2, 3)
+
+
+def test_theorem_1_2_no_inverse_when_product_not_multiple():
+    """6 = 3 * 2 has no inverse with product 3 (3 is not a multiple of 2)."""
+    assert multiplicative_inverse_with_product(6, 3, 3) == []
+    assert count_inverses_with_product(6, 3, 3) == 0
+
+
+def test_theorem_1_3_count_and_values():
+    """6 has exactly 2 inverses with product 4 over 3-bit vectors: {2, 6}."""
+    values = multiplicative_inverse_with_product(6, 4, 3)
+    assert values == [2, 6]
+    assert count_inverses_with_product(6, 4, 3) == 2
+
+
+def test_theorem_2_closed_form_example():
+    """Paper: 4-bit, a = 6, k = 10 -> inverses are 7 + 8*t for t in {0, 1}."""
+    values = multiplicative_inverse_with_product(6, 10, 4)
+    assert values == sorted({7, 15})
+    solutions = solve_scalar_congruence(6, 10, 4)
+    assert solutions.base % 8 == 7 % 8
+    assert solutions.step == 8
+    assert solutions.count == 2
+
+
+def test_zero_special_cases():
+    """0 has no inverse with a non-zero product; every vector is an inverse of
+    0 with product 0."""
+    assert multiplicative_inverse_with_product(0, 3, 3) == []
+    all_inverses = multiplicative_inverse_with_product(0, 0, 3)
+    assert all_inverses == list(range(8))
+
+
+def test_scalar_solutions_contains():
+    solutions = solve_scalar_congruence(6, 10, 4)
+    assert solutions.contains(7)
+    assert solutions.contains(15)
+    assert not solutions.contains(3)
+    assert len(solutions) == 2
+
+
+def test_large_solution_set_enumeration_guard():
+    with pytest.raises(ValueError):
+        multiplicative_inverse_with_product(0, 0, 20)
+
+
+# ----------------------------------------------------------------------
+# Property-based checks of the theorems
+# ----------------------------------------------------------------------
+@given(st.integers(1, 10), st.data())
+def test_odd_inverse_is_unique_and_correct(width, data):
+    modulus = 1 << width
+    a = data.draw(st.integers(1, modulus - 1).filter(lambda v: v % 2 == 1))
+    inverse = multiplicative_inverse(a, width)
+    assert (a * inverse) % modulus == 1
+
+
+@given(st.integers(2, 8), st.data())
+def test_scalar_congruence_matches_brute_force(width, data):
+    modulus = 1 << width
+    a = data.draw(st.integers(0, modulus - 1))
+    k = data.draw(st.integers(0, modulus - 1))
+    brute = sorted(x for x in range(modulus) if (a * x) % modulus == k)
+    solutions = solve_scalar_congruence(a, k, width)
+    if solutions is None:
+        assert brute == []
+    else:
+        assert sorted(solutions.values()) == brute
+
+
+@given(st.integers(2, 8), st.data())
+def test_theorem1_count_formula(width, data):
+    """The number of inverses with product k is 0 or 2**m (m = valuation of a)."""
+    modulus = 1 << width
+    a = data.draw(st.integers(1, modulus - 1))
+    k = data.draw(st.integers(0, modulus - 1))
+    m = two_adic_valuation(a)
+    count = count_inverses_with_product(a, k, width)
+    if k % (1 << m) == 0:
+        assert count == (1 << m)
+    else:
+        assert count == 0

@@ -1,0 +1,216 @@
+"""Tests for the word-level netlist, builder API and circuit services."""
+
+import pytest
+
+from repro.netlist import Circuit, NetKind
+from repro.netlist.classify import SignalClass, classify_nets, is_control
+from repro.netlist.gates import ConstGate
+from repro.netlist.seq import DFF
+
+
+def test_builder_creates_named_nets_and_ports():
+    circuit = Circuit("demo", source_lines=10)
+    a = circuit.input("a", 8)
+    b = circuit.input("b", 8)
+    total = circuit.add(a, b, name="total")
+    circuit.output(total)
+    assert circuit.net("a") is a
+    assert circuit.has_net("total")
+    assert not circuit.has_net("missing")
+    with pytest.raises(KeyError):
+        circuit.net("missing")
+    assert a.is_primary_input()
+    assert total.is_primary_output()
+
+
+def test_duplicate_net_names_rejected():
+    circuit = Circuit("demo")
+    circuit.input("a", 4)
+    with pytest.raises(ValueError):
+        circuit.new_net("a", 4)
+
+
+def test_int_operands_become_constants():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 4)
+    total = circuit.add(a, 3)
+    assert total.width == 4
+    const_drivers = [g for g in circuit.gates if isinstance(g, ConstGate)]
+    assert any(g.value == 3 for g in const_drivers)
+    with pytest.raises(ValueError):
+        circuit.add(1, 2)  # at least one net operand is required
+
+
+def test_gate_evaluation_semantics():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    values = {a: 0b1100, b: 0b1010}
+
+    checks = [
+        (circuit.and_(a, b), 0b1000),
+        (circuit.or_(a, b), 0b1110),
+        (circuit.xor(a, b), 0b0110),
+        (circuit.nand(a, b), 0b0111),
+        (circuit.nor(a, b), 0b0001),
+        (circuit.xnor(a, b), 0b1001),
+        (circuit.not_(a), 0b0011),
+        (circuit.add(a, b), (12 + 10) & 15),
+        (circuit.sub(a, b), (12 - 10) & 15),
+        (circuit.mul(a, b), (12 * 10) & 15),
+        (circuit.eq(a, b), 0),
+        (circuit.ne(a, b), 1),
+        (circuit.lt(a, b), 0),
+        (circuit.gt(a, b), 1),
+        (circuit.le(a, b), 0),
+        (circuit.ge(a, b), 1),
+        (circuit.shl(a, 1), 0b1000),
+        (circuit.shr(a, 2), 0b0011),
+        (circuit.reduce_and(a), 0),
+        (circuit.reduce_or(a), 1),
+        (circuit.reduce_xor(a), 0),
+        (circuit.slice(a, 3, 2), 0b11),
+        (circuit.zext(circuit.slice(a, 1, 0), 4), 0),
+    ]
+    for net, expected in checks:
+        gate = net.driver
+        # Resolve nested dependencies (slice feeding zext) first.
+        for upstream in gate.inputs:
+            if upstream not in values and upstream.driver is not None:
+                values[upstream] = upstream.driver.evaluate(values)
+        assert gate.evaluate(values) == expected, gate
+
+
+def test_mux_and_concat_evaluation():
+    circuit = Circuit("demo")
+    sel = circuit.input("sel", 2)
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    c = circuit.input("c", 4)
+    out = circuit.mux(sel, a, b, c)
+    cat = circuit.concat(a, b)
+    values = {sel: 2, a: 1, b: 2, c: 3}
+    assert out.driver.evaluate(values) == 3
+    values[sel] = 3  # out of range selects the last input
+    assert out.driver.evaluate(values) == 3
+    assert cat.driver.evaluate(values) == (1 << 4) | 2
+    assert cat.width == 8
+
+
+def test_adder_carry_out():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 4)
+    total, carry = circuit.add(a, b, with_carry_out=True)
+    gate = total.driver
+    assert gate.evaluate_carry_out({a: 9, b: 9}) == 1
+    assert gate.evaluate_carry_out({a: 1, b: 2}) == 0
+    assert carry.width == 1
+
+
+def test_width_mismatch_errors():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 4)
+    b = circuit.input("b", 3)
+    with pytest.raises(ValueError):
+        circuit.and_(a, b)
+    with pytest.raises(ValueError):
+        circuit.eq(a, b)
+
+
+def test_register_and_flip_flop_count():
+    circuit = Circuit("demo")
+    d = circuit.input("d", 8)
+    en = circuit.input("en", 1)
+    q = circuit.dff(d, enable=en, init_value=5, name="q")
+    assert isinstance(q.driver, DFF)
+    assert q.driver.init_value == 5
+    stats = circuit.stats()
+    assert stats.flip_flops == 8
+    assert stats.inputs == 9
+    assert circuit.flip_flops[0].flip_flop_count() == 8
+
+
+def test_state_and_dff_into_feedback():
+    circuit = Circuit("demo")
+    cnt = circuit.state("cnt", 4)
+    nxt = circuit.add(cnt, 1)
+    circuit.dff_into(cnt, nxt)
+    circuit.output(cnt)
+    circuit.validate()
+    assert cnt.driver is not None
+
+
+def test_tristate_bus():
+    circuit = Circuit("demo")
+    d0 = circuit.input("d0", 4)
+    d1 = circuit.input("d1", 4)
+    e0 = circuit.input("e0", 1)
+    e1 = circuit.input("e1", 1)
+    bus = circuit.bus([(circuit.tribuf(d0, e0), e0), (circuit.tribuf(d1, e1), e1)])
+    resolver = bus.driver
+    base = {d0: 3, d1: 5, e0: 1, e1: 0}
+    values = dict(base)
+    for gate in circuit.topological_order():
+        values[gate.output] = gate.evaluate(values)
+    assert values[bus] == 3
+    assert not resolver.has_contention(values)
+    values = dict(base)
+    values[e1] = 1
+    for gate in circuit.topological_order():
+        values[gate.output] = gate.evaluate(values)
+    assert resolver.has_contention(values)
+
+
+def test_topological_order_and_cycle_detection():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 2)
+    x = circuit.new_net("x", 2)
+    y = circuit.and_(a, x)
+    # Close a combinational loop: x driven by y.
+    from repro.netlist.gates import BufGate
+
+    circuit._register(BufGate("loop", [y], x))
+    with pytest.raises(ValueError):
+        circuit.topological_order()
+
+
+def test_validate_detects_undriven_nets():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 2)
+    floating = circuit.new_net("floating", 2)
+    circuit.and_(a, floating)
+    with pytest.raises(ValueError):
+        circuit.validate()
+
+
+def test_classification():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 8)
+    flag = circuit.input("flag", 1)
+    forced = circuit.input("state", 4, kind=NetKind.CONTROL)
+    classes = classify_nets(circuit)
+    assert classes[a] is SignalClass.DATA
+    assert classes[flag] is SignalClass.CONTROL
+    assert classes[forced] is SignalClass.CONTROL
+    assert is_control(flag)
+    assert not is_control(a)
+
+
+def test_output_with_rename():
+    circuit = Circuit("demo")
+    a = circuit.input("a", 4)
+    total = circuit.add(a, 1)
+    renamed = circuit.output(total, name="result")
+    assert renamed.name == "result"
+    assert renamed.is_primary_output()
+    assert circuit.net("result") is renamed
+
+
+def test_stats_rows():
+    circuit = Circuit("demo", source_lines=42)
+    a = circuit.input("a", 4)
+    circuit.output(circuit.add(a, 1))
+    row = circuit.stats().as_row()
+    assert row[0] == "demo"
+    assert row[1] == 42

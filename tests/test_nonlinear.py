@@ -1,0 +1,96 @@
+"""Tests for non-linear constraint handling (multipliers, shifters)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modsolver.linear import ModularLinearSystem
+from repro.modsolver.nonlinear import (
+    NonlinearConstraint,
+    NonlinearSolver,
+    enumerate_factor_pairs,
+)
+
+
+def test_paper_multiplier_example_has_both_factors():
+    """Section 4: c = 12, a = 4 admits b = 3 *and* b = 7 modulo 16."""
+    pairs = list(enumerate_factor_pairs(12, 4, limit=512))
+    assert (4, 3) in pairs
+    assert (4, 7) in pairs
+    for a, b in pairs:
+        assert (a * b) % 16 == 12
+
+
+def test_factor_pairs_zero_product():
+    pairs = list(enumerate_factor_pairs(0, 3, limit=64))
+    for a, b in pairs:
+        assert (a * b) % 8 == 0
+    assert (0, 0) in pairs or any(a == 0 for a, _ in pairs)
+
+
+def test_nonlinear_constraint_satisfaction():
+    constraint = NonlinearConstraint("mul", "a", "b", "c", 4)
+    assert constraint.is_satisfied({"a": 4, "b": 7, "c": 12})
+    assert not constraint.is_satisfied({"a": 4, "b": 5, "c": 12})
+    shift = NonlinearConstraint("shl", "a", 2, "c", 4)
+    assert shift.is_satisfied({"a": 3, "c": 12})
+    assert shift.variables() == ["a", "c"]
+    with pytest.raises(ValueError):
+        NonlinearConstraint("pow", "a", "b", "c", 4).is_satisfied({"a": 1, "b": 1, "c": 1})
+
+
+def test_solver_multiplier_with_side_constraint():
+    """The false-negative scenario: only the wrapped factor satisfies the
+    extra linear constraint, so a modular solver must find b = 7."""
+    linear = ModularLinearSystem(4)
+    linear.add_constraint({"b": 1}, 7)  # side constraint forces b = 7
+    constraint = NonlinearConstraint("mul", "a", "b", 12, 4)
+    solver = NonlinearSolver()
+    solution = solver.solve(linear, [constraint], fixed={"a": 4})
+    assert solution is not None
+    assert solution["b"] == 7
+    assert (solution["a"] * solution["b"]) % 16 == 12
+
+
+def test_solver_pure_linear_passthrough():
+    linear = ModularLinearSystem(4)
+    linear.add_constraint({"x": 3}, 9)
+    solution = NonlinearSolver().solve(linear, [])
+    assert solution is not None
+    assert (3 * solution["x"]) % 16 == 9
+
+
+def test_solver_infeasible_nonlinear():
+    linear = ModularLinearSystem(3)
+    linear.add_constraint({"b": 1}, 5)
+    # a * b = 1 requires b odd; with b = 5 fixed, a must be 5 (5*5=25=1 mod 8),
+    # but the extra constraint pins a to an incompatible value.
+    linear.add_constraint({"a": 1}, 2)
+    constraint = NonlinearConstraint("mul", "a", "b", 1, 3)
+    assert NonlinearSolver().solve(linear, [constraint]) is None
+
+
+def test_solver_shift_constraint():
+    constraint = NonlinearConstraint("shl", "a", "s", "c", 4)
+    linear = ModularLinearSystem(4)
+    linear.add_constraint({"c": 1}, 8)
+    linear.add_constraint({"a": 1}, 1)
+    solution = NonlinearSolver().solve(linear, [constraint])
+    assert solution is not None
+    assert (solution["a"] << solution["s"]) % 16 == 8
+
+
+def test_solver_both_operands_unknown():
+    constraint = NonlinearConstraint("mul", "a", "b", 6, 4)
+    solution = NonlinearSolver().solve(ModularLinearSystem(4), [constraint])
+    assert solution is not None
+    assert (solution["a"] * solution["b"]) % 16 == 6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5), st.data())
+def test_factor_pairs_are_always_valid(width, data):
+    modulus = 1 << width
+    product = data.draw(st.integers(0, modulus - 1))
+    for a, b in enumerate_factor_pairs(product, width, limit=64):
+        assert 0 <= a < modulus and 0 <= b < modulus
+        assert (a * b) % modulus == product

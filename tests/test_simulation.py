@@ -1,0 +1,85 @@
+"""Tests for the cycle-accurate word-level simulator."""
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.simulation import Simulator
+
+
+def build_counter():
+    circuit = Circuit("counter")
+    en = circuit.input("en", 1)
+    cnt = circuit.state("cnt", 4)
+    at_max = circuit.eq(cnt, 9)
+    nxt = circuit.mux(at_max, circuit.add(cnt, 1), circuit.const(0, 4))
+    circuit.dff_into(cnt, circuit.mux(en, cnt, nxt), init_value=0)
+    circuit.output(cnt)
+    return circuit
+
+
+def test_counter_counts_and_wraps():
+    circuit = build_counter()
+    simulator = Simulator(circuit)
+    values = []
+    for _ in range(12):
+        out = simulator.step({"en": 1})
+        values.append(out["cnt"])
+    # The recorded value is the pre-edge value of each cycle.
+    assert values[:10] == list(range(10))
+    assert values[10] == 0  # wrapped after reaching 9
+    assert values[11] == 1
+
+
+def test_counter_holds_when_disabled():
+    circuit = build_counter()
+    simulator = Simulator(circuit)
+    simulator.step({"en": 1})
+    simulator.step({"en": 1})
+    state_before = simulator.register_values()["cnt"]
+    simulator.step({"en": 0})
+    assert simulator.register_values()["cnt"] == state_before
+
+
+def test_initial_state_override():
+    circuit = build_counter()
+    simulator = Simulator(circuit, initial_state={"cnt": 7})
+    out = simulator.step({"en": 1})
+    assert out["cnt"] == 7
+    assert simulator.register_values()["cnt"] == 8
+    with pytest.raises(KeyError):
+        Simulator(circuit, initial_state={"nonexistent": 1})
+
+
+def test_register_control_pins():
+    circuit = Circuit("regs")
+    d = circuit.input("d", 4)
+    en = circuit.input("en", 1)
+    rst = circuit.input("rst", 1)
+    st = circuit.input("st", 1)
+    q = circuit.dff(d, enable=en, reset=rst, set_=st, reset_value=2, init_value=0, name="q")
+    circuit.output(q)
+
+    simulator = Simulator(circuit)
+    simulator.step({"d": 9, "en": 1, "rst": 0, "st": 0})
+    assert simulator.register_values()["q"] == 9
+    simulator.step({"d": 5, "en": 0, "rst": 0, "st": 0})
+    assert simulator.register_values()["q"] == 9  # hold
+    simulator.step({"d": 5, "en": 1, "rst": 0, "st": 1})
+    assert simulator.register_values()["q"] == 15  # async set to all ones
+    simulator.step({"d": 5, "en": 1, "rst": 1, "st": 1})
+    assert simulator.register_values()["q"] == 2  # reset wins over set
+
+
+def test_run_returns_trace():
+    circuit = build_counter()
+    simulator = Simulator(circuit)
+    trace = simulator.run([{"en": 1}] * 5)
+    assert len(trace) == 5
+    assert trace.value(4, "cnt") == 4
+
+
+def test_missing_inputs_default_to_zero():
+    circuit = build_counter()
+    simulator = Simulator(circuit)
+    out = simulator.step({})
+    assert out["en"] == 0

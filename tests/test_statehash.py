@@ -1,0 +1,142 @@
+"""Tests for state hashing, loop detection and trace compaction."""
+
+import pytest
+
+from repro.atpg.statehash import (
+    ExecutionLoop,
+    StateHasher,
+    find_first_loop,
+    find_loops,
+    loop_free_length,
+)
+from repro.baselines import RandomSimulationChecker, RandomSimulationOptions
+from repro.bitvector.bv3 import bv
+from repro.checker import AssertionChecker, CheckerOptions, CheckStatus
+from repro.checker.compact import compact_trace
+from repro.netlist import Circuit
+from repro.properties import Signal, Witness
+from repro.simulation import Simulator
+
+
+def build_counter(limit=3, width=2):
+    circuit = Circuit("counter")
+    en = circuit.input("en", 1)
+    cnt = circuit.state("cnt", width)
+    at_max = circuit.eq(cnt, limit)
+    nxt = circuit.mux(at_max, circuit.add(cnt, 1), circuit.const(0, width))
+    circuit.dff_into(cnt, circuit.mux(en, cnt, nxt), init_value=0)
+    circuit.output(cnt)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# Hashing
+# ----------------------------------------------------------------------
+def test_hash_is_order_independent_and_stable():
+    hasher = StateHasher()
+    a = {"x": 3, "y": 1}
+    b = {"y": 1, "x": 3}
+    assert hasher.hash_state(a) == hasher.hash_state(b)
+    assert hasher.equal(a, b)
+    # Stable across hasher instances (no per-process salting).
+    assert StateHasher().hash_state(a) == hasher.hash_state(a)
+
+
+def test_hash_distinguishes_values_and_names():
+    hasher = StateHasher()
+    assert hasher.hash_state({"x": 1}) != hasher.hash_state({"x": 2})
+    assert hasher.hash_state({"x": 1}) != hasher.hash_state({"y": 1})
+
+
+def test_hash_of_cube_states_includes_unknown_bits():
+    hasher = StateHasher()
+    known = [("mode", bv("10"))]
+    partial = [("mode", bv("1x"))]
+    assert hasher.hash_state(known) != hasher.hash_state(partial)
+    assert hasher.equal(partial, [("mode", bv("1x"))])
+
+
+def test_register_filter_restricts_the_snapshot():
+    hasher = StateHasher(registers=["cnt"])
+    full = {"cnt": 2, "other": 9}
+    reduced = {"cnt": 2}
+    assert hasher.hash_state(full) == hasher.hash_state(reduced)
+
+
+# ----------------------------------------------------------------------
+# Loop detection
+# ----------------------------------------------------------------------
+def test_find_first_loop_reports_earliest_revisit():
+    states = [{"s": 0}, {"s": 1}, {"s": 2}, {"s": 1}, {"s": 2}]
+    loop = find_first_loop(states)
+    assert loop == ExecutionLoop(start=1, end=3)
+    assert loop.length == 2
+
+
+def test_find_loops_reports_every_revisit():
+    states = [{"s": 0}, {"s": 1}, {"s": 0}, {"s": 1}]
+    loops = find_loops(states)
+    assert ExecutionLoop(0, 2) in loops
+    assert ExecutionLoop(1, 3) in loops
+
+
+def test_loop_free_sequence():
+    states = [{"s": value} for value in range(5)]
+    assert find_first_loop(states) is None
+    assert find_loops(states) == []
+    assert loop_free_length(states) == 5
+
+
+def test_loop_free_length_stops_at_first_revisit():
+    states = [{"s": 0}, {"s": 1}, {"s": 1}, {"s": 2}]
+    assert loop_free_length(states) == 2
+
+
+def test_simulated_counter_loops_at_its_period():
+    circuit = build_counter(limit=3, width=2)
+    simulator = Simulator(circuit)
+    states = []
+    for _ in range(10):
+        states.append(dict(simulator.register_values()))
+        simulator.step({"en": 1})
+    loop = find_first_loop(states)
+    assert loop is not None
+    assert loop.length == 4  # the counter has period 4
+
+
+# ----------------------------------------------------------------------
+# Trace compaction
+# ----------------------------------------------------------------------
+def test_compaction_shortens_a_wandering_witness():
+    circuit = build_counter(limit=3, width=2)
+    checker = RandomSimulationChecker(
+        circuit,
+        options=RandomSimulationOptions(num_runs=32, cycles_per_run=24, seed=9),
+    )
+    result = checker.check(Witness("reach_three", Signal("cnt") == 3))
+    assert result.status is CheckStatus.WITNESS_FOUND
+    original = result.counterexample
+    # Random stimulus almost surely idles (en=0) somewhere, creating loops.
+    compaction = compact_trace(circuit, original)
+    compacted = compaction.counterexample
+    assert compaction.original_length == original.length
+    assert compacted.length <= original.length
+    assert compacted.validated
+    # The compacted trace still reaches the goal at its final frame.
+    simulator = Simulator(circuit, initial_state=compacted.initial_state)
+    final = [simulator.step(vector) for vector in compacted.inputs][-1]
+    assert final["cnt"] == 3
+    # The shortest possible witness takes exactly 4 frames (3 increments, and
+    # the monitor is sampled after the state update of the previous frame).
+    if compaction.shortened:
+        assert compacted.length < original.length
+
+
+def test_compaction_leaves_minimal_traces_unchanged():
+    circuit = build_counter(limit=3, width=2)
+    checker = AssertionChecker(circuit, options=CheckerOptions(max_frames=8))
+    result = checker.check(Witness("reach_two", Signal("cnt") == 2))
+    assert result.status is CheckStatus.WITNESS_FOUND
+    compaction = compact_trace(circuit, result.counterexample)
+    assert compaction.compacted_length == result.counterexample.length
+    assert compaction.loops_removed == 0

@@ -1,0 +1,106 @@
+"""Tests for the VCD trace writer."""
+
+import pytest
+
+from repro.checker import AssertionChecker, CheckerOptions, CheckStatus
+from repro.netlist import Circuit
+from repro.properties import Assertion, Signal
+from repro.simulation import Simulator, VcdWriter, trace_to_vcd
+from repro.simulation.vcd import _identifier
+
+
+def build_counter(width=3, limit=5):
+    circuit = Circuit("counter")
+    en = circuit.input("en", 1)
+    cnt = circuit.state("cnt", width)
+    at_max = circuit.eq(cnt, limit)
+    nxt = circuit.mux(at_max, circuit.add(cnt, 1), circuit.const(0, width))
+    circuit.dff_into(cnt, circuit.mux(en, cnt, nxt), init_value=0)
+    circuit.output(cnt)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# Identifier generation
+# ----------------------------------------------------------------------
+def test_identifiers_are_unique_and_printable():
+    codes = [_identifier(i) for i in range(500)]
+    assert len(set(codes)) == 500
+    assert all(all(33 <= ord(ch) <= 126 for ch in code) for code in codes)
+    with pytest.raises(ValueError):
+        _identifier(-1)
+
+
+# ----------------------------------------------------------------------
+# Document structure
+# ----------------------------------------------------------------------
+def test_header_declares_every_signal():
+    writer = VcdWriter("demo", {"clk": 1, "data": 8})
+    header = "\n".join(writer.header_lines())
+    assert "$scope module demo $end" in header
+    assert "$var wire 1" in header and "clk" in header
+    assert "$var wire 8" in header and "data" in header
+    assert header.strip().endswith("$enddefinitions $end")
+
+
+def test_requires_at_least_one_signal():
+    with pytest.raises(ValueError):
+        VcdWriter("demo", {})
+
+
+def test_format_emits_initial_dump_and_changes_only():
+    writer = VcdWriter("demo", {"a": 1, "bus": 4})
+    text = writer.format(
+        [
+            {"a": 0, "bus": 5},
+            {"a": 0, "bus": 5},  # no change -> no value lines
+            {"a": 1, "bus": 6},
+        ]
+    )
+    assert "$dumpvars" in text
+    lines = text.splitlines()
+    time1_index = lines.index("#1")
+    time2_index = lines.index("#2")
+    assert lines[time1_index + 1] == "#2"  # nothing changed at time 1
+    changes_at_2 = set(lines[time2_index + 1 : lines.index("#3")])
+    assert any(line.startswith("b110 ") for line in changes_at_2)
+    assert any(line[0] == "1" and len(line) == 2 for line in changes_at_2)
+
+
+def test_values_are_masked_to_width():
+    writer = VcdWriter("demo", {"bus": 4})
+    text = writer.format([{"bus": 0x1F}])
+    assert "b1111 " in text  # 0x1F masked to 4 bits
+
+
+def test_write_file(tmp_path):
+    writer = VcdWriter("demo", {"a": 1})
+    path = tmp_path / "trace.vcd"
+    writer.write_file([{"a": 1}, {"a": 0}], str(path))
+    content = path.read_text()
+    assert content.startswith("$comment")
+    assert content.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Integration with simulator and checker traces
+# ----------------------------------------------------------------------
+def test_trace_to_vcd_defaults_to_interface_signals():
+    circuit = build_counter()
+    simulator = Simulator(circuit)
+    trace = simulator.run([{"en": 1}] * 4)
+    text = trace_to_vcd(circuit, trace.cycles)
+    assert "$var wire 1" in text and "en" in text
+    assert "cnt" in text
+    # Internal helper nets are not dumped by default.
+    assert "mux_" not in text
+
+
+def test_counterexample_trace_dumps_cleanly():
+    circuit = build_counter()
+    checker = AssertionChecker(circuit, options=CheckerOptions(max_frames=8))
+    result = checker.check(Assertion("never_three", Signal("cnt") != 3))
+    assert result.status is CheckStatus.FAILS
+    text = trace_to_vcd(circuit, result.counterexample.trace, signals=["en", "cnt"])
+    assert text.count("$var wire") == 2
+    assert "#%d" % (result.counterexample.length,) in text
