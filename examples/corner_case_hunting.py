@@ -1,29 +1,33 @@
-"""Corner-case hunting: random simulation vs. the word-level engine.
+"""Corner-case hunting with the engine portfolio and batch API.
 
 The paper's introduction motivates deterministic constraint solving by the
 weakness of random simulation on corner-case bugs.  This example builds a
 packet-filter datapath whose bug only fires for one specific 16-bit header
 value, then:
 
-1. lets the random-simulation baseline look for it with a realistic budget,
-2. lets the combined word-level ATPG + modular arithmetic engine derive the
-   triggering input directly,
-3. compacts a wandering witness trace with the loop-detection utilities, and
+1. races the random-simulation baseline against the word-level ATPG engine
+   on the bug with the portfolio checker (every engine runs to completion so
+   their answers can be compared),
+2. fans the whole property list across a multiprocessing batch with
+   deterministic per-job seeds and prints the structured JSON report,
+3. compacts a wandering random witness trace with the loop-detection
+   utilities, and
 4. dumps the final counterexample as a VCD waveform for inspection.
 
 Run:  python examples/corner_case_hunting.py
 """
 
-from repro import (
-    Assertion,
-    AssertionChecker,
-    CheckerOptions,
-    Circuit,
-    Signal,
-    Witness,
-)
-from repro.baselines import RandomSimulationChecker, RandomSimulationOptions
+from repro import Assertion, Circuit, Signal, Witness
 from repro.checker.compact import compact_trace
+from repro.portfolio import (
+    BatchJob,
+    BatchOptions,
+    BatchRunner,
+    EngineBudget,
+    PortfolioChecker,
+    PortfolioOptions,
+)
+from repro.properties.convert import PropertyCompiler
 from repro.simulation import trace_to_vcd
 
 #: The corner-case header value.  Its byte checksum (0xFF + 0xD0 = 207) is
@@ -63,52 +67,82 @@ def build_packet_filter() -> Circuit:
 
 
 def main() -> None:
-    circuit = build_packet_filter()
     # The bug: drops jumps by 15 (wrapping the 4-bit register) only when the
     # magic header arrives in strict mode.
     bug_property = Assertion("drops_increase_by_one", Signal("drops") != 15)
 
-    print("=== 1. random simulation baseline ===")
-    random_checker = RandomSimulationChecker(
-        circuit,
-        options=RandomSimulationOptions(num_runs=64, cycles_per_run=32, seed=1),
-    )
-    random_result = random_checker.check(bug_property)
-    print(
-        "  random simulation: %s after %d vectors (%.3fs)"
-        % (
-            random_result.status.value,
-            random_checker.vectors_simulated,
-            random_result.statistics.cpu_seconds,
+    print("=== 1. random simulation vs. the word-level engine (portfolio) ===")
+    race = PortfolioChecker(
+        build_packet_filter(),
+        engines=("random", "atpg"),
+        options=PortfolioOptions(
+            budget=EngineBudget(max_frames=3, random_runs=64, random_cycles=32, seed=1),
+            run_all=True,  # let the loser finish so the verdicts can be compared
+        ),
+    ).check(bug_property)
+    for engine_result in race.engine_results:
+        print(
+            "  %-8s %-12s conclusive=%-5s %.3fs  %s"
+            % (
+                engine_result.engine,
+                engine_result.status.value,
+                engine_result.verdict is not None,
+                engine_result.wall_seconds,
+                engine_result.stats.get("vectors_simulated", ""),
+            )
         )
-    )
-
-    print()
-    print("=== 2. word-level ATPG + modular arithmetic ===")
-    atpg_result = AssertionChecker(circuit, options=CheckerOptions(max_frames=3)).check(
-        bug_property
-    )
-    print("  deterministic engine:", atpg_result.status.value)
-    if atpg_result.counterexample is not None:
-        trigger = atpg_result.counterexample.inputs[0]
+    print("  winner: %s" % race.winner)
+    trigger = race.counterexample.inputs[0] if race.counterexample else None
+    if trigger is not None:
         print(
             "  triggering input: header=0x%04X strict=%d (magic header is 0x%04X)"
             % (trigger["header"], trigger["strict"], MAGIC_HEADER)
         )
 
     print()
+    print("=== 2. batch run across a worker pool ===")
+    # A random witness for "drops == 2" typically wanders; job seeds are
+    # derived from the base seed, so this report is reproducible.
+    witness_property = Witness("two_drops", Signal("drops") == 2)
+    jobs = [
+        BatchJob("bug_hunt", build_packet_filter(), bug_property, max_frames=3),
+        BatchJob("two_drops", build_packet_filter(), witness_property, max_frames=8),
+    ]
+    report = BatchRunner(
+        BatchOptions(
+            engines=("random", "atpg"),
+            budget=EngineBudget(random_runs=256, random_cycles=48),
+            jobs=2,
+            base_seed=5,
+            run_all=True,
+        )
+    ).run(jobs)
+    for item in report.items:
+        print(
+            "  %-10s %-15s winner=%-7s seed=%d  %.3fs"
+            % (
+                item.job_id,
+                item.result.status.value,
+                item.result.winner,
+                item.seed,
+                item.result.wall_seconds,
+            )
+        )
+    print("  disagreements: %s" % (report.disagreements or "none"))
+
+    print()
     print("=== 3. witness compaction ===")
-    # A random witness for "drops == 2" typically wanders; compaction removes
-    # the loops through repeated states.
-    witness_checker = RandomSimulationChecker(
-        circuit,
-        options=RandomSimulationOptions(num_runs=256, cycles_per_run=48, seed=5),
-    )
-    witness = witness_checker.check(Witness("two_drops", Signal("drops") == 2))
-    if witness.counterexample is None:
+    witness_item = report.items[1]
+    random_result = witness_item.result.engine_results[0]
+    # Compaction replays the trace, so the replay circuit needs the compiled
+    # property monitor; compiling into a fresh copy reproduces the same
+    # monitor net name the batch worker used.
+    circuit = build_packet_filter()
+    PropertyCompiler(circuit).compile(witness_property)
+    if random_result.counterexample is None:
         print("  random simulation found no witness to compact")
     else:
-        compaction = compact_trace(circuit, witness.counterexample)
+        compaction = compact_trace(circuit, random_result.counterexample)
         print(
             "  witness length %d -> %d cycles (%d loops removed)"
             % (
@@ -120,8 +154,9 @@ def main() -> None:
 
     print()
     print("=== 4. VCD dump of the counterexample ===")
-    if atpg_result.counterexample is not None:
-        vcd_text = trace_to_vcd(circuit, atpg_result.counterexample.trace)
+    bug_trace = report.items[0].result.counterexample
+    if bug_trace is not None:
+        vcd_text = trace_to_vcd(circuit, bug_trace.trace)
         path = "packet_filter_bug.vcd"
         with open(path, "w") as stream:
             stream.write(vcd_text)

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set
+from typing import Hashable, List, Sequence, Set
 
 from repro.atpg.probability import legal_assignment_bias, legal_one_probabilities
 from repro.atpg.timeframe import UnrolledModel, VarKey
-from repro.implication.engine import ImplicationEngine, ImplicationNode
+from repro.implication.engine import ImplicationNode
 
 
 @dataclass

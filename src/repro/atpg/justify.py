@@ -22,12 +22,12 @@ holds for this unrolling), or ABORT (a resource limit was hit).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
 
-from repro.atpg.decisions import DecisionCandidate, find_decision_candidates
+from repro.atpg.decisions import find_decision_candidates
 from repro.atpg.estg import ExtendedStateTransitionGraph
-from repro.atpg.timeframe import UnrolledModel, VarKey
+from repro.atpg.timeframe import UnrolledModel
 from repro.bitvector import BV3
 from repro.implication.assignment import ImplicationConflict
 from repro.implication.engine import ImplicationNode

@@ -10,7 +10,7 @@ candidates so that the most constrained candidate is decided first.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.netlist.gates import AndGate, NandGate, NorGate, NotGate, OrGate

@@ -13,10 +13,9 @@ Variable keys are ``(net, frame)`` tuples (:data:`VarKey`).
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.bitvector import BV3
-from repro.implication.assignment import Assignment
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.implication.rules import build_rule
 from repro.implication.rules_seq import imply_dff

@@ -22,7 +22,7 @@ the benchmark wants to observe.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 #: Node indices of the two terminal nodes.
 FALSE = 0

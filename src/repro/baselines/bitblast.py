@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.baselines.cnf import CNFFormula, TseitinEncoder
+from repro.baselines.cnf import TseitinEncoder
 from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
 from repro.netlist.compare import Comparator
 from repro.netlist.circuit import Circuit

@@ -10,8 +10,8 @@ to compete with industrial SAT solvers.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.cnf import CNFFormula
 

@@ -12,7 +12,7 @@ it disagrees with the modular solver.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.modsolver.linear import ModularLinearSystem
 

@@ -13,8 +13,8 @@ engine generates deterministically.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.checker.result import CheckResult, CheckStatus, Counterexample
 from repro.checker.stats import CheckStatistics, ResourceMeter
@@ -71,11 +71,22 @@ class RandomSimulationChecker:
         self.vectors_simulated = 0
 
     # ------------------------------------------------------------------
-    def check(self, prop: Property, num_runs: Optional[int] = None) -> CheckResult:
-        """Simulate random stimulus and report whether the goal was hit."""
+    def check(
+        self,
+        prop: Property,
+        num_runs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> CheckResult:
+        """Simulate random stimulus and report whether the goal was hit.
+
+        ``seed`` overrides :attr:`RandomSimulationOptions.seed` for this call
+        only; callers that fan checks out (the portfolio batch runner, CI)
+        thread an explicit per-job seed through here so every run is
+        reproducible.
+        """
         compiled = self.compiler.compile(prop)
         goal_value = compiled.goal_value
-        rng = random.Random(self.options.seed)
+        rng = random.Random(self.options.seed if seed is None else seed)
         runs = num_runs if num_runs is not None else self.options.num_runs
         statistics = CheckStatistics()
         counterexample: Optional[Counterexample] = None

@@ -9,7 +9,7 @@ and run time against the word-level ATPG engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.baselines.bitblast import CircuitBitBlaster
@@ -35,6 +35,10 @@ class SATCheckResult:
     variables: int = 0
     decisions: int = 0
     trace_inputs: Optional[List[Dict[str, int]]] = None
+    #: compiled property monitor net name / goal value, so callers can replay
+    #: ``trace_inputs`` through the concrete simulator and validate the trace.
+    monitor_name: Optional[str] = None
+    goal_value: int = 0
 
 
 class SATBoundedChecker:
@@ -115,6 +119,8 @@ class SATBoundedChecker:
             variables=total_variables,
             decisions=total_decisions,
             trace_inputs=trace_inputs,
+            monitor_name=compiled.monitor.name,
+            goal_value=compiled.goal_value,
         )
 
     # ------------------------------------------------------------------

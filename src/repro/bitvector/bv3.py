@@ -23,7 +23,7 @@ multiple times).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 #: Type alias for a single three-valued bit: ``0``, ``1`` or ``None`` (= x).
 Bit = Optional[int]

@@ -16,7 +16,7 @@ to 1 (maximum), tightened against the comparator semantics, and then mapped
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.bitvector.bv3 import BV3, BV3Conflict
 

@@ -18,7 +18,7 @@ configured maximum), the engine:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional
 
 from repro.atpg.estg import ExtendedStateTransitionGraph
 from repro.atpg.justify import Justifier, JustifierLimits, JustifyOutcome
@@ -30,7 +30,7 @@ from repro.implication.assignment import ImplicationConflict
 from repro.netlist.circuit import Circuit
 from repro.properties.convert import CompiledProperty, PropertyCompiler
 from repro.properties.environment import Environment
-from repro.properties.spec import Assertion, Property, Witness
+from repro.properties.spec import Assertion, Property
 from repro.simulation.simulator import Simulator
 
 

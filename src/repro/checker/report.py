@@ -15,7 +15,7 @@ harness all share one formatter:
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.checker.result import CheckResult, CheckStatus, Counterexample
 

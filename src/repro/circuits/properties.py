@@ -33,7 +33,6 @@ from repro.properties.spec import (
     Implies,
     Not,
     OneHot,
-    Or,
     Property,
     Signal,
     Witness,

@@ -109,10 +109,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_check(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.design, top=args.top)
-    environment = _build_environment(args)
-
+def _parse_properties(args: argparse.Namespace) -> List[object]:
     properties = []
     for index, text in enumerate(args.assertion or []):
         try:
@@ -128,6 +125,48 @@ def _command_check(args: argparse.Namespace) -> int:
         properties.append(Witness(name or "witness_%d" % index, expression))
     if not properties:
         raise SystemExit("no properties given; use --assert and/or --witness")
+    return properties
+
+
+def _dump_first_trace(path: str, circuit: Circuit, traces) -> None:
+    """Write the first available counterexample as VCD.
+
+    ``traces`` yields ``(label, counterexample-or-None)`` pairs; the first
+    pair with a trace wins.
+    """
+    for label, counterexample in traces:
+        if counterexample is not None:
+            with open(path, "w") as stream:
+                stream.write(trace_to_vcd(circuit, counterexample.trace))
+            print("trace of %s written to %s" % (label, path))
+            return
+    print("no trace produced; %s not written" % (path,))
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.design, top=args.top)
+    environment = _build_environment(args)
+    properties = _parse_properties(args)
+
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    if not engines:
+        raise SystemExit("--engines expects a comma-separated list, got %r" % (args.engines,))
+    if len(set(engines)) != len(engines):
+        raise SystemExit("--engines contains duplicates: %s" % (args.engines,))
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1, got %d" % (args.jobs,))
+    # --seed alone does not reroute: the default single-engine path is
+    # deterministic, and silently switching the output schema would break
+    # existing consumers.  The seed takes effect whenever another flag
+    # selects the portfolio path.
+    portfolio_flags = (
+        engines != ["atpg"]
+        or args.jobs > 1
+        or args.time_budget is not None
+        or args.compare
+    )
+    if portfolio_flags:
+        return _check_portfolio(args, circuit, environment, properties, engines)
 
     options = CheckerOptions(
         max_frames=args.max_frames,
@@ -145,16 +184,11 @@ def _command_check(args: argparse.Namespace) -> int:
         print(format_results_table(results))
 
     if args.vcd:
-        dumped = False
-        for result in results:
-            if result.counterexample is not None:
-                with open(args.vcd, "w") as stream:
-                    stream.write(trace_to_vcd(circuit, result.counterexample.trace))
-                print("trace of %s written to %s" % (result.prop.name, args.vcd))
-                dumped = True
-                break
-        if not dumped:
-            print("no trace produced; %s not written" % (args.vcd,))
+        _dump_first_trace(
+            args.vcd,
+            circuit,
+            ((result.prop.name, result.counterexample) for result in results),
+        )
 
     failing = [
         result
@@ -163,6 +197,117 @@ def _command_check(args: argparse.Namespace) -> int:
         or result.status.value == "aborted"
     ]
     return 1 if failing else 0
+
+
+def _check_portfolio(
+    args: argparse.Namespace,
+    circuit: Circuit,
+    environment: Environment,
+    properties: List[object],
+    engines: List[str],
+) -> int:
+    """The multi-engine / multi-job path of ``repro check``."""
+    from repro.portfolio import (
+        AtpgEngine,
+        BatchJob,
+        BatchOptions,
+        BatchRunner,
+        EngineBudget,
+        available_engines,
+    )
+
+    for name in engines:
+        if name not in available_engines():
+            raise SystemExit(
+                "unknown engine %r (available: %s)" % (name, ", ".join(available_engines()))
+            )
+
+    budget_overrides = {}
+    if args.seed is not None:
+        budget_overrides["seed"] = args.seed
+    budget = EngineBudget(
+        time_seconds=args.time_budget,
+        max_frames=args.max_frames,
+        **budget_overrides,
+    )
+    # Checker-specific flags (--fsm-guidance) ride on a configured adapter.
+    configured = [
+        AtpgEngine(CheckerOptions(use_local_fsm_guidance=True))
+        if name == "atpg" and args.fsm_guidance
+        else name
+        for name in engines
+    ]
+    jobs = [
+        BatchJob(prop.name, circuit, prop, environment=environment)
+        for prop in properties
+    ]
+    report = BatchRunner(
+        BatchOptions(
+            engines=tuple(configured),
+            budget=budget,
+            jobs=args.jobs,
+            run_all=args.compare,
+        )
+    ).run(jobs)
+
+    if args.json:
+        print(report.to_json())
+    else:
+        for item in report.items:
+            result = item.result
+            print(
+                "property %s (%s): %s%s"
+                % (
+                    result.prop_name,
+                    result.kind,
+                    result.status.value,
+                    " [winner: %s]" % result.winner if result.winner else "",
+                )
+            )
+            for engine_result in result.engine_results:
+                flags = []
+                if engine_result.cancelled:
+                    flags.append("cancelled")
+                if engine_result.timed_out:
+                    flags.append("timed out")
+                if engine_result.error:
+                    flags.append("error: %s" % engine_result.error)
+                print(
+                    "  %-8s %-18s %8.3fs%s"
+                    % (
+                        engine_result.engine,
+                        engine_result.status.value,
+                        engine_result.wall_seconds,
+                        "  (%s)" % ", ".join(flags) if flags else "",
+                    )
+                )
+            if result.disagreement:
+                print("  ENGINES DISAGREE: %s" % ", ".join(result.disagreement))
+            counterexample = result.counterexample
+            if counterexample is not None:
+                label = (
+                    "counterexample" if result.kind == "assertion" else "witness trace"
+                )
+                print("  %s:" % (label,))
+                for line in counterexample.summary().splitlines():
+                    print("    " + line)
+            print()
+        if report.disagreements:
+            print("disagreements on: %s" % ", ".join(report.disagreements))
+
+    if args.vcd:
+        _dump_first_trace(
+            args.vcd,
+            circuit,
+            ((item.job_id, item.result.counterexample) for item in report.items),
+        )
+
+    failing = any(
+        (item.result.kind == "assertion" and item.result.status.value == "fails")
+        or not item.result.conclusive
+        for item in report.items
+    )
+    return 1 if failing or report.disagreements else 0
 
 
 def _command_table1(args: argparse.Namespace) -> int:
@@ -265,6 +410,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--json", action="store_true", help="emit JSON instead of text")
     check.add_argument("--vcd", metavar="FILE", help="dump the first trace as VCD")
+    check.add_argument(
+        "--engines",
+        default="atpg",
+        metavar="NAME[,NAME...]",
+        help="engine portfolio raced per property: atpg, bdd, sat, random "
+        "(default: atpg only)",
+    )
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes checking properties in parallel (default: 1)",
+    )
+    check.add_argument(
+        "--seed",
+        type=int,
+        help="base RNG seed for reproducible portfolio/batch runs (no effect "
+        "on the deterministic default engine alone)",
+    )
+    check.add_argument(
+        "--time-budget",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per engine (enforced by cancellation)",
+    )
+    check.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every engine to completion and report disagreements "
+        "instead of racing",
+    )
     check.set_defaults(func=_command_check)
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")

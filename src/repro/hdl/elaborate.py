@@ -18,7 +18,7 @@ Supported semantics:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.hdl.ast import (
     AlwaysBlock,

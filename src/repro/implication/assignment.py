@@ -9,7 +9,7 @@ cube of every signal it changes and restores those cubes on backtrack
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.bitvector import BV3, BV3Conflict
 

@@ -8,7 +8,7 @@ inconsistent with the gate function.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.bitvector import BV3, BV3Conflict
 from repro.bitvector.bv3 import Bit

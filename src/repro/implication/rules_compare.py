@@ -11,12 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.bitvector import BV3, BV3Conflict
-from repro.bitvector.intervals import (
-    ValueRange,
-    cube_to_range,
-    range_to_cube,
-    tighten_for_compare,
-)
+from repro.bitvector.intervals import cube_to_range, range_to_cube, tighten_for_compare
 
 
 def imply_comparator(op: str, cubes: Sequence[BV3]) -> List[BV3]:

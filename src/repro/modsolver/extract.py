@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.bitvector import BV3
 from repro.implication.engine import ImplicationEngine, ImplicationNode

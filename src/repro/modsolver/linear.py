@@ -23,7 +23,7 @@ O(max(m, n)^3) ring operations, matching the complexity claim in Section 4.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product as cartesian_product
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 

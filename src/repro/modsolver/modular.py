@@ -17,7 +17,7 @@ congruence solver ``a * x = k (mod 2**n)`` used by the linear system solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 
 def two_adic_valuation(value: int) -> int:

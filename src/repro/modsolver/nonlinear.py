@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.modsolver.linear import ModularLinearSystem, ModularSolutionSet
+from repro.modsolver.linear import ModularLinearSystem
 from repro.modsolver.modular import solve_scalar_congruence
 
 

@@ -8,7 +8,7 @@ multipliers and variable shifters generate *non-linear* constraints.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.netlist.gates import Gate
 from repro.netlist.nets import Net

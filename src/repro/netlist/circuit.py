@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
 from repro.netlist.compare import Comparator

@@ -14,7 +14,7 @@ the front end, the bit-blaster and the constraint extractor can all share.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.netlist.nets import Net
 

@@ -13,7 +13,7 @@ generate a witness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.nets import Net, NetKind
@@ -31,7 +31,6 @@ from repro.properties.spec import (
     Or,
     Property,
     Signal,
-    Witness,
 )
 
 

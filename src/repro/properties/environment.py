@@ -15,7 +15,7 @@ initialization sequence used to derive the set of initial states.  We model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.nets import Net

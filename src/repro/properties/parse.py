@@ -24,7 +24,7 @@ never evaluated), mapped onto the property AST of
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Union
+from typing import Union
 
 from repro.properties.spec import (
     And,

@@ -16,8 +16,8 @@ Two property kinds cover the paper's experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 #: Operators allowed in :class:`BinOp`.
 BINARY_OPERATORS = (

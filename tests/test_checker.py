@@ -1,6 +1,5 @@
 """Integration tests for the assertion checker (Fig. 1 flow)."""
 
-import pytest
 
 from repro import (
     Assertion,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.checker import AssertionChecker, CheckerOptions
-from repro.checker.result import CheckStatus
 from repro.circuits import (
     all_case_ids,
     all_cases,

@@ -1,6 +1,5 @@
 """Tests for datapath constraint extraction into the arithmetic solver."""
 
-import pytest
 
 from repro.atpg.timeframe import UnrolledModel
 from repro.bitvector import BV3

@@ -5,7 +5,7 @@ import pytest
 from repro import AssertionChecker, Assertion, CheckerOptions, CheckStatus, Signal, Witness
 from repro.hdl import ParseError, compile_verilog, parse_verilog
 from repro.hdl.ast import BinaryOp, CaseStmt, IfStmt, Number, TernaryOp
-from repro.hdl.elaborate import ElaborationError, elaborate
+from repro.hdl.elaborate import ElaborationError
 from repro.hdl.lexer import Lexer, TokenKind, parse_number_literal
 from repro.simulation import Simulator
 

@@ -1,7 +1,6 @@
 """Tests for the per-primitive word-level implication rules."""
 
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.bitvector import BV3, BV3Conflict
 from repro.bitvector.bv3 import bv

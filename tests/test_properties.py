@@ -7,7 +7,6 @@ from repro.properties import (
     And,
     Assertion,
     AtMostOneHot,
-    Const,
     Delayed,
     Environment,
     Implies,
@@ -18,7 +17,7 @@ from repro.properties import (
     Witness,
 )
 from repro.properties.convert import PropertyCompiler
-from repro.properties.spec import BinOp, Expression
+from repro.properties.spec import BinOp
 from repro.simulation import Simulator
 
 

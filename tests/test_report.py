@@ -7,7 +7,6 @@ import pytest
 from repro.checker import (
     AssertionChecker,
     CheckerOptions,
-    CheckStatus,
     format_result,
     format_results_table,
     result_to_dict,

@@ -1,6 +1,5 @@
 """Tests for state hashing, loop detection and trace compaction."""
 
-import pytest
 
 from repro.atpg.statehash import (
     ExecutionLoop,
