@@ -1,0 +1,49 @@
+# Developer entry points.  CI (.github/workflows/) runs the same commands.
+
+PYTHON ?= python
+#: benchmark files covered by the committed baseline and the CI smoke gate.
+SMOKE_BENCHES = benchmarks/bench_table1.py benchmarks/bench_portfolio.py \
+                benchmarks/bench_bitparallel.py
+#: fail CI when a benchmark's median slows down by more than this fraction.
+BENCH_THRESHOLD ?= 0.25
+#: do not gate benchmarks with baseline medians below this (timer noise).
+BENCH_MIN_TIME ?= 0.001
+COV_FLOOR ?= 78
+
+.PHONY: test lint coverage bench-smoke bench-check bench-baseline bench-full
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m ruff check .
+
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
+	    --cov-fail-under=$(COV_FLOOR)
+
+# One fast benchmark per family, JSON report kept for the regression gate.
+bench-smoke:
+	$(PYTHON) -m pytest $(SMOKE_BENCHES) -q \
+	    --benchmark-json=benchmark_report.json
+
+# Gate the last smoke run against the committed baseline.
+bench-check: bench-smoke
+	$(PYTHON) benchmarks/compare_reports.py benchmark_report.json \
+	    --baseline benchmarks/BASELINE.json \
+	    --threshold $(BENCH_THRESHOLD) --normalize \
+	    --min-time $(BENCH_MIN_TIME)
+
+# Refresh the committed baseline (review the diff before committing!).
+bench-baseline: bench-smoke
+	$(PYTHON) benchmarks/compare_reports.py benchmark_report.json \
+	    --write-baseline benchmarks/BASELINE.json
+
+# The nightly configuration: every benchmark, plus the markdown summary.
+# (bench_*.py does not match pytest's default test-file pattern, so the
+# files are passed explicitly.)
+bench-full:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q \
+	    --benchmark-json=nightly_report.json
+	$(PYTHON) benchmarks/summarize_report.py nightly_report.json \
+	    -o nightly_summary.md

@@ -42,10 +42,11 @@ def _build_corner_case(width):
     return circuit
 
 
-def _run_random(width):
+def _run_random(width, backend):
     circuit = _build_corner_case(width)
     options = RandomSimulationOptions(
-        num_runs=RANDOM_BUDGET_VECTORS // 16, cycles_per_run=16, seed=width
+        num_runs=RANDOM_BUDGET_VECTORS // 16, cycles_per_run=16, seed=width,
+        backend=backend,
     )
     checker = RandomSimulationChecker(circuit, options=options)
     result = checker.check(Assertion("no_bug", Signal("bug") == 0))
@@ -58,12 +59,15 @@ def _run_atpg(width):
     return checker.check(Assertion("no_bug", Signal("bug") == 0))
 
 
+@pytest.mark.parametrize("backend", ["interpreted", "bitparallel"])
 @pytest.mark.parametrize("width", WIDTHS)
-def test_random_simulation_budget(benchmark, width):
-    result, vectors = benchmark.pedantic(_run_random, args=(width,), rounds=1, iterations=1)
+def test_random_simulation_budget(benchmark, width, backend):
+    result, vectors = benchmark.pedantic(
+        _run_random, args=(width, backend), rounds=1, iterations=1
+    )
     found = result.status is CheckStatus.FAILS
     _ROWS.append(
-        (width, "random simulation", "found" if found else "missed", vectors,
+        (width, "random (%s)" % backend, "found" if found else "missed", vectors,
          result.statistics.cpu_seconds)
     )
 
@@ -79,7 +83,7 @@ def test_deterministic_engine(benchmark, width):
 
 def test_corner_case_report(benchmark):
     """Assemble the comparison table."""
-    if len(_ROWS) < 2 * len(WIDTHS):
+    if len(_ROWS) < 3 * len(WIDTHS):
         pytest.skip("corner-case rows did not all run")
 
     def _format():

@@ -1,0 +1,237 @@
+"""CI benchmark-regression gate: diff a pytest-benchmark JSON against a baseline.
+
+Usage::
+
+    # Gate a run against the committed baseline (exit 1 on a regression):
+    python benchmarks/compare_reports.py report.json \\
+        --baseline benchmarks/BASELINE.json --threshold 0.25 \\
+        --normalize --min-time 0.001
+
+    # Refresh the committed baseline from a run (see `make bench-baseline`):
+    python benchmarks/compare_reports.py report.json \\
+        --write-baseline benchmarks/BASELINE.json
+
+A benchmark *regresses* when its median time grows by more than
+``--threshold`` (default 25%) relative to the baseline.  ``--normalize``
+first divides every ratio by a machine-speed scale, which cancels uniform
+speed differences (CI runners are not the machine the baseline was recorded
+on) while still catching any benchmark that slows down relative to its
+peers.  The scale is the median of *per-family* median ratios (family = the
+benchmark file), not of raw per-benchmark ratios: one file contributing many
+parametrized entries (e.g. the kernel sweep) must not be able to absorb its
+own uniform regression into the scale.
+
+The committed baseline uses a slim schema -- just benchmark names and median
+seconds -- so refreshing it produces a reviewable one-line-per-benchmark
+diff instead of a full pytest-benchmark dump.  A raw pytest-benchmark JSON
+is also accepted as ``--baseline`` for ad-hoc A/B comparisons.
+
+Exit codes: 0 ok / baseline written, 1 regression detected, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+BASELINE_SCHEMA = "repro-bench-baseline/v1"
+
+
+def extract_medians(payload: dict) -> Dict[str, float]:
+    """Benchmark-name -> median seconds, from either accepted format."""
+    if payload.get("schema") == BASELINE_SCHEMA:
+        return {str(name): float(value) for name, value in payload["medians"].items()}
+    if "benchmarks" in payload:
+        medians: Dict[str, float] = {}
+        for entry in payload["benchmarks"]:
+            name = entry.get("fullname") or entry["name"]
+            medians[name] = float(entry["stats"]["median"])
+        return medians
+    raise ValueError(
+        "unrecognised report format (expected pytest-benchmark JSON or %r)"
+        % (BASELINE_SCHEMA,)
+    )
+
+
+def _load(path: str) -> Dict[str, float]:
+    with open(path) as stream:
+        return extract_medians(json.load(stream))
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _family_of(name: str) -> str:
+    """Benchmark family: the file part of a pytest fullname."""
+    return name.split("::", 1)[0]
+
+
+def machine_scale(ratios: Dict[str, float]) -> float:
+    """Machine-speed scale: median of per-family median ratios.
+
+    Balancing by family keeps a single heavily-parametrized benchmark file
+    from dominating the scale -- a uniform slowdown of one file's entries
+    must shift its family median, not the global scale.
+    """
+    families: Dict[str, List[float]] = {}
+    for name, ratio in ratios.items():
+        families.setdefault(_family_of(name), []).append(ratio)
+    return _median([_median(values) for values in families.values()])
+
+
+def write_baseline(medians: Dict[str, float], path: str, source: str) -> None:
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "source_report": source,
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    with open(path, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float,
+    normalize: bool,
+    min_time: float = 0.0,
+    out=sys.stdout,
+) -> int:
+    """Print the comparison table; return the process exit code."""
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print("error: no benchmarks in common with the baseline", file=out)
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    scale = machine_scale(ratios) if normalize else 1.0
+    if scale <= 0:
+        print("error: degenerate normalization scale %r" % (scale,), file=out)
+        return 2
+
+    regressions: List[str] = []
+    print(
+        "%-72s %12s %12s %8s" % ("benchmark", "base (s)", "now (s)", "ratio"),
+        file=out,
+    )
+    for name in common:
+        ratio = ratios[name] / scale
+        flag = ""
+        if ratio > 1.0 + threshold:
+            if baseline[name] < min_time:
+                # Sub-min-time medians are timer noise; report, don't gate.
+                flag = "  (slower, below --min-time; not gated)"
+            else:
+                regressions.append(name)
+                flag = "  << REGRESSION"
+        print(
+            "%-72s %12.6f %12.6f %7.2fx%s"
+            % (name, baseline[name], current[name], ratio, flag),
+            file=out,
+        )
+
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    if normalize:
+        print("(machine-speed normalization scale: %.3fx)" % (scale,), file=out)
+    if only_current:
+        print(
+            "note: %d benchmark(s) not in baseline (refresh it): %s"
+            % (len(only_current), ", ".join(only_current)),
+            file=out,
+        )
+    if only_baseline:
+        print(
+            "note: %d baseline benchmark(s) not in this run: %s"
+            % (len(only_baseline), ", ".join(only_baseline)),
+            file=out,
+        )
+
+    if regressions:
+        print(
+            "FAIL: %d benchmark(s) slowed down more than %.0f%% vs baseline"
+            % (len(regressions), threshold * 100.0),
+            file=out,
+        )
+        return 1
+    print(
+        "OK: %d benchmark(s) within %.0f%% of baseline"
+        % (len(common), threshold * 100.0),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="compare_reports", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("report", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", help="baseline to compare against")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated median slowdown (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--normalize",
+        action="store_true",
+        help="cancel uniform machine-speed differences by dividing every "
+        "ratio by the median ratio",
+    )
+    parser.add_argument(
+        "--min-time",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="do not gate benchmarks whose baseline median is below this "
+        "(sub-millisecond medians are timer noise on shared CI runners)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the report's medians as a new slim baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = _load(args.report)
+    except (OSError, ValueError, KeyError) as exc:
+        print("error reading report %s: %s" % (args.report, exc), file=out)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(current, args.write_baseline, source=args.report)
+        print(
+            "baseline with %d benchmark(s) written to %s"
+            % (len(current), args.write_baseline),
+            file=out,
+        )
+        return 0
+
+    if not args.baseline:
+        print("error: --baseline (or --write-baseline) is required", file=out)
+        return 2
+    try:
+        baseline = _load(args.baseline)
+    except (OSError, ValueError, KeyError) as exc:
+        print("error reading baseline %s: %s" % (args.baseline, exc), file=out)
+        return 2
+
+    return compare(
+        current, baseline, args.threshold, args.normalize,
+        min_time=args.min_time, out=out,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""One-page markdown summary of a pytest-benchmark JSON report.
+
+Used by the nightly workflow to turn the full-suite ``--benchmark-json``
+output into a human-readable artifact::
+
+    python benchmarks/summarize_report.py nightly_report.json -o summary.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+
+def _group_of(fullname: str) -> str:
+    """Benchmark file stem, used as the section key."""
+    return fullname.split("::")[0].rsplit("/", 1)[-1].replace(".py", "")
+
+
+def summarize(payload: dict) -> str:
+    machine = payload.get("machine_info", {})
+    commit = payload.get("commit_info", {})
+    lines = ["# Benchmark report", ""]
+    meta = []
+    if commit.get("id"):
+        meta.append("commit `%s`" % commit["id"][:12])
+    if payload.get("datetime"):
+        meta.append("run %s" % payload["datetime"])
+    if machine.get("node"):
+        meta.append(
+            "%s (%s, Python %s)"
+            % (
+                machine.get("node"),
+                machine.get("machine", "?"),
+                machine.get("python_version", "?"),
+            )
+        )
+    if meta:
+        lines.extend([" · ".join(meta), ""])
+
+    groups = {}
+    for entry in payload.get("benchmarks", []):
+        fullname = entry.get("fullname") or entry["name"]
+        groups.setdefault(_group_of(fullname), []).append(entry)
+
+    total = sum(len(entries) for entries in groups.values())
+    lines.append("%d benchmarks in %d groups." % (total, len(groups)))
+    lines.append("")
+    for group in sorted(groups):
+        lines.append("## %s" % group)
+        lines.append("")
+        lines.append("| benchmark | median (s) | mean (s) | stddev | rounds |")
+        lines.append("|---|---:|---:|---:|---:|")
+        for entry in sorted(
+            groups[group], key=lambda item: item["stats"]["median"], reverse=True
+        ):
+            stats = entry["stats"]
+            name = (entry.get("fullname") or entry["name"]).split("::", 1)[-1]
+            lines.append(
+                "| `%s` | %.6f | %.6f | %.6f | %d |"
+                % (
+                    name,
+                    stats["median"],
+                    stats["mean"],
+                    stats["stddev"],
+                    stats["rounds"],
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="summarize_report")
+    parser.add_argument("report", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("-o", "--output", help="markdown output path (default: stdout)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.report) as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError) as exc:
+        print("error reading %s: %s" % (args.report, exc), file=sys.stderr)
+        return 2
+
+    markdown = summarize(payload)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(markdown + "\n")
+    else:
+        print(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ The package provides:
 * assertion / witness properties and environments (:mod:`repro.properties`),
 * the top-level checker (:mod:`repro.checker`),
 * baseline engines for comparison (:mod:`repro.baselines`),
+* a compiled bit-parallel simulation kernel (:mod:`repro.sim`),
 * the paper's benchmark designs and properties (:mod:`repro.circuits`).
 
 Quickstart::
@@ -48,9 +49,10 @@ from repro.properties import (
     Environment,
 )
 from repro.checker import AssertionChecker, CheckerOptions, CheckResult, CheckStatus
+from repro.sim import BitParallelSim, compile_circuit
 from repro.simulation import Simulator
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "BV3",
@@ -74,5 +76,7 @@ __all__ = [
     "CheckResult",
     "CheckStatus",
     "Simulator",
+    "BitParallelSim",
+    "compile_circuit",
     "__version__",
 ]

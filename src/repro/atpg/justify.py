@@ -81,6 +81,7 @@ class Justifier:
         use_bias: bool = True,
         limits: Optional[JustifierLimits] = None,
         estg: Optional[ExtendedStateTransitionGraph] = None,
+        sampled_probabilities=None,
     ):
         self.model = model
         self.engine = model.engine
@@ -88,6 +89,9 @@ class Justifier:
         self.use_bias = use_bias
         self.limits = limits if limits is not None else JustifierLimits()
         self.estg = estg
+        #: optional net-name -> mass-sampled P(net = 1) table used as the
+        #: decision-bias fallback (see repro.atpg.probability).
+        self.sampled_probabilities = sampled_probabilities
         self.decisions = 0
         self.backtracks = 0
         self.conflicts = 0
@@ -154,6 +158,7 @@ class Justifier:
             limit=self.limits.decision_cut_limit,
             prove_mode=self.prove_mode,
             use_bias=self.use_bias,
+            sampled_probabilities=self.sampled_probabilities,
         )
         if not candidates:
             # No control freedom remains: hand the residual requirements to

@@ -8,6 +8,20 @@ random input vectors that respect the environment, watch the compiled
 property monitor -- so the benchmark harness can measure how often random
 simulation finds the counterexamples / witnesses that the word-level ATPG
 engine generates deterministically.
+
+Two backends implement the same search:
+
+* ``bitparallel`` (default) compiles the circuit once and simulates
+  ``sim_width`` independent runs per batch on the bit-parallel kernel, one
+  run per bit lane -- this is the mass-sampling hot path;
+* ``interpreted`` is the original vector-at-a-time loop on the reference
+  :class:`~repro.simulation.simulator.Simulator`, kept as the oracle the
+  kernel is cross-checked against.
+
+Both backends draw all randomness from the per-check RNG (seeded from the
+per-job derived seed), so CI runs are bit-for-bit reproducible.  A hit found
+by the bit-parallel backend is re-simulated through the interpreted oracle
+to produce (and independently validate) the reported counterexample trace.
 """
 
 from __future__ import annotations
@@ -22,6 +36,7 @@ from repro.netlist.circuit import Circuit
 from repro.properties.convert import PropertyCompiler
 from repro.properties.environment import Environment
 from repro.properties.spec import Assertion, Property
+from repro.sim import BitParallelSim, RandomLaneSampler, compile_circuit
 from repro.simulation.simulator import Simulator
 
 
@@ -36,10 +51,15 @@ class RandomSimulationOptions:
     #: RNG seed for reproducible experiments.
     seed: int = 2000
     #: maximum retries per cycle to find an input vector satisfying the
-    #: environment constraints (rejection sampling).
+    #: environment constraints (rejection sampling, interpreted backend only).
     environment_retries: int = 32
     #: measure peak heap usage with tracemalloc.
     trace_memory: bool = True
+    #: simulation backend: ``bitparallel`` (compiled kernel, default) or
+    #: ``interpreted`` (the reference oracle).
+    backend: str = "bitparallel"
+    #: lanes per bit-parallel batch (K); each lane is an independent run.
+    sim_width: int = 64
 
 
 class RandomSimulationChecker:
@@ -65,6 +85,10 @@ class RandomSimulationChecker:
         self.circuit = circuit
         self.environment = environment if environment is not None else Environment()
         self.options = options if options is not None else RandomSimulationOptions()
+        if self.options.backend not in ("bitparallel", "interpreted"):
+            raise ValueError(
+                "unknown random-simulation backend %r" % (self.options.backend,)
+            )
         self.initial_state = dict(initial_state) if initial_state else None
         self.compiler = PropertyCompiler(circuit)
         #: total vectors simulated by the last :meth:`check` call.
@@ -82,26 +106,45 @@ class RandomSimulationChecker:
         ``seed`` overrides :attr:`RandomSimulationOptions.seed` for this call
         only; callers that fan checks out (the portfolio batch runner, CI)
         thread an explicit per-job seed through here so every run is
-        reproducible.
+        reproducible.  All randomness -- including the bit-parallel lane
+        stimulus -- is drawn from this one RNG.
         """
         compiled = self.compiler.compile(prop)
         goal_value = compiled.goal_value
         rng = random.Random(self.options.seed if seed is None else seed)
         runs = num_runs if num_runs is not None else self.options.num_runs
         statistics = CheckStatistics()
-        counterexample: Optional[Counterexample] = None
         self.vectors_simulated = 0
 
         with ResourceMeter(trace_memory=self.options.trace_memory) as meter:
-            for _ in range(runs):
-                counterexample = self._simulate_one_run(compiled.monitor.name, goal_value, rng)
-                if counterexample is not None:
-                    break
+            if self.options.backend == "bitparallel":
+                counterexample = self._check_bitparallel(
+                    compiled.monitor.name, goal_value, rng, runs
+                )
+            else:
+                counterexample = None
+                for _ in range(runs):
+                    counterexample = self._simulate_one_run(
+                        compiled.monitor.name, goal_value, rng
+                    )
+                    if counterexample is not None:
+                        break
 
         statistics.cpu_seconds = meter.elapsed_seconds
         statistics.peak_memory_mb = meter.peak_memory_mb
         statistics.frames_explored = self.vectors_simulated
 
+        if counterexample is not None and not counterexample.validated:
+            # The oracle replay refuted the kernel's hit: the verdict cannot
+            # be trusted (same demotion the ATPG and SAT engines apply to
+            # traces that fail concrete validation).
+            return CheckResult(
+                prop=prop,
+                status=CheckStatus.ABORTED,
+                frames_explored=self.vectors_simulated,
+                counterexample=None,
+                statistics=statistics,
+            )
         if counterexample is not None:
             status = (
                 CheckStatus.FAILS if isinstance(prop, Assertion) else CheckStatus.WITNESS_FOUND
@@ -120,6 +163,83 @@ class RandomSimulationChecker:
             statistics=statistics,
         )
 
+    # ------------------------------------------------------------------
+    # Bit-parallel backend: one independent run per lane.
+    # ------------------------------------------------------------------
+    def _check_bitparallel(
+        self, monitor_name: str, goal_value: int, rng: random.Random, runs: int
+    ) -> Optional[Counterexample]:
+        plan = compile_circuit(self.circuit)
+        sampler = RandomLaneSampler(self.circuit, self.environment)
+        remaining = runs
+        sim: Optional[BitParallelSim] = None
+        while remaining > 0:
+            lanes = min(self.options.sim_width, remaining)
+            remaining -= lanes
+            if sim is None or sim.lanes != lanes:
+                sim = BitParallelSim(plan, lanes=lanes, initial_state=self.initial_state)
+            else:
+                sim.reset(self.initial_state)
+            hit = self._simulate_batch(sim, sampler, monitor_name, goal_value, rng)
+            if hit is not None:
+                return hit
+        return None
+
+    def _simulate_batch(
+        self,
+        sim: BitParallelSim,
+        sampler: RandomLaneSampler,
+        monitor_name: str,
+        goal_value: int,
+        rng: random.Random,
+    ) -> Optional[Counterexample]:
+        lanes = sim.lanes
+        inputs_per_cycle: List[Dict[str, List[int]]] = []
+        for cycle in range(self.options.cycles_per_run):
+            stimulus = sampler.sample(rng, lanes)
+            inputs_per_cycle.append(stimulus)
+            sim.step(stimulus)
+            self.vectors_simulated += lanes
+            monitor = sim.peek(monitor_name)[0]
+            hits = monitor if goal_value else (monitor ^ sim.full)
+            if hits:
+                lane = (hits & -hits).bit_length() - 1
+                return self._replay_lane(
+                    sampler, inputs_per_cycle, lane, cycle, monitor_name, goal_value
+                )
+        return None
+
+    def _replay_lane(
+        self,
+        sampler: RandomLaneSampler,
+        inputs_per_cycle: List[Dict[str, List[int]]],
+        lane: int,
+        target_frame: int,
+        monitor_name: str,
+        goal_value: int,
+    ) -> Counterexample:
+        """Re-simulate one hit lane through the interpreted oracle.
+
+        This produces the full per-net trace for the report and doubles as an
+        independent validation of the kernel's verdict.
+        """
+        inputs = [
+            sampler.scalar_vector(stimulus, lane) for stimulus in inputs_per_cycle
+        ]
+        simulator = Simulator(self.circuit, initial_state=self.initial_state)
+        initial_state = simulator.register_values()
+        trace = [simulator.step(vector) for vector in inputs]
+        return Counterexample(
+            initial_state=initial_state,
+            inputs=inputs,
+            trace=trace,
+            target_frame=target_frame,
+            monitor_name=monitor_name,
+            validated=trace[target_frame][monitor_name] == goal_value,
+        )
+
+    # ------------------------------------------------------------------
+    # Interpreted backend (the reference oracle).
     # ------------------------------------------------------------------
     def _simulate_one_run(
         self, monitor_name: str, goal_value: int, rng: random.Random
@@ -146,7 +266,12 @@ class RandomSimulationChecker:
         return None
 
     def _random_vector(self, rng: random.Random) -> Dict[str, int]:
-        """One random input vector respecting the environment (by rejection)."""
+        """One random input vector respecting the environment (by rejection).
+
+        ``rng`` is always the per-check RNG derived from the per-job seed --
+        never the process-global :mod:`random` state -- so batch runs stay
+        reproducible (enforced repo-wide by ``tests/test_reproducibility.py``).
+        """
         pinned = self.environment.pinned
         for _ in range(self.options.environment_retries):
             vector: Dict[str, int] = {}

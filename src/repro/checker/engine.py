@@ -55,6 +55,12 @@ class CheckerOptions:
     use_local_fsm_guidance: bool = False
     #: register width limit for the local FSM extraction.
     fsm_guidance_max_width: int = 4
+    #: mass-sample this many random vectors on the bit-parallel kernel and
+    #: use the measured signal probabilities as the decision-bias fallback
+    #: (0 disables sampling; the rule-based 0.5 fallback is used instead).
+    probability_sample_vectors: int = 0
+    #: RNG seed for the probability mass sampling.
+    probability_sample_seed: int = 2000
     #: measure peak heap usage with tracemalloc (small overhead).
     trace_memory: bool = True
     #: resource limits of the branch-and-bound search.
@@ -86,6 +92,20 @@ class AssertionChecker:
             self._compile_one_hot(group) for group in self.environment.one_hot_groups
         ]
         self.initial_state = self._derive_initial_state(initial_state)
+        self._sampled_probabilities: Optional[Dict[str, float]] = None
+        if self.options.probability_sample_vectors > 0:
+            from repro.atpg.probability import estimate_signal_probabilities
+
+            # Sample once per checker: the compiled property monitors added
+            # later only extend the netlist, so design-net estimates stay
+            # valid across every check() call.
+            self._sampled_probabilities = estimate_signal_probabilities(
+                self.circuit,
+                environment=self.environment,
+                initial_state=self.initial_state,
+                num_vectors=self.options.probability_sample_vectors,
+                seed=self.options.probability_sample_seed,
+            )
         if self.options.use_local_fsm_guidance:
             self._seed_fsm_guidance()
 
@@ -211,6 +231,7 @@ class AssertionChecker:
             use_bias=self.options.use_bias,
             limits=self.options.limits,
             estg=self.estg if self.estg.enabled else None,
+            sampled_probabilities=self._sampled_probabilities,
         )
         search = justifier.run()
         return search.outcome, model, search

@@ -155,10 +155,12 @@ def _command_check(args: argparse.Namespace) -> int:
         raise SystemExit("--engines contains duplicates: %s" % (args.engines,))
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1, got %d" % (args.jobs,))
-    # --seed alone does not reroute: the default single-engine path is
-    # deterministic, and silently switching the output schema would break
-    # existing consumers.  The seed takes effect whenever another flag
-    # selects the portfolio path.
+    if args.sim_width is not None and args.sim_width < 1:
+        raise SystemExit("--sim-width must be >= 1, got %d" % (args.sim_width,))
+    # --seed and --sim-width alone do not reroute: the default single-engine
+    # path is deterministic (and does not use the simulation kernel), and
+    # silently switching the output schema would break existing consumers.
+    # Both take effect whenever another flag selects the portfolio path.
     portfolio_flags = (
         engines != ["atpg"]
         or args.jobs > 1
@@ -225,6 +227,8 @@ def _check_portfolio(
     budget_overrides = {}
     if args.seed is not None:
         budget_overrides["seed"] = args.seed
+    if args.sim_width is not None:
+        budget_overrides["sim_width"] = args.sim_width
     budget = EngineBudget(
         time_seconds=args.time_budget,
         max_frames=args.max_frames,
@@ -429,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="base RNG seed for reproducible portfolio/batch runs (no effect "
         "on the deterministic default engine alone)",
+    )
+    check.add_argument(
+        "--sim-width",
+        type=int,
+        metavar="K",
+        help="bit-parallel lanes for the random-simulation engine: K vectors "
+        "are evaluated per gate visit on the compiled kernel (default: 64; "
+        "no effect on the deterministic default engine alone)",
     )
     check.add_argument(
         "--time-budget",

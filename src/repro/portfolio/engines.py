@@ -55,6 +55,9 @@ class EngineBudget:
     random_runs: int = 64
     #: cycles per random-simulation run.
     random_cycles: int = 16
+    #: lanes per bit-parallel batch (K) for the random-simulation engine;
+    #: each lane is an independent run on the compiled kernel.
+    sim_width: int = 64
     #: RNG seed threaded through the stochastic engines for reproducibility.
     seed: int = 2000
 
@@ -258,16 +261,22 @@ class SatEngine:
 
 
 class RandomSimEngine:
-    """Adapter for the random-simulation baseline.
+    """Adapter for the random-simulation baseline on the bit-parallel kernel.
 
     A found violation/witness is conclusive (the trace is concrete), but an
     exhausted budget proves nothing, so "not found" is normalised to an
     *inconclusive* result -- in a race this engine can win reachable cases
-    but never unreachable ones.
+    but never unreachable ones.  ``budget.sim_width`` sets the lane count K
+    of the compiled kernel (``repro check --sim-width``); the interpreted
+    reference path remains reachable by constructing the adapter with
+    ``backend="interpreted"``.
     """
 
     name = "random"
     can_prove = False
+
+    def __init__(self, backend: str = "bitparallel"):
+        self.backend = backend
 
     def run(self, circuit, prop, environment, initial_state, budget) -> EngineResult:
         started = time.perf_counter()
@@ -284,6 +293,8 @@ class RandomSimEngine:
                 options=RandomSimulationOptions(
                     num_runs=budget.random_runs,
                     cycles_per_run=budget.random_cycles,
+                    backend=self.backend,
+                    sim_width=budget.sim_width,
                 ),
             )
             result = checker.check(prop, seed=budget.seed)
@@ -299,6 +310,8 @@ class RandomSimEngine:
             stats={
                 "vectors_simulated": result.frames_explored,
                 "seed": budget.seed,
+                "sim_width": budget.sim_width,
+                "backend": self.backend,
                 "peak_memory_mb": round(result.statistics.peak_memory_mb, 4),
             },
         )

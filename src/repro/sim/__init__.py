@@ -1,0 +1,29 @@
+"""Compiled, bit-parallel simulation kernel.
+
+This package is the throughput engine behind every mass-sampling workload:
+:func:`compile_circuit` levelizes a :class:`~repro.netlist.circuit.Circuit`
+into a flat, topologically-ordered evaluation plan (all ``isinstance``
+dispatch happens once, at compile time), and :class:`BitParallelSim`
+evaluates K input vectors simultaneously by bit-slicing every net into
+K-wide Python-int lanes.  The interpreted
+:class:`~repro.simulation.simulator.Simulator` remains the reference oracle;
+the cross-check tests assert exact lane-for-lane agreement.
+"""
+
+from repro.sim.compile import CompiledCircuit, PlanOp, compile_circuit
+from repro.sim.bitparallel import (
+    BitParallelSim,
+    pack_words,
+    unpack_words,
+)
+from repro.sim.sampler import RandomLaneSampler
+
+__all__ = [
+    "BitParallelSim",
+    "CompiledCircuit",
+    "PlanOp",
+    "RandomLaneSampler",
+    "compile_circuit",
+    "pack_words",
+    "unpack_words",
+]

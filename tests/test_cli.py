@@ -176,3 +176,53 @@ def test_table2_command_subset(capsys):
     out = capsys.readouterr().out
     assert "p1" in out and "p2" in out
     assert "ok" in out
+
+
+# ----------------------------------------------------------------------
+# check --engines / --sim-width (the portfolio path)
+# ----------------------------------------------------------------------
+def test_check_random_engine_with_sim_width(counter_file, capsys):
+    exit_code = main(
+        [
+            "check",
+            counter_file,
+            "--pin",
+            "rst=0",
+            "--pin",
+            "en=1",
+            "--witness",
+            "reach_two=count == 2",
+            "--engines",
+            "random",
+            "--sim-width",
+            "16",
+            "--seed",
+            "3",
+            "--json",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    decoded = json.loads(out)
+    result = decoded["results"][0]
+    assert result["status"] == "witness_found"
+    engine = result["engines"][0]
+    assert engine["engine"] == "random"
+    assert engine["stats"]["sim_width"] == 16
+    assert engine["stats"]["backend"] == "bitparallel"
+
+
+def test_check_rejects_bad_sim_width(counter_file):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "check",
+                counter_file,
+                "--assert",
+                "count <= 9",
+                "--engines",
+                "random",
+                "--sim-width",
+                "0",
+            ]
+        )

@@ -1,0 +1,187 @@
+"""The CI benchmark-regression gate (benchmarks/compare_reports.py).
+
+The acceptance contract of ISSUE 2: the gate passes a run against its own
+baseline and demonstrably fails when a benchmark's median doubles.  The
+script lives outside the package (it is a CI tool, not library code), so it
+is loaded from its file path.
+"""
+
+import importlib.util
+import io
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "compare_reports.py"
+)
+spec = importlib.util.spec_from_file_location("compare_reports", _SCRIPT)
+compare_reports = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_reports)
+
+
+def fake_report(medians):
+    """A minimal pytest-benchmark JSON payload."""
+    return {
+        "benchmarks": [
+            {"fullname": name, "name": name.split("::")[-1], "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+
+
+def write_json(path, payload):
+    with open(path, "w") as stream:
+        json.dump(payload, stream)
+    return str(path)
+
+
+MEDIANS = {
+    "benchmarks/bench_a.py::test_fast": 0.01,
+    "benchmarks/bench_a.py::test_slow": 2.5,
+    "benchmarks/bench_b.py::test_mid": 0.4,
+}
+
+
+@pytest.fixture
+def baseline_path(tmp_path):
+    report = write_json(tmp_path / "report.json", fake_report(MEDIANS))
+    baseline = str(tmp_path / "BASELINE.json")
+    rc = compare_reports.main([report, "--write-baseline", baseline], out=io.StringIO())
+    assert rc == 0
+    return baseline
+
+
+def test_identical_run_passes(tmp_path, baseline_path):
+    report = write_json(tmp_path / "run.json", fake_report(MEDIANS))
+    out = io.StringIO()
+    rc = compare_reports.main([report, "--baseline", baseline_path], out=out)
+    assert rc == 0
+    assert "OK:" in out.getvalue()
+
+
+def test_injected_2x_slowdown_fails(tmp_path, baseline_path):
+    slowed = dict(MEDIANS)
+    slowed["benchmarks/bench_b.py::test_mid"] *= 2
+    report = write_json(tmp_path / "run.json", fake_report(slowed))
+    out = io.StringIO()
+    rc = compare_reports.main([report, "--baseline", baseline_path], out=out)
+    assert rc == 1
+    assert "REGRESSION" in out.getvalue()
+    assert "bench_b.py::test_mid" in out.getvalue()
+
+
+def test_small_jitter_within_threshold_passes(tmp_path, baseline_path):
+    jittered = {name: median * 1.15 for name, median in MEDIANS.items()}
+    report = write_json(tmp_path / "run.json", fake_report(jittered))
+    rc = compare_reports.main(
+        [report, "--baseline", baseline_path], out=io.StringIO()
+    )
+    assert rc == 0
+
+
+def test_normalize_cancels_uniform_machine_speed(tmp_path, baseline_path):
+    # A uniformly 3x slower machine: every benchmark tripled.  Without
+    # normalization this is a spurious across-the-board regression; with it
+    # the gate passes.
+    slower_machine = {name: median * 3.0 for name, median in MEDIANS.items()}
+    report = write_json(tmp_path / "run.json", fake_report(slower_machine))
+    assert (
+        compare_reports.main([report, "--baseline", baseline_path], out=io.StringIO())
+        == 1
+    )
+    assert (
+        compare_reports.main(
+            [report, "--baseline", baseline_path, "--normalize"], out=io.StringIO()
+        )
+        == 0
+    )
+
+
+def test_normalize_still_catches_relative_regression(tmp_path, baseline_path):
+    # Uniformly 3x slower AND one benchmark an extra 2x on top: the
+    # normalized gate must still flag the outlier.
+    slowed = {name: median * 3.0 for name, median in MEDIANS.items()}
+    slowed["benchmarks/bench_a.py::test_fast"] *= 2
+    report = write_json(tmp_path / "run.json", fake_report(slowed))
+    out = io.StringIO()
+    rc = compare_reports.main(
+        [report, "--baseline", baseline_path, "--normalize"], out=out
+    )
+    assert rc == 1
+    assert "bench_a.py::test_fast" in out.getvalue()
+
+
+def test_normalize_is_not_fooled_by_a_dominant_family(tmp_path):
+    # 16 of 18 entries come from one parametrized file (like the kernel
+    # sweep in the real baseline).  If that entire family slows 2x, the
+    # machine-speed scale must NOT absorb it: the gate has to fail.
+    medians = {"benchmarks/bench_kernel.py::test_k[%d]" % i: 0.01 for i in range(16)}
+    medians["benchmarks/bench_other.py::test_a"] = 0.5
+    medians["benchmarks/bench_third.py::test_b"] = 0.3
+    baseline = write_json(tmp_path / "base.json", fake_report(medians))
+    base_path = str(tmp_path / "BASELINE.json")
+    assert compare_reports.main(
+        [baseline, "--write-baseline", base_path], out=io.StringIO()
+    ) == 0
+
+    slowed = dict(medians)
+    for name in slowed:
+        if "bench_kernel" in name:
+            slowed[name] *= 2
+    report = write_json(tmp_path / "run.json", fake_report(slowed))
+    out = io.StringIO()
+    rc = compare_reports.main(
+        [report, "--baseline", base_path, "--normalize"], out=out
+    )
+    assert rc == 1
+    assert "REGRESSION" in out.getvalue()
+
+
+def test_min_time_floor_skips_noise_benchmarks(tmp_path, baseline_path):
+    # The fastest benchmark (10ms baseline) doubling is ignored under a 50ms
+    # floor -- sub-floor medians are timer noise -- but a slow benchmark
+    # doubling still fails.
+    noisy = dict(MEDIANS)
+    noisy["benchmarks/bench_a.py::test_fast"] *= 2
+    report = write_json(tmp_path / "run.json", fake_report(noisy))
+    out = io.StringIO()
+    rc = compare_reports.main(
+        [report, "--baseline", baseline_path, "--min-time", "0.05"], out=out
+    )
+    assert rc == 0
+    assert "not gated" in out.getvalue()
+
+    really_slow = dict(noisy)
+    really_slow["benchmarks/bench_a.py::test_slow"] *= 2
+    report = write_json(tmp_path / "run2.json", fake_report(really_slow))
+    rc = compare_reports.main(
+        [report, "--baseline", baseline_path, "--min-time", "0.05"],
+        out=io.StringIO(),
+    )
+    assert rc == 1
+
+
+def test_disjoint_benchmark_sets_error(tmp_path, baseline_path):
+    report = write_json(
+        tmp_path / "run.json", fake_report({"benchmarks/other.py::test_x": 1.0})
+    )
+    rc = compare_reports.main(
+        [report, "--baseline", baseline_path], out=io.StringIO()
+    )
+    assert rc == 2
+
+
+def test_committed_baseline_matches_smoke_benchmarks():
+    """The committed BASELINE.json must cover the smoke benchmark files."""
+    baseline_file = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "BASELINE.json"
+    )
+    with open(baseline_file) as stream:
+        payload = json.load(stream)
+    assert payload["schema"] == compare_reports.BASELINE_SCHEMA
+    names = list(payload["medians"])
+    for stem in ("bench_table1", "bench_portfolio", "bench_bitparallel"):
+        assert any(stem in name for name in names), "baseline is missing %s" % stem
+    assert all(median > 0 for median in payload["medians"].values())

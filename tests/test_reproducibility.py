@@ -1,0 +1,104 @@
+"""Repo-wide RNG hygiene: every random draw must come from a seeded RNG.
+
+ISSUE 2's bugfix audit: the random-simulation checker (and everything else
+in the engine stack) must draw from the per-job derived seed everywhere, so
+CI batch runs are bit-for-bit reproducible.  These tests enforce the
+invariant two ways: a source scan rejecting any module-global :mod:`random`
+usage under ``src/``, and an end-to-end determinism check of the batch
+runner's JSON report.
+"""
+
+import os
+import re
+
+from repro.netlist import Circuit
+from repro.portfolio import BatchJob, BatchOptions, BatchRunner, EngineBudget
+from repro.properties import Assertion, Signal, Witness
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+#: module-level random.* draws (as opposed to random.Random instances).
+_GLOBAL_RANDOM = re.compile(
+    r"\brandom\.(randrange|randint|random|choice|choices|shuffle|sample|"
+    r"getrandbits|uniform|seed)\s*\("
+)
+
+
+def test_no_module_global_random_usage_in_src():
+    offenders = []
+    for root, _dirs, files in os.walk(SRC_ROOT):
+        if "__pycache__" in root:
+            continue
+        for name in files:
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            with open(path) as stream:
+                for lineno, line in enumerate(stream, 1):
+                    if _GLOBAL_RANDOM.search(line):
+                        offenders.append("%s:%d: %s" % (path, lineno, line.strip()))
+    assert not offenders, (
+        "module-global random.* draws break per-job seed reproducibility:\n"
+        + "\n".join(offenders)
+    )
+
+
+def _build_counter():
+    circuit = Circuit("counter")
+    en = circuit.input("en", 1)
+    cnt = circuit.state("cnt", 3)
+    at_max = circuit.eq(cnt, 5)
+    nxt = circuit.mux(at_max, circuit.add(cnt, 1), circuit.const(0, 3))
+    circuit.dff_into(cnt, circuit.mux(en, cnt, nxt), init_value=0)
+    circuit.output(cnt)
+    return circuit
+
+
+def _run_batch():
+    jobs = [
+        BatchJob("reach_two", _build_counter(), Witness("reach_two", Signal("cnt") == 2)),
+        BatchJob("never_seven", _build_counter(), Assertion("never_seven", Signal("cnt") != 7)),
+        BatchJob("reach_four", _build_counter(), Witness("reach_four", Signal("cnt") == 4)),
+    ]
+    report = BatchRunner(
+        BatchOptions(
+            engines=("random",),
+            budget=EngineBudget(random_runs=8, random_cycles=8, sim_width=4, seed=99),
+        )
+    ).run(jobs)
+    return report
+
+
+def _stable_view(report):
+    """The report minus wall-clock timing noise."""
+    view = []
+    for item in report.items:
+        result = item.result
+        view.append(
+            (
+                item.job_id,
+                item.seed,
+                result.status.value,
+                result.winner,
+                tuple(
+                    (er.engine, er.status.value, er.stats.get("vectors_simulated"))
+                    for er in result.engine_results
+                ),
+                None
+                if result.counterexample is None
+                else (
+                    result.counterexample.target_frame,
+                    tuple(sorted(result.counterexample.inputs[-1].items())),
+                ),
+            )
+        )
+    return view
+
+
+def test_batch_runs_are_bit_for_bit_reproducible():
+    first = _run_batch()
+    second = _run_batch()
+    assert first.base_seed == second.base_seed == 99
+    # Per-job derived seeds: base + index.
+    assert [item.seed for item in first.items] == [99, 100, 101]
+    assert _stable_view(first) == _stable_view(second)
