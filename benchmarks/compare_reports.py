@@ -11,8 +11,12 @@ Usage::
     python benchmarks/compare_reports.py report.json \\
         --write-baseline benchmarks/BASELINE.json
 
-A benchmark *regresses* when its median time grows by more than
-``--threshold`` (default 25%) relative to the baseline.  ``--normalize``
+A benchmark *regresses* when its time grows by more than ``--threshold``
+(default 25%) relative to the baseline.  The gated statistic is the
+*minimum* over the benchmark's rounds when the report carries one (the
+median is the fallback): contention on shared CI runners only ever inflates
+timings, so min-vs-min cancels burst noise that would make a median-based
+gate flaky.  ``--normalize``
 first divides every ratio by a machine-speed scale, which cancels uniform
 speed differences (CI runners are not the machine the baseline was recorded
 on) while still catching any benchmark that slows down relative to its
@@ -40,15 +44,22 @@ BASELINE_SCHEMA = "repro-bench-baseline/v1"
 
 
 def extract_medians(payload: dict) -> Dict[str, float]:
-    """Benchmark-name -> median seconds, from either accepted format."""
+    """Benchmark-name -> gated seconds, from either accepted format.
+
+    For raw pytest-benchmark reports the per-benchmark *min* over rounds is
+    preferred (noise-robust on shared runners); the median is the fallback.
+    The slim baseline schema keeps its historical ``medians`` key, holding
+    whatever statistic the generating report supplied.
+    """
     if payload.get("schema") == BASELINE_SCHEMA:
         return {str(name): float(value) for name, value in payload["medians"].items()}
     if "benchmarks" in payload:
-        medians: Dict[str, float] = {}
+        timings: Dict[str, float] = {}
         for entry in payload["benchmarks"]:
             name = entry.get("fullname") or entry["name"]
-            medians[name] = float(entry["stats"]["median"])
-        return medians
+            stats = entry["stats"]
+            timings[name] = float(stats.get("min") or stats["median"])
+        return timings
     raise ValueError(
         "unrecognised report format (expected pytest-benchmark JSON or %r)"
         % (BASELINE_SCHEMA,)

@@ -1,0 +1,78 @@
+"""cProfile harness for a representative ``repro check`` run (``make profile``).
+
+Runs one property check under cProfile and dumps the top functions by
+cumulative time, so hot-path regressions in the deductive engine are easy to
+spot without wiring up external tooling.
+
+Usage::
+
+    python benchmarks/profile_check.py [--case p3] [--bound 12] [--top 25]
+    python benchmarks/profile_check.py --no-incremental   # ablation profile
+"""
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.checker import AssertionChecker, CheckerOptions  # noqa: E402
+from repro.checker.incremental import UnrolledModelCache  # noqa: E402
+from repro.circuits import all_case_ids, build_case  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--case", default="p3", choices=all_case_ids(),
+                        help="zoo property case to profile (default: p3)")
+    parser.add_argument("--bound", type=int, default=12,
+                        help="unrolling bound (default: 12)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows in the cumulative-time dump (default: 25)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="profile the fresh-rebuild path instead")
+    parser.add_argument("--output", metavar="FILE",
+                        help="also write raw cProfile data to FILE")
+    args = parser.parse_args(argv)
+
+    case = build_case(args.case)
+    checker = AssertionChecker(
+        case.circuit,
+        environment=case.environment,
+        initial_state=case.initial_state,
+        options=CheckerOptions(
+            max_frames=args.bound,
+            incremental=not args.no_incremental,
+            trace_memory=False,
+        ),
+        model_cache=UnrolledModelCache(),
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = checker.check(case.prop)
+    profiler.disable()
+
+    mode = "fresh" if args.no_incremental else "incremental"
+    print(
+        "case %s (%s), bound %d, %s path: %s in %.3fs "
+        "(%d decisions, %d frames built, rule-cache hit rate %.1f%%)\n"
+        % (
+            args.case, case.design, args.bound, mode, result.status.value,
+            result.statistics.cpu_seconds, result.statistics.decisions,
+            result.statistics.frames_built,
+            100.0 * result.statistics.rule_cache_hit_rate,
+        )
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print("raw profile written to %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

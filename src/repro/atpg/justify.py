@@ -98,6 +98,16 @@ class Justifier:
         self.arithmetic_calls = 0
         self._aborted = False
 
+    def _unjustified(self) -> List[ImplicationNode]:
+        """Unjustified nodes of the model's *active view*.
+
+        The incremental model may carry built-but-inactive frames beyond the
+        current check bound (plus their forward-derived values); restricting
+        the scan to ``model.active_nodes()`` keeps the search identical to
+        one over a freshly built model of the same bound.
+        """
+        return self.engine.unjustified_nodes(self.model.active_nodes())
+
     # ------------------------------------------------------------------
     def run(self) -> JustifyResult:
         """Run the search.  The assignment is left at the solution on SUCCESS
@@ -144,7 +154,7 @@ class Justifier:
             if self.estg.structurally_illegal and self._hits_structurally_illegal():
                 return JustifyOutcome.FAIL
 
-        unjustified = self.engine.unjustified_nodes()
+        unjustified = self._unjustified()
         if not unjustified:
             return JustifyOutcome.SUCCESS
 
@@ -201,14 +211,14 @@ class Justifier:
     def _control_unjustified(self) -> List[ImplicationNode]:
         return [
             node
-            for node in self.engine.unjustified_nodes()
+            for node in self._unjustified()
             if self._is_control_node(node)
         ]
 
     def _datapath_unjustified(self) -> List[ImplicationNode]:
         return [
             node
-            for node in self.engine.unjustified_nodes()
+            for node in self._unjustified()
             if not self._is_control_node(node)
         ]
 
@@ -257,7 +267,7 @@ class Justifier:
         undetermined free input keys.  Bounded by ``completion_attempts``.
         """
         for _ in range(self.limits.completion_attempts):
-            unjustified = self.engine.unjustified_nodes()
+            unjustified = self._unjustified()
             if not unjustified:
                 return True
             progressed = False
@@ -270,7 +280,7 @@ class Justifier:
                     break
             if not progressed:
                 return False
-        return not self.engine.unjustified_nodes()
+        return not self._unjustified()
 
     def _pick_completion_key(self, node: ImplicationNode) -> Optional[Hashable]:
         free_keys = []

@@ -7,6 +7,21 @@ exactly that: every combinational gate becomes one implication node per
 frame, and every register becomes a cross-frame node relating its pins in
 frame ``t`` to its output in frame ``t + 1``.
 
+The expansion is *incremental*:
+
+* :meth:`UnrolledModel.extend_to` appends only the missing frames to the
+  live implication engine instead of rebuilding frames ``0..k`` from
+  scratch, so growing the check bound costs O(circuit) per bound instead of
+  O(bound x circuit).
+* The model distinguishes *built* frames (nodes physically present in the
+  engine) from the *active view* ``num_frames``: frames beyond the view stay
+  built but inert (their nodes are deactivated), so a model extended for a
+  deep bound can be reused for a shallower one -- e.g. for the next property
+  in a batch -- without the extra frames constraining the search.
+* :meth:`UnrolledModel.sync_with_circuit` picks up gates and registers added
+  to the circuit *after* the model was built (property compilation appends
+  monitor logic), materialising them in every built frame.
+
 Variable keys are ``(net, frame)`` tuples (:data:`VarKey`).
 """
 
@@ -21,6 +36,7 @@ from repro.implication.rules import build_rule
 from repro.implication.rules_seq import imply_dff
 from repro.netlist.circuit import Circuit
 from repro.netlist.compare import Comparator
+from repro.netlist.gates import Gate
 from repro.netlist.nets import Net
 from repro.netlist.seq import DFF
 from repro.netlist.classify import is_control
@@ -64,53 +80,98 @@ class UnrolledModel:
         if num_frames < 1:
             raise ValueError("num_frames must be >= 1")
         self.circuit = circuit
-        self.num_frames = num_frames
         self.free_initial_state = free_initial_state
         self.engine = engine if engine is not None else ImplicationEngine()
         self.driver_node: Dict[VarKey, ImplicationNode] = {}
         self.gate_nodes: List[ImplicationNode] = []
         self.register_nodes: List[ImplicationNode] = []
         self._initial_state_cubes: Dict[Net, BV3] = {}
+        self._explicit_initial_state = self._resolve_initial_state(initial_state)
 
-        self._build_nodes()
-        self._register_free_keys()
-        self._apply_initial_state(initial_state)
-        # Seed implication: run every node once so constants, initial-state
-        # values and other structurally forced values are established before
-        # any requirement is asserted (the paper applies implication of the
-        # initial assignments to the whole circuit).
-        self.engine.enqueue(self.engine.nodes)
-        self.engine.propagate()
+        #: active view: frames 0..num_frames-1 take part in checking.
+        self.num_frames = 0
+        #: frames physically present in the engine (>= ``num_frames``).
+        self.built_frames = 0
+        #: monotone counter of frame constructions (performance statistic).
+        self.frames_constructed = 0
+
+        # Circuit elements materialised so far (prefix of circuit.gates /
+        # circuit.inputs, in declaration = uid order).
+        self._known_gates: List[Gate] = []
+        self._known_ffs: List[DFF] = []
+        self._scanned_gates = 0
+        self._scanned_inputs = 0
+
+        # Per-frame node lists in canonical order: _frame_gate_nodes[f] holds
+        # frame f's combinational nodes (gate-uid order);
+        # _frame_register_nodes[f] holds the register nodes crossing frame f
+        # into frame f+1 (flip-flop declaration order).
+        self._frame_gate_nodes: List[List[ImplicationNode]] = []
+        self._frame_register_nodes: List[List[ImplicationNode]] = []
+        self._active_nodes_cache: Optional[List[ImplicationNode]] = None
+
+        self._base_level = self.engine.assignment.decision_level
+        self._base_savepoint = self.engine.savepoint()
+        self._absorb_circuit()
+        self.extend_to(num_frames)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build_nodes(self) -> None:
-        for frame in range(self.num_frames):
-            for gate in self.circuit.combinational_gates():
-                semantics = build_rule(gate)
-                keys = [self.key(net, frame) for net in semantics.pins]
-                widths = [net.width for net in semantics.pins]
-                node = ImplicationNode(
-                    "%s@%d" % (gate.name, frame),
-                    keys,
-                    semantics.imply,
-                    num_outputs=semantics.num_outputs,
-                    tag=(gate, frame),
-                )
-                self.engine.add_node(node, widths=widths)
-                self.gate_nodes.append(node)
-                for key in node.output_keys:
-                    self.driver_node[key] = node
+    def _resolve_initial_state(
+        self, initial_state: Optional[Mapping[Union[Net, str], int]]
+    ) -> Dict[Net, int]:
+        explicit: Dict[Net, int] = {}
+        if initial_state:
+            by_name = {ff.q.name: ff.q for ff in self.circuit.flip_flops}
+            for key, value in initial_state.items():
+                net = key if isinstance(key, Net) else by_name.get(key)
+                if net is None:
+                    raise KeyError("no register output named %r" % (key,))
+                explicit[net] = value
+        return explicit
 
-        for frame in range(self.num_frames - 1):
-            for ff in self.circuit.flip_flops:
-                node = self._build_register_node(ff, frame)
-                self.engine.add_node(
-                    node, widths=[self.net_of(key).width for key in node.keys]
-                )
-                self.register_nodes.append(node)
-                self.driver_node[self.key(ff.q, frame + 1)] = node
+    def _absorb_circuit(self) -> Tuple[List[Gate], List[DFF], List[Net]]:
+        """Scan circuit elements added since the last call (uid order)."""
+        new_gates: List[Gate] = []
+        new_ffs: List[DFF] = []
+        for gate in self.circuit.gates[self._scanned_gates:]:
+            if gate.is_sequential():
+                new_ffs.append(gate)
+            else:
+                new_gates.append(gate)
+        self._scanned_gates = len(self.circuit.gates)
+        new_inputs = list(self.circuit.inputs[self._scanned_inputs:])
+        self._scanned_inputs = len(self.circuit.inputs)
+        self._known_gates.extend(new_gates)
+        self._known_ffs.extend(new_ffs)
+        return new_gates, new_ffs, new_inputs
+
+    def _make_gate_node(self, gate: Gate, frame: int) -> ImplicationNode:
+        semantics = build_rule(gate)
+        keys = [self.key(net, frame) for net in semantics.pins]
+        widths = [net.width for net in semantics.pins]
+        node = ImplicationNode(
+            "%s@%d" % (gate.name, frame),
+            keys,
+            semantics.imply,
+            num_outputs=semantics.num_outputs,
+            tag=(gate, frame),
+        )
+        self.engine.add_node(node, widths=widths)
+        self.gate_nodes.append(node)
+        for key in node.output_keys:
+            self.driver_node[key] = node
+        return node
+
+    def _make_register_node(self, ff: DFF, frame: int) -> ImplicationNode:
+        node = self._build_register_node(ff, frame)
+        self.engine.add_node(
+            node, widths=[self.net_of(key).width for key in node.keys]
+        )
+        self.register_nodes.append(node)
+        self.driver_node[self.key(ff.q, frame + 1)] = node
+        return node
 
     def _build_register_node(self, ff: DFF, frame: int) -> ImplicationNode:
         keys: List[VarKey] = [self.key(ff.d, frame)]
@@ -137,32 +198,176 @@ class UnrolledModel:
             tag=(ff, frame),
         )
 
-    def _register_free_keys(self) -> None:
-        """Register widths for keys with no driving node (PIs, frame-0 state)."""
-        for frame in range(self.num_frames):
-            for net in self.circuit.inputs:
-                self.engine.assignment.register(self.key(net, frame), net.width)
-        for ff in self.circuit.flip_flops:
-            self.engine.assignment.register(self.key(ff.q, 0), ff.q.width)
+    def _build_frame(self, frame: int) -> None:
+        """Materialise one new frame (and the register nodes reaching it).
 
-    def _apply_initial_state(self, initial_state: Optional[Mapping[Union[Net, str], int]]) -> None:
-        explicit: Dict[Net, int] = {}
-        if initial_state:
-            by_name = {ff.q.name: ff.q for ff in self.circuit.flip_flops}
-            for key, value in initial_state.items():
-                net = key if isinstance(key, Net) else by_name.get(key)
-                if net is None:
-                    raise KeyError("no register output named %r" % (key,))
-                explicit[net] = value
-        for ff in self.circuit.flip_flops:
-            if ff.q in explicit:
-                cube = BV3.from_int(ff.q.width, explicit[ff.q])
+        Callers are responsible for scheduling the new nodes: extend_to
+        enqueues whole frame ranges so re-activated frames catch up too.
+        """
+        gate_nodes: List[ImplicationNode] = []
+        for gate in self._known_gates:
+            gate_nodes.append(self._make_gate_node(gate, frame))
+        self._frame_gate_nodes.append(gate_nodes)
+        self._frame_register_nodes.append([])
+        if frame > 0:
+            crossing: List[ImplicationNode] = []
+            for ff in self._known_ffs:
+                crossing.append(self._make_register_node(ff, frame - 1))
+            self._frame_register_nodes[frame - 1] = crossing
+        # Free keys of this frame: primary inputs (every frame) and register
+        # outputs (frame 0 only).
+        for net in self.circuit.inputs[: self._scanned_inputs]:
+            self.engine.assignment.register(self.key(net, frame), net.width)
+        if frame == 0:
+            for ff in self._known_ffs:
+                self.engine.assignment.register(self.key(ff.q, 0), ff.q.width)
+            self._apply_initial_state(self._known_ffs)
+        self.built_frames += 1
+        self.frames_constructed += 1
+
+    def _apply_initial_state(self, ffs: List[DFF]) -> None:
+        """Seed frame-0 register values for the given flip-flops."""
+        for ff in ffs:
+            if ff.q in self._explicit_initial_state:
+                cube = BV3.from_int(ff.q.width, self._explicit_initial_state[ff.q])
             elif ff.init_value is not None and not self.free_initial_state:
                 cube = BV3.from_int(ff.q.width, ff.init_value)
             else:
                 continue
             self._initial_state_cubes[ff.q] = cube
             self.engine.assign(self.key(ff.q, 0), cube, propagate=False)
+
+    # ------------------------------------------------------------------
+    # Incremental expansion
+    # ------------------------------------------------------------------
+    def extend_to(self, num_frames: int) -> None:
+        """Resize the active view to ``num_frames``, building missing frames.
+
+        Growing beyond the built depth appends only the new frames' nodes to
+        the live engine (the existing seed fixpoint is reused); shrinking
+        deactivates the frames beyond the view without removing them, so a
+        later deeper check re-activates them for free.  Must be called at the
+        model's base decision level whenever the view actually changes.
+        """
+        if num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        if num_frames == self.num_frames:
+            return  # built_frames >= num_frames is an invariant
+        self._require_base_level("extend_to")
+        old_view = self.num_frames
+        while self.built_frames < num_frames:
+            self._build_frame(self.built_frames)
+        self._set_view(num_frames)
+        if old_view < num_frames:
+            # Re-activated frames may have missed base-level updates (e.g.
+            # monitors synced while they were inert): schedule every node of
+            # the newly visible frames, not just the freshly built ones.
+            self.engine.enqueue(
+                node
+                for frame in range(old_view, num_frames)
+                for node in self._frame_gate_nodes[frame]
+            )
+            self.engine.enqueue(
+                node
+                for frame in range(max(old_view - 1, 0), num_frames - 1)
+                for node in self._frame_register_nodes[frame]
+            )
+            self.engine.propagate()
+        self._base_savepoint = self.engine.savepoint()
+
+    def sync_with_circuit(self) -> bool:
+        """Materialise circuit elements added after the model was built.
+
+        Property compilation appends monitor gates (and, for ``Delayed``
+        expressions, registers) to the circuit; this method extends every
+        built frame with nodes for them so a cached model stays equivalent
+        to a freshly built one.  Returns ``True`` when anything was added.
+        """
+        new_gates, new_ffs, new_inputs = self._absorb_circuit()
+        if not (new_gates or new_ffs or new_inputs):
+            return False
+        self._require_base_level("sync_with_circuit")
+        new_nodes: List[ImplicationNode] = []
+        for frame in range(self.built_frames):
+            for net in new_inputs:
+                self.engine.assignment.register(self.key(net, frame), net.width)
+            frame_nodes = self._frame_gate_nodes[frame]
+            active = frame < self.num_frames
+            for gate in new_gates:
+                node = self._make_gate_node(gate, frame)
+                node.active = active
+                frame_nodes.append(node)
+                if active:
+                    new_nodes.append(node)
+        for frame in range(self.built_frames - 1):
+            active = frame < self.num_frames - 1
+            crossing = self._frame_register_nodes[frame]
+            for ff in new_ffs:
+                node = self._make_register_node(ff, frame)
+                node.active = active
+                crossing.append(node)
+                if active:
+                    new_nodes.append(node)
+        if new_ffs:
+            for ff in new_ffs:
+                self.engine.assignment.register(self.key(ff.q, 0), ff.q.width)
+            self._apply_initial_state(new_ffs)
+        self._active_nodes_cache = None
+        self.engine.enqueue(new_nodes)
+        self.engine.propagate()
+        self._base_savepoint = self.engine.savepoint()
+        return True
+
+    def _set_view(self, num_frames: int) -> None:
+        old_view = self.num_frames
+        self.num_frames = num_frames
+        if old_view != num_frames:
+            self._active_nodes_cache = None
+        low, high = sorted((old_view, num_frames))
+        for frame in range(low, high):
+            for node in self._frame_gate_nodes[frame]:
+                node.active = frame < num_frames
+        for frame in range(max(low - 1, 0), high):
+            if frame < len(self._frame_register_nodes):
+                for node in self._frame_register_nodes[frame]:
+                    node.active = frame < num_frames - 1
+
+    @property
+    def at_base_level(self) -> bool:
+        """True when no decisions/goals are pending on top of the base model."""
+        return self.engine.assignment.decision_level == self._base_level
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the engine is exactly at the last base fixpoint.
+
+        Stricter than :attr:`at_base_level`: goals asserted *at* the base
+        level (the incremental checker opens no decision level for them)
+        grow the trail past the recorded base savepoint and are detected
+        here, so a check that died without retracting cannot leak state
+        into a reused model.
+        """
+        return self.engine.savepoint() == self._base_savepoint
+
+    def _require_base_level(self, operation: str) -> None:
+        if self.engine.assignment.decision_level != self._base_level:
+            raise RuntimeError(
+                "%s requires the model's base decision level %d (current: %d)"
+                % (operation, self._base_level, self.engine.assignment.decision_level)
+            )
+
+    def active_nodes(self) -> List[ImplicationNode]:
+        """Nodes of the active view, in the canonical (fresh-build) order:
+        every frame's gate nodes first, then the cross-frame register nodes.
+        """
+        if self._active_nodes_cache is None:
+            nodes: List[ImplicationNode] = []
+            for frame in range(self.num_frames):
+                nodes.extend(self._frame_gate_nodes[frame])
+            for frame in range(self.num_frames - 1):
+                nodes.extend(self._frame_register_nodes[frame])
+            self._active_nodes_cache = nodes
+        return self._active_nodes_cache
 
     # ------------------------------------------------------------------
     # Accessors
@@ -258,8 +463,9 @@ class UnrolledModel:
         return result
 
     def __repr__(self) -> str:
-        return "UnrolledModel(%r, frames=%d, nodes=%d)" % (
+        return "UnrolledModel(%r, frames=%d/%d built, nodes=%d)" % (
             self.circuit.name,
             self.num_frames,
+            self.built_frames,
             len(self.gate_nodes) + len(self.register_nodes),
         )

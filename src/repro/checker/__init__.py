@@ -8,6 +8,7 @@ the verdict together with run-time / memory statistics (Table 2).
 """
 
 from repro.checker.engine import AssertionChecker, CheckerOptions
+from repro.checker.incremental import UnrolledModelCache, shared_model_cache
 from repro.checker.result import CheckResult, CheckStatus, Counterexample
 from repro.checker.stats import ResourceMeter, CheckStatistics
 from repro.checker.report import (
@@ -20,6 +21,8 @@ from repro.checker.report import (
 __all__ = [
     "AssertionChecker",
     "CheckerOptions",
+    "UnrolledModelCache",
+    "shared_model_cache",
     "CheckResult",
     "CheckStatus",
     "Counterexample",

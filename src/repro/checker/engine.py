@@ -24,6 +24,7 @@ from repro.atpg.estg import ExtendedStateTransitionGraph
 from repro.atpg.justify import Justifier, JustifierLimits, JustifyOutcome
 from repro.atpg.timeframe import UnrolledModel
 from repro.bitvector import BV3
+from repro.checker.incremental import UnrolledModelCache, shared_model_cache
 from repro.checker.result import CheckResult, CheckStatus, Counterexample
 from repro.checker.stats import CheckStatistics, ResourceMeter
 from repro.implication.assignment import ImplicationConflict
@@ -40,6 +41,10 @@ class CheckerOptions:
 
     #: maximum number of time frames explored (bounded check depth).
     max_frames: int = 8
+    #: reuse one incrementally extended unrolled model across target frames
+    #: and properties (retracting per-bound goals through engine savepoints)
+    #: instead of rebuilding the implication network for every bound.
+    incremental: bool = True
     #: validate every generated trace by concrete simulation.
     validate_traces: bool = True
     #: use the legal-assignment-bias decision ordering (ablation switch).
@@ -76,11 +81,18 @@ class AssertionChecker:
         environment: Optional[Environment] = None,
         initial_state: Optional[Mapping[str, int]] = None,
         options: Optional[CheckerOptions] = None,
+        model_cache: Optional[UnrolledModelCache] = None,
     ):
         circuit.validate()
         self.circuit = circuit
         self.environment = environment if environment is not None else Environment()
         self.options = options if options is not None else CheckerOptions()
+        #: cache of incremental unrolled models (shared across checker
+        #: instances by default; inject a private one for isolation).
+        self.model_cache = model_cache if model_cache is not None else shared_model_cache()
+        self._incremental_model: Optional[UnrolledModel] = None
+        self._restore_savepoint = None
+        self._counter_marks = (0, 0, 0, 0, 0)
         self.compiler = PropertyCompiler(circuit)
         use_estg = self.options.use_estg or self.options.use_local_fsm_guidance
         self.estg = ExtendedStateTransitionGraph(enabled=use_estg)
@@ -164,27 +176,51 @@ class AssertionChecker:
         counterexample: Optional[Counterexample] = None
 
         with ResourceMeter(trace_memory=self.options.trace_memory) as meter:
-            start_frame = compiled.warmup_frames
-            for target_frame in range(start_frame, bound):
-                statistics.frames_explored = target_frame + 1
-                outcome, model, search = self._check_target_frame(compiled, target_frame)
-                if search is not None:
-                    statistics.accumulate_search(search)
-                if outcome is JustifyOutcome.SUCCESS:
-                    counterexample = self._extract_trace(compiled, model, target_frame)
-                    if (
-                        self.options.validate_traces
-                        and counterexample is not None
-                        and not counterexample.validated
-                    ):
-                        # An invalid trace means the search over-approximated;
-                        # treat it as inconclusive rather than a real failure.
-                        counterexample = None
-                        aborted = True
-                    break
-                if outcome is JustifyOutcome.ABORT:
-                    aborted = True
-                    break
+            try:
+                if self.options.incremental:
+                    self._incremental_model, reused = self.model_cache.acquire(
+                        self.circuit, self.initial_state, self.environment
+                    )
+                    if reused:
+                        statistics.models_reused += 1
+                    else:
+                        # Count the skeleton frame built by the cache miss.
+                        statistics.frames_built += self._incremental_model.frames_constructed
+                start_frame = compiled.warmup_frames
+                for target_frame in range(start_frame, bound):
+                    statistics.frames_explored = target_frame + 1
+                    try:
+                        outcome, model, search = self._check_target_frame(compiled, target_frame)
+                        if search is not None:
+                            statistics.accumulate_search(search)
+                        self._accumulate_engine_counters(statistics, model)
+                        if outcome is JustifyOutcome.SUCCESS:
+                            counterexample = self._extract_trace(compiled, model, target_frame)
+                            if (
+                                self.options.validate_traces
+                                and counterexample is not None
+                                and not counterexample.validated
+                            ):
+                                # An invalid trace means the search over-approximated;
+                                # treat it as inconclusive rather than a real failure.
+                                counterexample = None
+                                aborted = True
+                            break
+                        if outcome is JustifyOutcome.ABORT:
+                            aborted = True
+                            break
+                    finally:
+                        # Retract this bound's goals (and the search's decision
+                        # stack) so the cached base fixpoint is restored exactly.
+                        self._retract_goals()
+            except BaseException:
+                # An escaping error may have interrupted a structural base
+                # mutation (extend/sync); drop this circuit's cached models
+                # rather than risk reusing a half-built network.
+                if self.options.incremental:
+                    self._incremental_model = None
+                    self.model_cache.evict(self.circuit)
+                raise
 
         statistics.cpu_seconds = meter.elapsed_seconds
         statistics.peak_memory_mb = meter.peak_memory_mb
@@ -200,31 +236,70 @@ class AssertionChecker:
 
     # ------------------------------------------------------------------
     def _check_target_frame(self, compiled: CompiledProperty, target_frame: int):
+        if self.options.incremental:
+            return self._check_target_frame_incremental(compiled, target_frame)
         num_frames = target_frame + 1
         model = UnrolledModel(
             self.circuit, num_frames, initial_state=self.initial_state
         )
-        engine = model.engine
+        self._counter_marks = (0, 0, 0, 0, 0)
         try:
-            # Environmental constraints in every frame.
-            for frame in range(num_frames):
-                for name, value in self.environment.pinned.items():
-                    net = self.circuit.net(name)
-                    engine.assign(
-                        model.key(net, frame), BV3.from_int(net.width, value), propagate=False
-                    )
-                for net in self._assumption_nets + self._one_hot_nets:
-                    engine.assign(model.key(net, frame), BV3.from_int(1, 1), propagate=False)
-            # The inverted property goal at the target frame.
-            engine.assign(
-                model.key(compiled.monitor, target_frame),
-                BV3.from_int(1, compiled.goal_value),
-                propagate=False,
-            )
-            engine.propagate()
+            self._assert_requirements(model, compiled, target_frame)
         except ImplicationConflict:
             return JustifyOutcome.FAIL, model, None
+        search = self._run_justifier(model, compiled)
+        return search.outcome, model, search
 
+    def _check_target_frame_incremental(
+        self, compiled: CompiledProperty, target_frame: int
+    ):
+        """One target frame on the shared incremental model.
+
+        The model is grown (never rebuilt) to ``target_frame + 1`` frames;
+        the per-bound environment/goal requirements are asserted on top of an
+        engine savepoint that :meth:`_retract_goals` rolls back afterwards,
+        restoring the reusable base fixpoint.
+        """
+        model = self._incremental_model
+        engine = model.engine
+        self._counter_marks = (
+            engine.rule_cache_hits,
+            engine.rule_cache_misses,
+            engine.justified_cache_hits,
+            engine.justified_cache_misses,
+            model.frames_constructed,
+        )
+        model.extend_to(target_frame + 1)
+        self._restore_savepoint = engine.savepoint()
+        try:
+            self._assert_requirements(model, compiled, target_frame)
+        except ImplicationConflict:
+            return JustifyOutcome.FAIL, model, None
+        search = self._run_justifier(model, compiled)
+        return search.outcome, model, search
+
+    def _assert_requirements(
+        self, model: UnrolledModel, compiled: CompiledProperty, target_frame: int
+    ) -> None:
+        """Assert environment constraints (all frames) and the goal (target)."""
+        engine = model.engine
+        for frame in range(target_frame + 1):
+            for name, value in self.environment.pinned.items():
+                net = self.circuit.net(name)
+                engine.assign(
+                    model.key(net, frame), BV3.from_int(net.width, value), propagate=False
+                )
+            for net in self._assumption_nets + self._one_hot_nets:
+                engine.assign(model.key(net, frame), BV3.from_int(1, 1), propagate=False)
+        # The inverted property goal at the target frame.
+        engine.assign(
+            model.key(compiled.monitor, target_frame),
+            BV3.from_int(1, compiled.goal_value),
+            propagate=False,
+        )
+        engine.propagate()
+
+    def _run_justifier(self, model: UnrolledModel, compiled: CompiledProperty):
         justifier = Justifier(
             model,
             prove_mode=isinstance(compiled.prop, Assertion),
@@ -233,8 +308,28 @@ class AssertionChecker:
             estg=self.estg if self.estg.enabled else None,
             sampled_probabilities=self._sampled_probabilities,
         )
-        search = justifier.run()
-        return search.outcome, model, search
+        return justifier.run()
+
+    def _retract_goals(self) -> None:
+        """Roll the incremental model back to its pre-goal savepoint.
+
+        Runs in a ``finally`` so even an exception escaping the search
+        cannot leave goal assignments inside a cached model.
+        """
+        if self._restore_savepoint is not None and self._incremental_model is not None:
+            self._incremental_model.engine.rollback_to(self._restore_savepoint)
+        self._restore_savepoint = None
+
+    def _accumulate_engine_counters(
+        self, statistics: CheckStatistics, model: UnrolledModel
+    ) -> None:
+        engine = model.engine
+        rule_hits, rule_misses, just_hits, just_misses, frames_mark = self._counter_marks
+        statistics.rule_cache_hits += engine.rule_cache_hits - rule_hits
+        statistics.rule_cache_misses += engine.rule_cache_misses - rule_misses
+        statistics.justified_cache_hits += engine.justified_cache_hits - just_hits
+        statistics.justified_cache_misses += engine.justified_cache_misses - just_misses
+        statistics.frames_built += model.frames_constructed - frames_mark
 
     # ------------------------------------------------------------------
     def _extract_trace(

@@ -1,0 +1,176 @@
+"""Shared cache of incrementally unrolled models.
+
+Building an :class:`~repro.atpg.timeframe.UnrolledModel` is the dominant
+fixed cost of a bounded check: every gate becomes one implication node per
+frame and the seed implication fixpoint runs over all of them.  The checker
+therefore reuses one model per *(circuit, initial state, environment)*
+triple:
+
+* across **bounds** -- :meth:`UnrolledModel.extend_to` appends only the new
+  frames, so checking up to bound ``k`` builds each frame once instead of
+  O(k^2) times;
+* across **properties** -- monitor logic compiled for a later property is
+  absorbed by :meth:`UnrolledModel.sync_with_circuit`, and the per-bound
+  goals are retracted through an engine savepoint after every target frame,
+  which restores the cached base fixpoint exactly;
+* across **checker instances** -- the cache is a process-wide LRU, so
+  portfolio/batch runs that check many properties against the same circuit
+  object (the common batch shape) skip the rebuild entirely.
+
+The cache key uses the circuit's *identity*: circuits are mutable builder
+objects and two structurally equal netlists are still distinct designs.  The
+cached model holds a strong reference to its circuit, so an entry's id
+cannot be recycled while the entry lives; stale entries are simply evicted
+by the LRU bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.atpg.timeframe import UnrolledModel
+from repro.netlist.circuit import Circuit
+from repro.properties.environment import Environment
+
+
+def environment_fingerprint(environment: Optional[Environment]) -> Hashable:
+    """A hashable digest of an environment's constraint content.
+
+    Environments with equal fingerprints impose identical constraints, so
+    their checks can share one unrolled skeleton (the skeleton itself is
+    environment-free; the fingerprint guards the shared per-bound goal
+    protocol against aliasing between differently constrained runs).
+    """
+    if environment is None:
+        return None
+    initialization = environment.initialization
+    return (
+        tuple(sorted(environment.pinned.items())),
+        tuple(tuple(group) for group in environment.one_hot_groups),
+        tuple(repr(expr) for expr in environment.assumptions),
+        None
+        if initialization is None
+        else tuple(tuple(sorted(vector.items())) for vector in initialization.vectors),
+    )
+
+
+def initial_state_fingerprint(
+    initial_state: Optional[Mapping[str, int]]
+) -> Hashable:
+    """A hashable digest of a derived initial-state mapping."""
+    if initial_state is None:
+        return None
+    return tuple(sorted(initial_state.items()))
+
+
+class UnrolledModelCache:
+    """Process-wide LRU cache of incremental unrolled models.
+
+    ``max_entries`` bounds memory: each entry pins one circuit plus one
+    implication network of ``built_frames`` frames.  The default of 8 covers
+    a typical batch (a handful of designs, many properties each) while
+    keeping the worst case small.
+
+    Concurrency: the internal lock only protects the cache *dictionary*
+    (lookups, insertion, eviction).  The models it hands out are live,
+    mutable engines -- checking itself is single-threaded per process, as in
+    the rest of the stack (the portfolio layer parallelises with worker
+    *processes*, never threads).  Do not drive one cached model from two
+    threads.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[int, Hashable, Hashable], UnrolledModel]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        circuit: Circuit,
+        initial_state: Optional[Mapping[str, int]] = None,
+        environment: Optional[Environment] = None,
+    ) -> Tuple[UnrolledModel, bool]:
+        """Return ``(model, reused)`` for the given configuration.
+
+        A cache miss builds a one-frame skeleton (callers grow it with
+        :meth:`UnrolledModel.extend_to`); a hit returns the live model after
+        absorbing any circuit growth via ``sync_with_circuit``.
+        """
+        key = (
+            id(circuit),
+            initial_state_fingerprint(initial_state),
+            environment_fingerprint(environment),
+        )
+        with self._lock:
+            model = self._entries.get(key)
+            if model is not None and not model.is_clean:
+                # A previous check died without retracting its goals (or
+                # mid-extension); the model's state is unusable, rebuild.
+                del self._entries[key]
+                model = None
+            if model is not None and model.circuit is circuit:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                reused = True
+            else:
+                model = None
+                reused = False
+        if reused:
+            model.sync_with_circuit()
+            return model, True
+        # Build outside the lock: the seed fixpoint is O(circuit) and must
+        # not stall other cache users.  A racing duplicate build is benign
+        # (last insert wins).
+        model = UnrolledModel(circuit, 1, initial_state=initial_state)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = model
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return model, False
+
+    # ------------------------------------------------------------------
+    def evict(self, circuit: Circuit) -> None:
+        """Drop every entry for ``circuit``."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == id(circuit)]
+            for key in stale:
+                del self._entries[key]
+
+    def clear(self) -> None:
+        """Drop all entries (used by tests and benchmarks)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Cache occupancy and hit counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide cache shared by every :class:`AssertionChecker` whose
+#: options enable incremental checking (the default).
+_SHARED_CACHE = UnrolledModelCache()
+
+
+def shared_model_cache() -> UnrolledModelCache:
+    """The process-wide :class:`UnrolledModelCache` singleton."""
+    return _SHARED_CACHE

@@ -32,6 +32,24 @@ def counterexample_to_dict(counterexample: Counterexample) -> Dict[str, object]:
     }
 
 
+def statistics_to_dict(statistics) -> Dict[str, object]:
+    """The JSON-friendly search/reuse statistics shared by the check report
+    and the portfolio engine details (one mapping, so the two cannot drift).
+    """
+    return {
+        "decisions": statistics.decisions,
+        "backtracks": statistics.backtracks,
+        "conflicts": statistics.conflicts,
+        "implications": statistics.implications,
+        "arithmetic_calls": statistics.arithmetic_calls,
+        "models_reused": statistics.models_reused,
+        "frames_built": statistics.frames_built,
+        "rule_cache_hit_rate": round(statistics.rule_cache_hit_rate, 4),
+        "justified_cache_hit_rate": round(statistics.justified_cache_hit_rate, 4),
+        "peak_memory_mb": round(statistics.peak_memory_mb, 4),
+    }
+
+
 def result_to_dict(result: CheckResult) -> Dict[str, object]:
     """A JSON-friendly description of one property check."""
     statistics = result.statistics
@@ -41,13 +59,8 @@ def result_to_dict(result: CheckResult) -> Dict[str, object]:
         "status": result.status.value,
         "frames_explored": result.frames_explored,
         "cpu_seconds": round(statistics.cpu_seconds, 6),
-        "peak_memory_mb": round(statistics.peak_memory_mb, 4),
-        "decisions": statistics.decisions,
-        "backtracks": statistics.backtracks,
-        "conflicts": statistics.conflicts,
-        "implications": statistics.implications,
-        "arithmetic_calls": statistics.arithmetic_calls,
     }
+    payload.update(statistics_to_dict(statistics))
     if result.counterexample is not None:
         payload["trace"] = counterexample_to_dict(result.counterexample)
     return payload

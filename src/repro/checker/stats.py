@@ -21,6 +21,14 @@ class CheckStatistics:
     arithmetic_calls: int = 0
     frames_explored: int = 0
     justify_runs: int = 0
+    #: unrolled-model reuse (incremental checking path).
+    models_reused: int = 0
+    frames_built: int = 0
+    #: implication-engine memo cache traffic during this check.
+    rule_cache_hits: int = 0
+    rule_cache_misses: int = 0
+    justified_cache_hits: int = 0
+    justified_cache_misses: int = 0
 
     def accumulate_search(self, result) -> None:
         """Fold one :class:`~repro.atpg.justify.JustifyResult` into the totals."""
@@ -30,6 +38,18 @@ class CheckStatistics:
         self.implications += result.implications
         self.arithmetic_calls += result.arithmetic_calls
         self.justify_runs += 1
+
+    @property
+    def rule_cache_hit_rate(self) -> float:
+        """Fraction of rule evaluations served from the memo cache."""
+        total = self.rule_cache_hits + self.rule_cache_misses
+        return self.rule_cache_hits / total if total else 0.0
+
+    @property
+    def justified_cache_hit_rate(self) -> float:
+        """Fraction of justification tests served from the memo cache."""
+        total = self.justified_cache_hits + self.justified_cache_misses
+        return self.justified_cache_hits / total if total else 0.0
 
 
 class ResourceMeter:

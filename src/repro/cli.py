@@ -173,6 +173,7 @@ def _command_check(args: argparse.Namespace) -> int:
     options = CheckerOptions(
         max_frames=args.max_frames,
         use_local_fsm_guidance=args.fsm_guidance,
+        incremental=not args.no_incremental,
     )
     checker = AssertionChecker(circuit, environment=environment, options=options)
     results: List[CheckResult] = [checker.check(prop) for prop in properties]
@@ -236,7 +237,12 @@ def _check_portfolio(
     )
     # Checker-specific flags (--fsm-guidance) ride on a configured adapter.
     configured = [
-        AtpgEngine(CheckerOptions(use_local_fsm_guidance=True))
+        AtpgEngine(
+            CheckerOptions(
+                use_local_fsm_guidance=True,
+                incremental=not args.no_incremental,
+            )
+        )
         if name == "atpg" and args.fsm_guidance
         else name
         for name in engines
@@ -251,6 +257,7 @@ def _check_portfolio(
             budget=budget,
             jobs=args.jobs,
             run_all=args.compare,
+            incremental=not args.no_incremental,
         )
     ).run(jobs)
 
@@ -453,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every engine to completion and report disagreements "
         "instead of racing",
+    )
+    check.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="rebuild the unrolled implication network from scratch for "
+        "every bound instead of reusing it incrementally (debug/ablation)",
     )
     check.set_defaults(func=_command_check)
 

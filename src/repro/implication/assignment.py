@@ -13,6 +13,9 @@ from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.bitvector import BV3, BV3Conflict
 
+#: Opaque savepoint handle: (trail length, number of open decision levels).
+Savepoint = Tuple[int, int]
+
 
 class ImplicationConflict(Exception):
     """Raised when an implication contradicts the current assignment."""
@@ -28,7 +31,15 @@ class Assignment:
     A *key* is any hashable object; the unrolled model uses ``(net, frame)``
     tuples.  The width of a key is fixed the first time it is assigned or
     registered via :meth:`register`.
+
+    Besides plain chronological decision levels, the store supports
+    :meth:`savepoint` / :meth:`rollback_to`: a savepoint may be taken while
+    levels are already open, and rolling back to it also closes every level
+    opened after it.  The incremental checker uses this to retract a whole
+    per-bound goal (including the search's decision stack) in one step.
     """
+
+    __slots__ = ("_values", "_widths", "_trail", "_level_marks")
 
     def __init__(self):
         self._values: Dict[Hashable, BV3] = {}
@@ -140,6 +151,35 @@ class Assignment:
         """Return to decision level 0."""
         while self._level_marks:
             self.pop_level()
+
+    # ------------------------------------------------------------------
+    # Savepoints (retraction across decision levels)
+    # ------------------------------------------------------------------
+    def savepoint(self) -> Savepoint:
+        """Capture the current trail position and decision depth.
+
+        Unlike :meth:`push_level`, a savepoint can be taken *below*
+        already-open decision levels and rolled back to while further levels
+        are open: :meth:`rollback_to` closes every level opened after the
+        savepoint before restoring the trail.
+        """
+        return (len(self._trail), len(self._level_marks))
+
+    def rollback_to(self, savepoint: Savepoint) -> None:
+        """Undo every refinement (and close every level) after ``savepoint``."""
+        trail_mark, level_depth = savepoint
+        if trail_mark > len(self._trail) or level_depth > len(self._level_marks):
+            raise RuntimeError(
+                "stale savepoint %r (trail=%d, levels=%d)"
+                % (savepoint, len(self._trail), len(self._level_marks))
+            )
+        del self._level_marks[level_depth:]
+        while len(self._trail) > trail_mark:
+            key, previous = self._trail.pop()
+            if previous is None:
+                del self._values[key]
+            else:
+                self._values[key] = previous
 
     def __len__(self) -> int:
         return len(self._values)

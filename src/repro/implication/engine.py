@@ -5,15 +5,30 @@ The engine is agnostic of frames and netlists: it operates on
 *keys* (hashable identifiers, e.g. ``(net, frame)`` tuples) through an
 implication rule.  Whenever a key's cube is refined, every node watching that
 key is re-evaluated, until a fixpoint is reached or a conflict surfaces.
+
+Two mechanisms make the engine reusable across incremental checking runs:
+
+* **Retractable node groups** -- nodes added while a decision level (or a
+  :meth:`ImplicationEngine.savepoint`) is open are *retired* when that level
+  is popped / rolled back: they are removed from the node list, their watcher
+  entries are unhooked and their memoisation entries dropped, so a retracted
+  goal leaves no trace behind.
+* **Node activation** -- a node can be deactivated (``node.active = False``)
+  without being removed; inactive nodes are skipped by the propagation
+  worklist.  The unrolled model uses this to keep time frames beyond the
+  current check bound physically present but logically inert.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bitvector import BV3, BV3Conflict
-from repro.implication.assignment import Assignment, ImplicationConflict
+from repro.implication.assignment import Assignment, ImplicationConflict, Savepoint
+
+#: Engine savepoint: (assignment savepoint, node count).
+EngineSavepoint = Tuple[Savepoint, int]
 
 
 class ImplicationNode:
@@ -31,7 +46,7 @@ class ImplicationNode:
         How many trailing keys are outputs (used by the justification test).
     """
 
-    __slots__ = ("name", "keys", "rule", "num_outputs", "tag")
+    __slots__ = ("name", "keys", "rule", "num_outputs", "tag", "active")
 
     def __init__(
         self,
@@ -46,6 +61,8 @@ class ImplicationNode:
         self.rule = rule
         self.num_outputs = num_outputs
         self.tag = tag
+        #: inactive nodes are skipped by propagation (see module docstring).
+        self.active = True
 
     @property
     def input_keys(self) -> List[Hashable]:
@@ -75,11 +92,22 @@ class ImplicationEngine:
         # results.  This makes the repeated unjustified-gate scans of the
         # branch-and-bound search cheap.
         self._justified_cache: Dict[int, Tuple[Tuple[BV3, ...], bool]] = {}
+        self.justified_cache_hits = 0
+        self.justified_cache_misses = 0
         # Memoized rule evaluations.  Branch-and-bound revisits many
         # identical pin-cube combinations across backtracked branches; rules
         # are pure functions of their cubes, so their results can be reused.
+        # Eviction is FIFO one-entry-at-a-time (dicts preserve insertion
+        # order), so deep searches keep their hot entries instead of losing
+        # the whole per-node cache at the limit.
         self._rule_cache: Dict[int, Dict[Tuple[BV3, ...], List[BV3]]] = {}
         self._rule_cache_limit = 256
+        self.rule_cache_hits = 0
+        self.rule_cache_misses = 0
+        self.rule_cache_evictions = 0
+        # Node count at each open decision level, so popping a level also
+        # retires the nodes added while it was open.
+        self._level_node_marks: List[int] = []
 
     # ------------------------------------------------------------------
     def add_node(self, node: ImplicationNode, widths: Optional[Sequence[int]] = None) -> None:
@@ -112,6 +140,8 @@ class ImplicationEngine:
 
     def _enqueue_watchers(self, key: Hashable) -> None:
         for node in self._watchers.get(key, []):
+            if not node.active:
+                continue
             marker = id(node)
             if marker not in self._queued:
                 self._queued.add(marker)
@@ -120,6 +150,8 @@ class ImplicationEngine:
     def enqueue(self, nodes: Iterable[ImplicationNode]) -> None:
         """Schedule specific nodes for (re-)evaluation."""
         for node in nodes:
+            if not node.active:
+                continue
             marker = id(node)
             if marker not in self._queued:
                 self._queued.add(marker)
@@ -136,7 +168,8 @@ class ImplicationEngine:
             while self._queue:
                 node = self._queue.popleft()
                 self._queued.discard(id(node))
-                self._evaluate(node)
+                if node.active:
+                    self._evaluate(node)
         except (ImplicationConflict, BV3Conflict) as exc:
             self._queue.clear()
             self._queued.clear()
@@ -151,13 +184,18 @@ class ImplicationEngine:
         cache_key = tuple(cubes)
         refined = cache.get(cache_key)
         if refined is None:
+            self.rule_cache_misses += 1
             try:
                 refined = node.rule(cubes)
             except BV3Conflict as exc:
                 raise ImplicationConflict("%s: %s" % (node.name, exc)) from exc
             if len(cache) >= self._rule_cache_limit:
-                cache.clear()
+                # FIFO: drop only the oldest entry, not the whole cache.
+                del cache[next(iter(cache))]
+                self.rule_cache_evictions += 1
             cache[cache_key] = refined
+        else:
+            self.rule_cache_hits += 1
         for key, old, new in zip(node.keys, cubes, refined):
             if new is old or new == old:
                 continue
@@ -170,13 +208,71 @@ class ImplicationEngine:
     # ------------------------------------------------------------------
     def push_level(self) -> None:
         """Open a decision level (see :class:`Assignment`)."""
+        self._level_node_marks.append(len(self.nodes))
         self.assignment.push_level()
 
     def pop_level(self) -> None:
-        """Backtrack one decision level, restoring partially implied cubes."""
+        """Backtrack one decision level, restoring partially implied cubes.
+
+        Nodes added while the level was open are retired: removed from the
+        node list, unhooked from their watcher lists and dropped from the
+        memoisation caches, together with any queue entries.
+        """
         self._queue.clear()
         self._queued.clear()
+        if self._level_node_marks:
+            mark = self._level_node_marks.pop()
+            if len(self.nodes) > mark:
+                self._retire_nodes(mark)
         self.assignment.pop_level()
+
+    # ------------------------------------------------------------------
+    # Savepoints (retraction across decision levels and node groups)
+    # ------------------------------------------------------------------
+    def savepoint(self) -> EngineSavepoint:
+        """Capture assignment state and node count for :meth:`rollback_to`."""
+        return (self.assignment.savepoint(), len(self.nodes))
+
+    def rollback_to(self, savepoint: EngineSavepoint) -> None:
+        """Retract everything after ``savepoint``.
+
+        Closes decision levels opened after the savepoint, restores the
+        assignment trail, retires nodes added since, and clears the worklist.
+        Safe to call after a conflict (the queue is already clear then).
+        """
+        assignment_savepoint, node_mark = savepoint
+        self._queue.clear()
+        self._queued.clear()
+        if len(self.nodes) > node_mark:
+            self._retire_nodes(node_mark)
+        # Level node-marks above the savepoint's depth belong to levels that
+        # the assignment rollback closes.
+        del self._level_node_marks[assignment_savepoint[1]:]
+        self.assignment.rollback_to(assignment_savepoint)
+
+    def _retire_nodes(self, mark: int) -> None:
+        """Remove (and unhook) every node added after position ``mark``.
+
+        Retirement is stack-disciplined: retired nodes are exactly the tail
+        of the node list, so their watcher entries form a suffix of each
+        watcher list and can be popped off the end.
+        """
+        retired = self.nodes[mark:]
+        del self.nodes[mark:]
+        retired_ids = {id(node) for node in retired}
+        keys: Set[Hashable] = set()
+        for node in retired:
+            keys.update(node.keys)
+        for key in keys:
+            watchers = self._watchers.get(key)
+            while watchers and id(watchers[-1]) in retired_ids:
+                watchers.pop()
+            if not watchers:
+                self._watchers.pop(key, None)
+        # Drop memo entries: id() values may be reused by future node objects.
+        for node_id in retired_ids:
+            self._rule_cache.pop(node_id, None)
+            self._justified_cache.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # Justification support
@@ -201,7 +297,9 @@ class ImplicationEngine:
         cubes = tuple(self.assignment.get(key) for key in node.keys)
         cached = self._justified_cache.get(id(node))
         if cached is not None and cached[0] == cubes:
+            self.justified_cache_hits += 1
             return cached[1]
+        self.justified_cache_misses += 1
         result = self._compute_justified(node)
         self._justified_cache[id(node)] = (cubes, result)
         return result

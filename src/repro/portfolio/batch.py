@@ -72,6 +72,10 @@ class BatchOptions:
     base_seed: Optional[int] = None
     #: run every engine to completion for cross-engine comparison.
     run_all: bool = False
+    #: incremental unrolled-model reuse in the ATPG engine.  Jobs that share
+    #: one circuit object and land on the same worker also share the cached
+    #: skeleton across properties (monitor logic is absorbed incrementally).
+    incremental: bool = True
 
 
 @dataclass
@@ -139,14 +143,38 @@ def _engine_names(engines: Sequence[Union[str, Engine]]) -> List[str]:
     return [e if isinstance(e, str) else e.name for e in engines]
 
 
+def _configure_engines(
+    engines: Sequence[Union[str, Engine]], incremental: bool
+) -> Sequence[Union[str, Engine]]:
+    """Materialise per-batch engine configuration (ATPG incremental toggle).
+
+    The batch flag applies to the registry name ``"atpg"`` and to
+    :class:`AtpgEngine` instances that did not pin their own ``incremental``
+    argument; an engine constructed with an explicit ``incremental=`` wins.
+    """
+    if incremental:
+        return engines  # the checker's default is already incremental
+    from repro.portfolio.engines import AtpgEngine
+
+    configured: List[Union[str, Engine]] = []
+    for engine in engines:
+        if engine == "atpg":
+            configured.append(AtpgEngine(incremental=False))
+        elif isinstance(engine, AtpgEngine) and engine.incremental is None:
+            configured.append(AtpgEngine(engine.options, incremental=False))
+        else:
+            configured.append(engine)
+    return configured
+
+
 def _run_batch_job(payload: Tuple[int, BatchJob, Sequence[Union[str, Engine]],
-                                  EngineBudget, int, bool]) -> BatchItem:
+                                  EngineBudget, int, bool, bool]) -> BatchItem:
     """Run one job's portfolio (in the worker or inline) and wrap the outcome."""
-    _index, job, engines, budget, seed, run_all = payload
+    _index, job, engines, budget, seed, run_all, incremental = payload
     try:
         checker = PortfolioChecker(
             job.circuit,
-            engines=engines,
+            engines=_configure_engines(engines, incremental),
             environment=job.environment,
             initial_state=job.initial_state,
             options=PortfolioOptions(
@@ -216,6 +244,7 @@ class BatchRunner:
                 options.budget,
                 job.seed if job.seed is not None else base_seed + index,
                 options.run_all,
+                options.incremental,
             )
             for index, job in enumerate(jobs)
         ]
@@ -280,7 +309,7 @@ class BatchRunner:
     @staticmethod
     def _lost_item(payload) -> BatchItem:
         """Placeholder for a job whose worker died without reporting."""
-        _index, job, engines, _budget, seed, _run_all = payload
+        _index, job, engines, _budget, seed, _run_all, _incremental = payload
         return _error_item(
             job, engines, seed, "batch worker died before reporting a result"
         )

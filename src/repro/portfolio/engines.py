@@ -94,19 +94,35 @@ def _error_result(name: str, started: float, exc: Exception) -> EngineResult:
 
 
 class AtpgEngine:
-    """Adapter for the paper's word-level ATPG :class:`AssertionChecker`."""
+    """Adapter for the paper's word-level ATPG :class:`AssertionChecker`.
+
+    ``incremental`` toggles the shared unrolled-model reuse path (see
+    :mod:`repro.checker.incremental`).  Left at ``None`` it defers to the
+    ``options`` object (whose default is on); passed explicitly it overrides
+    ``options.incremental``.  Consecutive ``run`` calls against the *same
+    circuit object* (the common batch shape) reuse the cached skeleton
+    across properties.
+    """
 
     name = "atpg"
     can_prove = True
 
-    def __init__(self, options: Optional[CheckerOptions] = None):
+    def __init__(
+        self,
+        options: Optional[CheckerOptions] = None,
+        incremental: Optional[bool] = None,
+    ):
         self.options = options
+        self.incremental = incremental
 
     def run(self, circuit, prop, environment, initial_state, budget) -> EngineResult:
         started = time.perf_counter()
         try:
             options = self.options if self.options is not None else CheckerOptions()
-            options = replace(options, max_frames=budget.max_frames)
+            overrides = {"max_frames": budget.max_frames}
+            if self.incremental is not None:
+                overrides["incremental"] = self.incremental
+            options = replace(options, **overrides)
             checker = AssertionChecker(
                 circuit,
                 environment=environment,
@@ -116,7 +132,11 @@ class AtpgEngine:
             result = checker.check(prop)
         except Exception as exc:  # pragma: no cover - defensive
             return _error_result(self.name, started, exc)
-        statistics = result.statistics
+        from repro.checker.report import statistics_to_dict
+
+        stats = {"frames_explored": result.frames_explored,
+                 "incremental": options.incremental}
+        stats.update(statistics_to_dict(result.statistics))
         return EngineResult(
             engine=self.name,
             status=result.status,
@@ -124,15 +144,7 @@ class AtpgEngine:
             wall_seconds=time.perf_counter() - started,
             counterexample=result.counterexample,
             bound=budget.max_frames,
-            stats={
-                "frames_explored": result.frames_explored,
-                "decisions": statistics.decisions,
-                "backtracks": statistics.backtracks,
-                "conflicts": statistics.conflicts,
-                "implications": statistics.implications,
-                "arithmetic_calls": statistics.arithmetic_calls,
-                "peak_memory_mb": round(statistics.peak_memory_mb, 4),
-            },
+            stats=stats,
         )
 
 

@@ -163,6 +163,41 @@ def test_min_time_floor_skips_noise_benchmarks(tmp_path, baseline_path):
     assert rc == 1
 
 
+def test_min_statistic_preferred_over_median(tmp_path):
+    # Reports carrying per-round minima gate on them: an inflated median
+    # (burst noise mid-run) must not fail the gate when the min is steady.
+    def report_with(stats_by_name):
+        return {
+            "benchmarks": [
+                {"fullname": name, "name": name.split("::")[-1], "stats": stats}
+                for name, stats in stats_by_name.items()
+            ]
+        }
+
+    base = write_json(
+        tmp_path / "base.json",
+        report_with({"benchmarks/bench_a.py::test_x": {"min": 0.1, "median": 0.11}}),
+    )
+    base_path = str(tmp_path / "BASELINE.json")
+    assert compare_reports.main(
+        [base, "--write-baseline", base_path], out=io.StringIO()
+    ) == 0
+    noisy_median = write_json(
+        tmp_path / "run.json",
+        report_with({"benchmarks/bench_a.py::test_x": {"min": 0.1, "median": 0.3}}),
+    )
+    assert compare_reports.main(
+        [noisy_median, "--baseline", base_path], out=io.StringIO()
+    ) == 0
+    slow_min = write_json(
+        tmp_path / "run2.json",
+        report_with({"benchmarks/bench_a.py::test_x": {"min": 0.2, "median": 0.2}}),
+    )
+    assert compare_reports.main(
+        [slow_min, "--baseline", base_path], out=io.StringIO()
+    ) == 1
+
+
 def test_disjoint_benchmark_sets_error(tmp_path, baseline_path):
     report = write_json(
         tmp_path / "run.json", fake_report({"benchmarks/other.py::test_x": 1.0})
@@ -182,6 +217,7 @@ def test_committed_baseline_matches_smoke_benchmarks():
         payload = json.load(stream)
     assert payload["schema"] == compare_reports.BASELINE_SCHEMA
     names = list(payload["medians"])
-    for stem in ("bench_table1", "bench_portfolio", "bench_bitparallel"):
+    for stem in ("bench_table1", "bench_portfolio", "bench_bitparallel",
+                 "bench_incremental"):
         assert any(stem in name for name in names), "baseline is missing %s" % stem
     assert all(median > 0 for median in payload["medians"].values())
