@@ -1,0 +1,163 @@
+"""Cross-bound search learning vs. the non-learning search (`--no-learning`).
+
+A prove-mode verification flow sweeps the check bound upward (each deeper
+bound re-proves every earlier target frame before attacking the new one).
+Without learning, the branch-and-bound repeats all of that work; with
+learning (:class:`CheckerOptions.learning`, the default), the persistent
+store riding the cached unrolled model serves repeat targets from the
+proven-FAIL memo and prunes the searches -- including the first visit of
+the deepest target -- with conflict-lifted illegal cubes re-based from
+earlier bounds and installed mid-search.
+
+This benchmark runs multi-bound prove-mode sweeps of the search-heavy zoo
+cases (p5, p12-p14 -- all HOLD, so every target frame is searched), checks
+that both arms return identical verdicts at every bound, and asserts the
+headline claim: **>= 2x median speedup with learning on**.
+
+Methodology note: the speedup is computed from *paired* rounds (each round
+times the non-learning sweep immediately followed by the learning sweep,
+and the per-case ratio is the median of per-round ratios).  Timing the two
+arms minutes apart -- as separate pytest-benchmark tests would -- lets
+machine-speed drift between them dominate ratios of sub-second workloads;
+pairing cancels it.  The separate per-arm benchmark rows below remain the
+absolute-time regression gate.
+"""
+
+import gc
+import statistics as stats_module
+
+import pytest
+import reporting
+
+from repro.checker import AssertionChecker, CheckerOptions
+from repro.checker.incremental import UnrolledModelCache
+from repro.circuits import build_case
+
+#: timing with the collector off removes cross-test GC coupling (see
+#: bench_incremental.py, which established the convention).
+pytestmark = pytest.mark.benchmark(disable_gc=True)
+
+#: (case, sweep depth): every bound in 1..depth is checked in order by one
+#: checker instance -- the incremental multi-bound flow.
+SWEEPS = [("p5", 7), ("p12", 5), ("p13", 7), ("p14", 8)]
+#: headline acceptance threshold: median speedup across the sweeps.
+MEDIAN_SPEEDUP = 2.0
+
+#: paired rounds for the speedup ratios.
+ROUNDS = 3
+#: rounds for the absolute-time gate rows (regression gate uses minima, and
+#: the paired test below re-measures both arms anyway).  Three rounds keep
+#: the minima stable against transient machine-speed drift, which showed up
+#: to ~20% within one smoke run on a busy host.
+GATE_ROUNDS = 3
+
+
+def _run_sweep(case_id, depth, learning):
+    case = build_case(case_id)
+    checker = AssertionChecker(
+        case.circuit,
+        environment=case.environment,
+        initial_state=case.initial_state,
+        options=CheckerOptions(
+            max_frames=depth, incremental=True, learning=learning,
+            trace_memory=False,
+        ),
+        model_cache=UnrolledModelCache(),
+    )
+    return [checker.check(case.prop, max_frames=bound) for bound in range(1, depth + 1)]
+
+
+def _summarise(results):
+    statuses = "/".join(result.status.value for result in results)
+    totals = {
+        "decisions": sum(r.statistics.decisions for r in results),
+        "cubes_learned": sum(r.statistics.cubes_learned for r in results),
+        "cube_hits": sum(r.statistics.cube_hits for r in results),
+        "targets_skipped": sum(r.statistics.targets_skipped for r in results),
+    }
+    return statuses, totals
+
+
+# ----------------------------------------------------------------------
+# Absolute-time regression gate rows (one per arm)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case_id,depth", SWEEPS)
+def test_sweep_without_learning(benchmark, case_id, depth):
+    results = benchmark.pedantic(
+        _run_sweep, args=(case_id, depth, False), rounds=GATE_ROUNDS, iterations=1
+    )
+    _statuses, totals = _summarise(results)
+    assert totals["targets_skipped"] == 0 and totals["cubes_learned"] == 0
+
+
+@pytest.mark.parametrize("case_id,depth", SWEEPS)
+def test_sweep_with_learning(benchmark, case_id, depth):
+    results = benchmark.pedantic(
+        _run_sweep, args=(case_id, depth, True), rounds=GATE_ROUNDS, iterations=1
+    )
+    _statuses, totals = _summarise(results)
+    # Every repeat target after its first FAIL is served from the memo.
+    assert totals["targets_skipped"] > 0
+
+
+# ----------------------------------------------------------------------
+# Paired speedup measurement + acceptance assertions
+# ----------------------------------------------------------------------
+def test_learning_speedup_report():
+    import time
+
+    rows = []
+    speedups = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for case_id, depth in SWEEPS:
+            ratios = []
+            best_off = best_on = float("inf")
+            summary_on = None
+            for _ in range(ROUNDS):
+                started = time.perf_counter()
+                results_off = _run_sweep(case_id, depth, False)
+                time_off = time.perf_counter() - started
+                started = time.perf_counter()
+                results_on = _run_sweep(case_id, depth, True)
+                time_on = time.perf_counter() - started
+                # Identical verdicts at every bound are part of the contract.
+                statuses_off, _ = _summarise(results_off)
+                statuses_on, summary_on = _summarise(results_on)
+                assert statuses_on == statuses_off, (case_id, statuses_on, statuses_off)
+                ratios.append(time_off / time_on if time_on > 0 else float("inf"))
+                best_off = min(best_off, time_off)
+                best_on = min(best_on, time_on)
+            speedup = stats_module.median(ratios)
+            speedups.append(speedup)
+            rows.append(
+                "%-6s %6d %10.3f %10.3f %7.2fx %7d %6d %8d"
+                % (case_id, depth, best_off, best_on, speedup,
+                   summary_on["cubes_learned"], summary_on["cube_hits"],
+                   summary_on["targets_skipped"])
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    median = stats_module.median(speedups)
+    header = (
+        "%-6s %6s %10s %10s %8s %7s %6s %8s"
+        % ("case", "bounds", "off(s)", "on(s)", "speedup", "cubes", "hits", "skipped")
+    )
+    table = "\n".join(
+        [header, "-" * len(header)]
+        + rows
+        + ["", "median speedup across sweeps: %.2fx (threshold %.1fx)"
+           % (median, MEDIAN_SPEEDUP)]
+    )
+    reporting.register_table(
+        "[Learning] multi-bound prove-mode sweeps, learning vs --no-learning",
+        table,
+    )
+    print("\n[Learning] multi-bound prove-mode sweeps, learning vs --no-learning\n" + table)
+    assert median >= MEDIAN_SPEEDUP, (
+        "cross-bound learning regressed: median sweep speedup is %.2fx "
+        "(expected >= %.1fx)" % (median, MEDIAN_SPEEDUP)
+    )

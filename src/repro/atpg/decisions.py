@@ -15,6 +15,8 @@ from typing import Hashable, List, Mapping, Optional, Sequence, Set
 
 from repro.atpg.probability import legal_assignment_bias, legal_one_probabilities
 from repro.atpg.timeframe import UnrolledModel, VarKey
+from repro.bitvector import BV3
+from repro.implication.assignment import RootCause
 from repro.implication.engine import ImplicationNode
 
 
@@ -39,6 +41,11 @@ class DecisionCandidate:
         if prove_mode:
             return 1 - self.bias_value
         return self.bias_value
+
+    def root_cause(self, value: int) -> RootCause:
+        """The trail root recorded when this candidate is decided to
+        ``value`` -- the literal that conflict lifting resolves over."""
+        return RootCause("decision", self.key, BV3.from_int(1, value))
 
 
 def find_decision_candidates(

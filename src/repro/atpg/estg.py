@@ -4,30 +4,46 @@ The paper records, in an extended state transition graph, abstract state
 transitions that were found illegal or hard to reach during the search, and
 reuses that information in subsequent ATPG runs to prune the decision space.
 
-Our ESTG stores two kinds of facts over the abstract state (the tuple of
-control-register cubes):
+Our ESTG stores several kinds of facts:
 
 * *illegal state cubes* -- partial states proven unreachable / unjustifiable;
   any search branch whose current state cube is covered by an illegal cube
-  can be pruned immediately;
+  can be pruned immediately (the original per-run heuristic store);
 * *transition records* -- (state, next-state, status) triples with a visit
-  count, used for diagnostics and to bias away from hard-to-reach transitions.
+  count, used for diagnostics and to bias away from hard-to-reach transitions;
+* *learned cubes* (:class:`LearnedCube`) -- conflict-lifted combinations of
+  search decisions (and re-check-verified illegal state cubes) proven
+  contradictory by implication; they are sound theorems about the model and
+  prune the search as constraint nodes;
+* a *proven-FAIL target memo* -- (property, target frame) pairs whose whole
+  justification search failed, so re-checking the same target at a deeper
+  bound can skip the search entirely.
 
-The graph persists across the per-target-frame runs of one property check
-and across properties on the same circuit when the caller reuses it, which
-is where the speed-up materialises.
+The heuristic stores persist across the per-target-frame runs of one
+property check; the learned cubes and the target memo additionally persist
+across *bounds*, *properties* and *checker instances* when the graph rides a
+cached :class:`~repro.atpg.timeframe.UnrolledModel` (see
+:mod:`repro.checker.incremental`), which is where the cross-bound speed-up
+materialises.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.atpg.statehash import hash_cube_literals
 from repro.bitvector import BV3
 
 
 #: An abstract state: a tuple of (register name, cube) pairs.
 StateCube = Tuple[Tuple[str, BV3], ...]
+
+#: One learned-cube literal: (net, frame position, required value cube).
+#: For shiftable cubes the frame position is an offset relative to the
+#: target frame (<= 0); for absolute cubes it is the frame index itself.
+CubeLiteral = Tuple[object, int, BV3]
 
 
 @dataclass
@@ -40,10 +56,86 @@ class TransitionRecord:
     visits: int = 1
 
 
-class ExtendedStateTransitionGraph:
-    """Learned illegal states and transition statistics."""
+@dataclass
+class LearnedCube:
+    """A conflict-lifted combination of assignments proven contradictory.
 
-    def __init__(self, enabled: bool = True, max_entries: int = 4096):
+    The cube asserts that the conjunction of its literals (under the model's
+    environment, and -- when ``prop_fp`` is set -- the property goal at the
+    target frame) cannot be extended to a justification.  ``shiftable``
+    cubes index their literals relative to the target frame and are *re-based*
+    when the target moves: a fact derived at bound ``k`` whose implication
+    cone stayed clear of the initial state holds at every later bound with
+    all frames shifted by the bound difference.  Non-shiftable cubes (their
+    derivation touched initial-state values) keep absolute frame indices.
+    """
+
+    literals: Tuple[CubeLiteral, ...]
+    #: literal positions are target-relative offsets (True) or absolute
+    #: frame indices (False).
+    shiftable: bool
+    #: lowest frame touched by the derivation cone, in the same indexing as
+    #: the literals; anchoring the cube must keep it >= 0.
+    min_position: int
+    #: highest frame touched by the derivation cone (same indexing).
+    max_position: int
+    #: property fingerprint when the goal participated in the derivation;
+    #: ``None`` marks a property-independent fact.
+    prop_fp: Optional[object] = None
+    #: how the cube was derived: "resolution" (subtree conflict resolution),
+    #: "conflict" (single implication conflict) or "state" (re-check-verified
+    #: illegal state cube).
+    source: str = "resolution"
+    hits: int = 0
+    #: store fingerprint, set on recording (None for session-only cubes);
+    #: lets a constraint-node fire refresh the cube's LRU position.
+    fingerprint: Optional[int] = None
+
+    def anchor(self, target_frame: int) -> Optional[List[Tuple[object, int, BV3]]]:
+        """The literals re-based to ``target_frame`` ((net, frame, cube)).
+
+        Returns ``None`` when the cube does not apply at this target (its
+        derivation cone would leave the unrolled window).
+        """
+        if self.shiftable:
+            if target_frame + self.min_position < 0:
+                return None
+            return [
+                (net, target_frame + offset, cube) for net, offset, cube in self.literals
+            ]
+        if self.max_position > target_frame:
+            return None
+        return [(net, position, cube) for net, position, cube in self.literals]
+
+
+@dataclass
+class StateCubeCandidate:
+    """An illegal-state cube awaiting its conflict re-check.
+
+    Recorded by the justifier when a search subtree fails; promoted to a
+    :class:`LearnedCube` only once asserting the (lifted) cube at frame 0
+    re-derives a conflict by pure implication -- the soundness guard.
+    ``failures`` counts re-checks that found no conflict; candidates go
+    dormant after a few misses (deeper unrollings can change propagation
+    reach, so one miss is not final) to keep the guard cheap.
+    """
+
+    state: StateCube
+    failures: int = 0
+
+
+class ExtendedStateTransitionGraph:
+    """Learned illegal states, learned cubes and transition statistics.
+
+    ``enabled`` gates the original heuristic stores (illegal states and
+    transitions).  The learned-cube store and the proven-FAIL target memo
+    are sound and controlled separately by the checker's ``learning``
+    option, so a graph attached to a cached model can carry them even when
+    the heuristic ESTG pruning is off.
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: int = 4096,
+                 max_learned_cubes: int = 256):
         self.enabled = enabled
         self.max_entries = max_entries
         #: learned (context, state-cube) pairs; see :meth:`record_illegal_state`.
@@ -57,6 +149,24 @@ class ExtendedStateTransitionGraph:
         self.transitions: Dict[Tuple[StateCube, StateCube], TransitionRecord] = {}
         self.prune_hits = 0
         self.recorded_illegal = 0
+        # --- persistent cross-bound learning ---------------------------
+        self.max_learned_cubes = max_learned_cubes
+        #: fingerprint -> learned cube, in recency order (LRU eviction).
+        self.learned_cubes: "OrderedDict[int, LearnedCube]" = OrderedDict()
+        #: (property fingerprint, target frame) pairs whose justification
+        #: search was proven to FAIL on this model.
+        self.proven_fail_targets: Set[Tuple[object, int]] = set()
+        #: illegal-state cubes awaiting their re-check (fingerprint -> cand).
+        self.state_candidates: "OrderedDict[int, StateCubeCandidate]" = OrderedDict()
+        self.max_state_candidates = 64
+        #: candidates stop re-checking after this many missed contexts.
+        self.candidate_patience = 2
+        self.cubes_learned = 0
+        self.cubes_lifted = 0
+        self.cube_hits = 0
+        #: the installed cube that raised the most recent conflict, consumed
+        #: by conflict analysis so derived facts inherit its provenance.
+        self.last_fired: Optional[LearnedCube] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -150,6 +260,96 @@ class ExtendedStateTransitionGraph:
             record.status = status
 
     # ------------------------------------------------------------------
+    # Persistent cross-bound learning
+    # ------------------------------------------------------------------
+    def record_learned_cube(self, cube: LearnedCube, lifted: bool = False) -> bool:
+        """Insert a learned cube, deduplicating by literal fingerprint.
+
+        Returns ``True`` when the cube is new.  The store is an LRU bounded
+        by ``max_learned_cubes``; re-recording (or hitting -- see
+        :meth:`touch`) an existing cube refreshes its position.
+        """
+        # The shiftability/property scope is folded into the FNV-1a input
+        # (not via built-in hash(), which is per-process randomized), so
+        # fingerprints stay stable across processes like hash_cube_literals
+        # promises.
+        fingerprint = hash_cube_literals(
+            [(self._literal_name(net), position, value)
+             for net, position, value in cube.literals]
+            + [("\x00scope=%r/%r" % (cube.shiftable, cube.prop_fp), 0, "")]
+        )
+        existing = self.learned_cubes.get(fingerprint)
+        if existing is not None:
+            self.learned_cubes.move_to_end(fingerprint)
+            return False
+        cube.fingerprint = fingerprint
+        self.learned_cubes[fingerprint] = cube
+        self.cubes_learned += 1
+        if lifted:
+            self.cubes_lifted += 1
+        while len(self.learned_cubes) > self.max_learned_cubes:
+            self.learned_cubes.popitem(last=False)
+        return True
+
+    def touch(self, cube: LearnedCube) -> None:
+        """Refresh a stored cube's LRU position (called when it fires).
+
+        A firing cube prunes exactly the re-derivation that would re-record
+        it, so without this the hottest cubes would be the first evicted at
+        capacity.
+        """
+        if cube.fingerprint is not None and cube.fingerprint in self.learned_cubes:
+            self.learned_cubes.move_to_end(cube.fingerprint)
+
+    @staticmethod
+    def _literal_name(net: object) -> str:
+        name = getattr(net, "name", None)
+        return name if name is not None else repr(net)
+
+    def applicable_cubes(self, prop_fp: object) -> Iterator[LearnedCube]:
+        """Learned cubes usable for a search of property ``prop_fp``.
+
+        Property-independent cubes apply everywhere; property-tagged cubes
+        only to the same property.  Anchoring to a target frame (and the
+        window check) is the caller's job via :meth:`LearnedCube.anchor`.
+        """
+        for cube in self.learned_cubes.values():
+            if cube.prop_fp is None or cube.prop_fp == prop_fp:
+                yield cube
+
+    def record_proven_fail(self, prop_fp: object, target_frame: int) -> None:
+        """Memoise a justification search that FAILed (no abort)."""
+        self.proven_fail_targets.add((prop_fp, target_frame))
+
+    def is_proven_fail(self, prop_fp: object, target_frame: int) -> bool:
+        """True when this (property, target) search is already proven FAIL."""
+        return (prop_fp, target_frame) in self.proven_fail_targets
+
+    # ------------------------------------------------------------------
+    def record_state_candidate(self, state: StateCube) -> None:
+        """Queue an illegal-state cube for its conflict re-check."""
+        if not state:
+            return
+        fingerprint = hash_cube_literals(
+            [(name, 0, cube) for name, cube in state]
+        )
+        candidate = self.state_candidates.get(fingerprint)
+        if candidate is not None:
+            self.state_candidates.move_to_end(fingerprint)
+            return
+        self.state_candidates[fingerprint] = StateCubeCandidate(state=state)
+        while len(self.state_candidates) > self.max_state_candidates:
+            self.state_candidates.popitem(last=False)
+
+    def pending_state_candidates(self) -> List[StateCubeCandidate]:
+        """Candidates still worth re-checking."""
+        return [
+            candidate
+            for candidate in self.state_candidates.values()
+            if candidate.failures < self.candidate_patience
+        ]
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _covers(general: StateCube, specific: StateCube) -> bool:
         """True when every register constraint of ``general`` covers the
@@ -171,10 +371,16 @@ class ExtendedStateTransitionGraph:
             "recorded_illegal": self.recorded_illegal,
             "transitions": len(self.transitions),
             "prune_hits": self.prune_hits,
+            "learned_cubes": len(self.learned_cubes),
+            "cubes_learned": self.cubes_learned,
+            "cubes_lifted": self.cubes_lifted,
+            "cube_hits": self.cube_hits,
+            "proven_fail_targets": len(self.proven_fail_targets),
         }
 
     def __repr__(self) -> str:
-        return "ExtendedStateTransitionGraph(%d illegal, %d transitions)" % (
+        return "ExtendedStateTransitionGraph(%d illegal, %d learned cubes, %d transitions)" % (
             len(self.illegal_states),
+            len(self.learned_cubes),
             len(self.transitions),
         )

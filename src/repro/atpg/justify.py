@@ -17,19 +17,44 @@ assignment already carries the property requirements.  It repeatedly:
 The outcome is SUCCESS (every requirement justified -- a counterexample /
 witness exists), FAIL (the requirements cannot be satisfied -- the assertion
 holds for this unrolling), or ABORT (a resource limit was hit).
+
+Unjustified gates are tracked through the implication engine's *dirty-set
+frontier* (see :meth:`~repro.implication.engine.ImplicationEngine.unjustified_frontier`):
+each search step re-tests only the nodes whose keys changed, in the model's
+canonical order, so searches stay bit-identical to full scans at O(changed)
+cost.
+
+When a :class:`LearningContext` is supplied, the search additionally learns
+*sound* illegal cubes for the persistent store riding the model:
+
+* every implication conflict is traced back to its external roots
+  (:meth:`~repro.implication.engine.ImplicationEngine.analyze_conflict`);
+* when both values of a decision fail with fully analysed (proof) subtrees,
+  the branch roots are resolved over the decision, lifting the learned cube
+  down to the decisions that actually participated in the conflicts;
+* cubes whose implication cone stayed clear of the initial state are stored
+  target-relative and re-based when the target frame shifts; cones touching
+  initial-state values anchor to absolute frames;
+* stored cubes are installed as pure constraint nodes at the start of each
+  later search (retracted with the per-bound goals), pruning any branch that
+  re-enters a combination already proven contradictory.
+
+Pruning is conflict-only -- learned nodes never refine values -- so a search
+with learning explores a subset of the non-learning search's branches and
+reaches the same verdict and the same counterexample.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Hashable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.atpg.decisions import find_decision_candidates
-from repro.atpg.estg import ExtendedStateTransitionGraph
-from repro.atpg.timeframe import UnrolledModel
-from repro.bitvector import BV3
-from repro.implication.assignment import ImplicationConflict
+from repro.atpg.estg import ExtendedStateTransitionGraph, LearnedCube
+from repro.atpg.timeframe import UnrolledModel, VarKey
+from repro.bitvector import BV3, BV3Conflict
+from repro.implication.assignment import ImplicationConflict, RootCause
 from repro.implication.engine import ImplicationNode
 from repro.modsolver.extract import DatapathConstraintExtractor
 from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
@@ -71,6 +96,69 @@ class JustifierLimits:
     arithmetic_budget: int = 256
 
 
+@dataclass
+class LearningContext:
+    """Everything the search needs to consult and grow the learned store.
+
+    ``estg`` is the persistent graph attached to the (cached) unrolled
+    model; ``prop_fp`` fingerprints the property being checked (goal value
+    included), so goal-dependent facts are only reused for the same
+    property; ``base_trail_mark`` bounds conflict analysis at the per-bound
+    savepoint, below which lies the shared base fixpoint.
+    """
+
+    estg: ExtendedStateTransitionGraph
+    prop_fp: object
+    target_frame: int
+    base_trail_mark: int
+    #: learned cubes wider than this are not recorded (wide cubes re-fire
+    #: rarely and slow down the constraint scan).
+    max_cube_literals: int = 8
+
+
+@dataclass
+class _SubtreeFacts:
+    """Conflict antecedents accumulated while a subtree failed.
+
+    Tracks the external roots feeding every conflict in the subtree, the
+    frame extent of the implication cones (for re-basing validity) and
+    whether any cone touched an initial-state-derived value.
+    """
+
+    roots: Set[RootCause] = field(default_factory=set)
+    min_frame: int = 0
+    max_frame: int = 0
+    base: bool = False
+
+    def merge(self, other: "_SubtreeFacts") -> None:
+        self.roots |= other.roots
+        self.min_frame = min(self.min_frame, other.min_frame)
+        self.max_frame = max(self.max_frame, other.max_frame)
+        self.base = self.base or other.base
+
+
+def _make_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
+                    cube: LearnedCube):
+    """Build the conflict-only rule of one installed learned cube.
+
+    The rule raises exactly when the current assignment entails every
+    literal; it never refines a value, so installed cubes can only remove
+    branches that are already contradictory.
+    """
+
+    def rule(cubes: List[BV3]) -> List[BV3]:
+        for literal, current in zip(required, cubes):
+            if not literal.covers(current):
+                return list(cubes)
+        store.cube_hits += 1
+        cube.hits += 1
+        store.touch(cube)
+        store.last_fired = cube
+        raise BV3Conflict("learned illegal cube (%s)" % cube.source)
+
+    return rule
+
+
 class Justifier:
     """Branch-and-bound justification over an unrolled model."""
 
@@ -82,6 +170,7 @@ class Justifier:
         limits: Optional[JustifierLimits] = None,
         estg: Optional[ExtendedStateTransitionGraph] = None,
         sampled_probabilities=None,
+        learning: Optional[LearningContext] = None,
     ):
         self.model = model
         self.engine = model.engine
@@ -89,6 +178,7 @@ class Justifier:
         self.use_bias = use_bias
         self.limits = limits if limits is not None else JustifierLimits()
         self.estg = estg
+        self.learning = learning
         #: optional net-name -> mass-sampled P(net = 1) table used as the
         #: decision-bias fallback (see repro.atpg.probability).
         self.sampled_probabilities = sampled_probabilities
@@ -97,22 +187,28 @@ class Justifier:
         self.conflicts = 0
         self.arithmetic_calls = 0
         self._aborted = False
+        #: cubes learned during this search, waiting to be installed as
+        #: constraint nodes at the next safe point (between sibling
+        #: branches); see :meth:`_flush_pending_cubes`.
+        self._pending_cubes: List[Tuple[List[VarKey], List[BV3], LearnedCube]] = []
 
     def _unjustified(self) -> List[ImplicationNode]:
         """Unjustified nodes of the model's *active view*.
 
-        The incremental model may carry built-but-inactive frames beyond the
-        current check bound (plus their forward-derived values); restricting
-        the scan to ``model.active_nodes()`` keeps the search identical to
-        one over a freshly built model of the same bound.
+        Served by the engine's incrementally maintained dirty-set frontier,
+        ordered by the model's canonical node ranking -- the same nodes, in
+        the same order, as a full ``unjustified_nodes(active_nodes())``
+        scan, at O(changed keys) per step.
         """
-        return self.engine.unjustified_nodes(self.model.active_nodes())
+        return self.engine.unjustified_frontier(self.model.node_order())
 
     # ------------------------------------------------------------------
     def run(self) -> JustifyResult:
         """Run the search.  The assignment is left at the solution on SUCCESS
         and restored to its pre-search state otherwise."""
         start_implications = self.engine.implication_count
+        if self.learning is not None:
+            self._install_learned_cubes()
         try:
             self.engine.propagate()
         except ImplicationConflict:
@@ -120,7 +216,7 @@ class Justifier:
             return self._result(JustifyOutcome.FAIL, start_implications)
 
         base_level = self.engine.assignment.decision_level
-        outcome = self._search(0)
+        outcome, _facts = self._search(0)
         if outcome is not JustifyOutcome.SUCCESS:
             while self.engine.assignment.decision_level > base_level:
                 self.engine.pop_level()
@@ -137,26 +233,206 @@ class Justifier:
         )
 
     # ------------------------------------------------------------------
-    def _search(self, depth: int) -> JustifyOutcome:
+    # Learned-cube installation (cross-bound reuse)
+    # ------------------------------------------------------------------
+    def _anchored_literals(
+        self, cube: LearnedCube
+    ) -> Optional[Tuple[List[VarKey], List[BV3]]]:
+        """Re-base a cube at the current target frame as (keys, cubes).
+
+        Returns ``None`` when the cube does not fit the active window.
+        """
+        anchored = cube.anchor(self.learning.target_frame)
+        if anchored is None:
+            return None
+        keys: List[VarKey] = []
+        required: List[BV3] = []
+        for net, frame, value in anchored:
+            if frame < 0 or frame >= self.model.num_frames:
+                return None
+            keys.append(self.model.key(net, frame))
+            required.append(value)
+        return keys, required
+
+    def _materialize_cube(
+        self, keys: List[VarKey], required: List[BV3], cube: LearnedCube
+    ) -> ImplicationNode:
+        """Build and register the prune-only constraint node of one cube."""
+        node = ImplicationNode(
+            "learned:%s@%d" % (cube.source, self.learning.target_frame),
+            keys,
+            _make_cube_rule(required, self.learning.estg, cube),
+            num_outputs=0,
+            tag=("learned", cube),
+        )
+        self.engine.add_node(node)
+        return node
+
+    def _install_learned_cubes(self) -> None:
+        """Materialise applicable learned cubes as constraint nodes.
+
+        The nodes are added above the checker's per-bound savepoint, so goal
+        retraction removes them together with the requirements; re-basing
+        happens here by anchoring each cube's literal offsets at the current
+        target frame.
+        """
+        context = self.learning
+        store = context.estg
+        store.last_fired = None
+        installed: List[ImplicationNode] = []
+        for cube in store.applicable_cubes(context.prop_fp):
+            anchored = self._anchored_literals(cube)
+            if anchored is None:
+                continue
+            installed.append(self._materialize_cube(anchored[0], anchored[1], cube))
+        if installed:
+            self.engine.enqueue(installed)
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze_conflict(
+        self, exc: ImplicationConflict, decision_root: Optional[RootCause] = None
+    ) -> Optional[_SubtreeFacts]:
+        """Trace a conflict to its external roots (None when unanalysable)."""
+        context = self.learning
+        store = context.estg
+        fired = store.last_fired
+        store.last_fired = None
+        analysis = self.engine.analyze_conflict(exc, context.base_trail_mark)
+        if analysis.opaque:
+            return None
+        roots = set(analysis.roots)
+        if decision_root is not None:
+            roots.add(decision_root)
+        frames = [key[1] for key in analysis.cone]
+        init_tainted = self.model.init_tainted
+        facts = _SubtreeFacts(
+            roots=roots,
+            min_frame=min(frames, default=context.target_frame),
+            max_frame=max(frames, default=0),
+            base=any(key in init_tainted for key in analysis.cone),
+        )
+        if fired is not None:
+            # The conflict came from an installed learned cube: fold the
+            # cube's own provenance in, so facts derived from it inherit its
+            # property dependence and frame anchoring.
+            if fired.prop_fp is not None:
+                facts.roots.add(RootCause("goal"))
+            if fired.shiftable:
+                facts.min_frame = min(
+                    facts.min_frame, context.target_frame + fired.min_position
+                )
+            else:
+                facts.base = True
+                facts.min_frame = min(facts.min_frame, fired.min_position)
+                facts.max_frame = max(facts.max_frame, fired.max_position)
+        return facts
+
+    def _record_learned_cube(self, facts: _SubtreeFacts, depth: int) -> None:
+        """Lift and store the resolved antecedents of a failed subtree."""
+        context = self.learning
+        decisions = [root for root in facts.roots if root.kind == "decision"]
+        if not decisions or len(decisions) > context.max_cube_literals:
+            return
+        if any(root.kind in ("solver", "completion") for root in facts.roots):
+            # Datapath solver choices are heuristic; their failures are not
+            # proofs, so nothing may be learned from cones containing them.
+            return
+        merged: Dict[VarKey, BV3] = {}
+        try:
+            for root in decisions:
+                current = merged.get(root.key)
+                merged[root.key] = (
+                    root.cube if current is None else current.intersect(root.cube)
+                )
+        except BV3Conflict:
+            return  # contradictory literals: the cube is vacuous
+        goal_seen = any(root.kind == "goal" for root in facts.roots)
+        shiftable = not facts.base
+        target = context.target_frame
+        ordered = sorted(merged.items(), key=lambda item: (item[0][0].name, item[0][1]))
+        if shiftable:
+            literals = tuple(
+                (net, frame - target, value) for (net, frame), value in ordered
+            )
+            min_position = min(
+                facts.min_frame - target, min(offset for _, offset, _ in literals)
+            )
+            max_position = max(facts.max_frame - target, 0)
+        else:
+            literals = tuple((net, frame, value) for (net, frame), value in ordered)
+            min_position = min(facts.min_frame, min(frame for _, frame, _ in literals))
+            max_position = max(
+                facts.max_frame, max(frame for _, frame, _ in literals)
+            )
+        cube = LearnedCube(
+            literals=literals,
+            shiftable=shiftable,
+            min_position=min_position,
+            max_position=max_position,
+            prop_fp=context.prop_fp if goal_seen else None,
+            source="resolution",
+        )
+        if goal_seen and not shiftable:
+            # The goal sits at this search's target frame, but an
+            # init-tainted cone pins the cube to absolute frames: the fact
+            # only holds for this exact (property, target) pair, so it must
+            # never enter the persistent store (re-use at another target
+            # would move the goal out from under the proof).  It is still a
+            # theorem *within this search*, so queue it for the session.
+            self._queue_session_cube(cube)
+            return
+        if context.estg.record_learned_cube(cube, lifted=len(merged) < depth):
+            # New persistent cubes also prune the rest of *this* search.
+            self._queue_session_cube(cube)
+
+    def _queue_session_cube(self, cube: LearnedCube) -> None:
+        """Anchor a freshly learned cube for installation mid-search."""
+        anchored = self._anchored_literals(cube)
+        if anchored is not None:
+            self._pending_cubes.append((anchored[0], anchored[1], cube))
+
+    def _flush_pending_cubes(self) -> None:
+        """Install queued cubes as constraint nodes at the current level.
+
+        Called between sibling branches (after the failed branch's level was
+        popped), so the nodes land inside the enclosing decision level and
+        are retired automatically when the search backtracks past it.  A
+        cube learned in one subtree then prunes every later subtree in
+        which its literals become entailed -- the within-search half of the
+        conflict-learning win.
+        """
+        if not self._pending_cubes:
+            return
+        installed = [
+            self._materialize_cube(keys, required, cube)
+            for keys, required, cube in self._pending_cubes
+        ]
+        self._pending_cubes.clear()
+        self.engine.enqueue(installed)
+
+    # ------------------------------------------------------------------
+    def _search(self, depth: int) -> Tuple[JustifyOutcome, Optional[_SubtreeFacts]]:
         if self.decisions > self.limits.max_decisions or depth > self.limits.max_depth:
             self._aborted = True
-            return JustifyOutcome.ABORT
+            return JustifyOutcome.ABORT, None
         if self.backtracks > self.limits.max_backtracks:
             self._aborted = True
-            return JustifyOutcome.ABORT
+            return JustifyOutcome.ABORT, None
 
         if self.estg is not None:
             if self.estg.is_illegal(self._state_cube(), context=self.model.num_frames):
-                return JustifyOutcome.FAIL
+                return JustifyOutcome.FAIL, None
             # Structurally illegal states are time-invariant facts (typically
             # seeded from local FSM extraction) and may be tested in *every*
             # frame of the unrolled model.
             if self.estg.structurally_illegal and self._hits_structurally_illegal():
-                return JustifyOutcome.FAIL
+                return JustifyOutcome.FAIL, None
 
         unjustified = self._unjustified()
         if not unjustified:
-            return JustifyOutcome.SUCCESS
+            return JustifyOutcome.SUCCESS, None
 
         # Decision candidates are the undecided *control* signals in the
         # backward cone of every unjustified gate (control or datapath).  The
@@ -174,31 +450,63 @@ class Justifier:
             # No control freedom remains: hand the residual requirements to
             # the modular arithmetic constraint solver (plus completion).
             if self._datapath_feasible():
-                return JustifyOutcome.SUCCESS
+                return JustifyOutcome.SUCCESS, None
             self._learn_illegal_state()
-            return JustifyOutcome.FAIL
+            # Solver verdicts are bounded heuristics, not proofs: nothing
+            # may be learned from this leaf.
+            return JustifyOutcome.FAIL, None
 
+        learning = self.learning
         candidate = candidates[0]
         first = candidate.preferred_first_value(self.prove_mode)
+        facts: Optional[_SubtreeFacts] = (
+            _SubtreeFacts(min_frame=self.model.num_frames) if learning is not None else None
+        )
+        own_roots: List[RootCause] = []
         for value in (first, 1 - first):
             self.decisions += 1
+            root: Optional[RootCause] = None
+            if learning is not None:
+                learning.estg.last_fired = None
+                root = candidate.root_cause(value)
+                own_roots.append(root)
             self.engine.push_level()
             try:
-                self.engine.assign(candidate.key, BV3.from_int(1, value))
-            except ImplicationConflict:
+                self.engine.assign(candidate.key, BV3.from_int(1, value), reason=root)
+            except ImplicationConflict as exc:
                 self.conflicts += 1
+                if facts is not None:
+                    branch = self._analyze_conflict(exc, root)
+                    if branch is None:
+                        facts = None
+                    else:
+                        facts.merge(branch)
                 self.engine.pop_level()
                 self.backtracks += 1
+                if learning is not None:
+                    self._flush_pending_cubes()
                 continue
-            outcome = self._search(depth + 1)
+            outcome, branch = self._search(depth + 1)
             if outcome is JustifyOutcome.SUCCESS:
-                return outcome
+                return outcome, None
             self.engine.pop_level()
             self.backtracks += 1
             if outcome is JustifyOutcome.ABORT:
-                return outcome
+                return outcome, None
+            if learning is not None:
+                self._flush_pending_cubes()
+            if facts is not None:
+                if branch is None:
+                    facts = None
+                else:
+                    facts.merge(branch)
         self._learn_illegal_state()
-        return JustifyOutcome.FAIL
+        if facts is not None:
+            # Resolution over this node's decision: both values failed, so
+            # the decision itself drops out of the learned antecedents.
+            facts.roots.difference_update(own_roots)
+            self._record_learned_cube(facts, depth)
+        return JustifyOutcome.FAIL, facts
 
     # ------------------------------------------------------------------
     # Control / datapath split
@@ -247,7 +555,11 @@ class Justifier:
                 try:
                     for key, value in solution.items():
                         width = self.engine.assignment.width(key)
-                        self.engine.assign(key, BV3.from_int(width, value), propagate=False)
+                        cube = BV3.from_int(width, value)
+                        self.engine.assign(
+                            key, cube, propagate=False,
+                            reason=RootCause("solver", key, cube),
+                        )
                     self.engine.propagate()
                 except ImplicationConflict:
                     self.conflicts += 1
@@ -309,7 +621,10 @@ class Justifier:
         for value in candidates:
             self.engine.push_level()
             try:
-                self.engine.assign(key, BV3.from_int(width, value))
+                completion = BV3.from_int(width, value)
+                self.engine.assign(
+                    key, completion, reason=RootCause("completion", key, completion)
+                )
                 return True
             except ImplicationConflict:
                 self.conflicts += 1
@@ -345,13 +660,19 @@ class Justifier:
         return False
 
     def _learn_illegal_state(self) -> None:
-        if self.estg is None:
-            return
-        state = self._state_cube()
         # Only record states that are meaningfully constrained and fully
         # derived from implication of the (failed) requirements.
-        if state and len(state) <= 8:
+        if self.estg is None and self.learning is None:
+            return
+        state = self._state_cube()
+        if not state or len(state) > 8:
+            return
+        if self.estg is not None:
             self.estg.record_illegal_state(state, context=self.model.num_frames)
+        if self.learning is not None:
+            # Queue the cube for the conflict re-check that guards its
+            # promotion into the persistent store (see checker engine).
+            self.learning.estg.record_state_candidate(state)
 
     @staticmethod
     def _gate_of(node: ImplicationNode):

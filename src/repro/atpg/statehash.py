@@ -76,6 +76,21 @@ class StateHasher:
         return self.canonical_items(first) == self.canonical_items(second)
 
 
+def hash_cube_literals(literals: Iterable[Tuple[str, int, BV3]]) -> int:
+    """A stable 64-bit fingerprint of learned-cube literals.
+
+    ``literals`` are (signal name, frame position, value cube) triples; the
+    fingerprint is order-independent (literals are canonically sorted) and,
+    like :meth:`StateHasher.hash_state`, independent of Python's randomised
+    ``hash``, so the learned-cube stores of two processes deduplicate
+    identically.
+    """
+    items = sorted(
+        "%s@%d=%s" % (name, position, cube) for name, position, cube in literals
+    )
+    return _fnv1a(";".join(items).encode("utf-8"))
+
+
 @dataclass
 class ExecutionLoop:
     """A detected loop: the state at ``start`` recurs at ``end``."""

@@ -28,9 +28,11 @@ Variable keys are ``(net, frame)`` tuples (:data:`VarKey`).
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
+from repro.atpg.estg import ExtendedStateTransitionGraph
 from repro.bitvector import BV3
+from repro.implication.assignment import RootCause
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.implication.rules import build_rule
 from repro.implication.rules_seq import imply_dff
@@ -109,6 +111,27 @@ class UnrolledModel:
         self._frame_gate_nodes: List[List[ImplicationNode]] = []
         self._frame_register_nodes: List[List[ImplicationNode]] = []
         self._active_nodes_cache: Optional[List[ImplicationNode]] = None
+        self._node_order_cache: Optional[Dict[int, int]] = None
+
+        #: persistent search learning attached to the model: the learned-cube
+        #: store and the proven-FAIL target memo ride the model through the
+        #: :class:`~repro.checker.incremental.UnrolledModelCache`, so facts
+        #: learned at one bound prune every later bound and every property
+        #: sharing the (circuit, initial state, environment) cache key.  The
+        #: heuristic ESTG stores stay disabled here; the checker keeps its
+        #: own graph for the ``use_estg`` ablation path.
+        self.estg = ExtendedStateTransitionGraph(enabled=False)
+
+        #: keys whose base-fixpoint value is *frame-anchored*: derived from
+        #: an initial-state cube or through a register crossing node.  Both
+        #: kinds of fact break under frame shifting (frame-0 registers are
+        #: free, so a register-boundary fact at frame f has no analog at
+        #: f=0, and chains push the floor higher).  Learned facts whose
+        #: implication cone touches a tainted key are therefore anchored to
+        #: absolute frames; purely combinational base facts (constants and
+        #: their cones are identical in every frame) stay shift-invariant.
+        self.init_tainted: Set[VarKey] = set()
+        self._taint_pos = 0
 
         self._base_level = self.engine.assignment.decision_level
         self._base_savepoint = self.engine.savepoint()
@@ -235,7 +258,10 @@ class UnrolledModel:
             else:
                 continue
             self._initial_state_cubes[ff.q] = cube
-            self.engine.assign(self.key(ff.q, 0), cube, propagate=False)
+            key = self.key(ff.q, 0)
+            self.engine.assign(
+                key, cube, propagate=False, reason=RootCause("base", key, cube)
+            )
 
     # ------------------------------------------------------------------
     # Incremental expansion
@@ -274,6 +300,7 @@ class UnrolledModel:
             )
             self.engine.propagate()
         self._base_savepoint = self.engine.savepoint()
+        self._refresh_init_taint()
 
     def sync_with_circuit(self) -> bool:
         """Materialise circuit elements added after the model was built.
@@ -313,9 +340,11 @@ class UnrolledModel:
                 self.engine.assignment.register(self.key(ff.q, 0), ff.q.width)
             self._apply_initial_state(new_ffs)
         self._active_nodes_cache = None
+        self._node_order_cache = None
         self.engine.enqueue(new_nodes)
         self.engine.propagate()
         self._base_savepoint = self.engine.savepoint()
+        self._refresh_init_taint()
         return True
 
     def _set_view(self, num_frames: int) -> None:
@@ -323,14 +352,21 @@ class UnrolledModel:
         self.num_frames = num_frames
         if old_view != num_frames:
             self._active_nodes_cache = None
+            self._node_order_cache = None
         low, high = sorted((old_view, num_frames))
+        toggled: List[ImplicationNode] = []
         for frame in range(low, high):
             for node in self._frame_gate_nodes[frame]:
                 node.active = frame < num_frames
+                toggled.append(node)
         for frame in range(max(low - 1, 0), high):
             if frame < len(self._frame_register_nodes):
                 for node in self._frame_register_nodes[frame]:
                     node.active = frame < num_frames - 1
+                    toggled.append(node)
+        # Activation changes are invisible to the assignment trail, so the
+        # unjustified frontier must be told to re-test the toggled nodes.
+        self.engine.mark_dirty(toggled)
 
     @property
     def at_base_level(self) -> bool:
@@ -368,6 +404,45 @@ class UnrolledModel:
                 nodes.extend(self._frame_register_nodes[frame])
             self._active_nodes_cache = nodes
         return self._active_nodes_cache
+
+    def node_order(self) -> Dict[int, int]:
+        """``id(node) -> rank`` over :meth:`active_nodes`.
+
+        The unjustified frontier uses this to report nodes in the canonical
+        fresh-build order, keeping incremental searches bit-identical to
+        searches over a freshly built model.
+        """
+        if self._node_order_cache is None:
+            self._node_order_cache = {
+                id(node): index for index, node in enumerate(self.active_nodes())
+            }
+        return self._node_order_cache
+
+    def _refresh_init_taint(self) -> None:
+        """Absorb new base-fixpoint trail entries into the frame-taint set.
+
+        A key is tainted when its base value is frame-anchored: it was
+        seeded from an initial-state cube (``base`` root cause), derived by
+        a register crossing node (register-boundary facts have no frame-0
+        analog, because frame-0 register outputs are free), or refined by a
+        node with a tainted pin.  The scan is incremental over the trail,
+        so repeated extensions stay O(new entries); it must only run at the
+        base level, where the trail holds exactly the shared base fixpoint.
+        """
+        assignment = self.engine.assignment
+        tainted = self.init_tainted
+        for index in range(self._taint_pos, assignment.trail_length):
+            key, _previous, reason = assignment.trail_entry(index)
+            if isinstance(reason, RootCause):
+                if reason.kind == "base":
+                    tainted.add(key)
+            elif reason is not None:
+                tag = reason.tag
+                if (isinstance(tag, tuple) and tag and isinstance(tag[0], DFF)) or any(
+                    k in tainted for k in reason.keys
+                ):
+                    tainted.add(key)
+        self._taint_pos = assignment.trail_length
 
     # ------------------------------------------------------------------
     # Accessors

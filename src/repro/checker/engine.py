@@ -20,14 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
-from repro.atpg.estg import ExtendedStateTransitionGraph
-from repro.atpg.justify import Justifier, JustifierLimits, JustifyOutcome
+from repro.atpg.estg import ExtendedStateTransitionGraph, LearnedCube
+from repro.atpg.justify import (
+    Justifier,
+    JustifierLimits,
+    JustifyOutcome,
+    LearningContext,
+)
 from repro.atpg.timeframe import UnrolledModel
 from repro.bitvector import BV3
 from repro.checker.incremental import UnrolledModelCache, shared_model_cache
 from repro.checker.result import CheckResult, CheckStatus, Counterexample
 from repro.checker.stats import CheckStatistics, ResourceMeter
-from repro.implication.assignment import ImplicationConflict
+from repro.implication.assignment import ImplicationConflict, RootCause
 from repro.netlist.circuit import Circuit
 from repro.properties.convert import CompiledProperty, PropertyCompiler
 from repro.properties.environment import Environment
@@ -45,6 +50,13 @@ class CheckerOptions:
     #: and properties (retracting per-bound goals through engine savepoints)
     #: instead of rebuilding the implication network for every bound.
     incremental: bool = True
+    #: cross-bound search learning: persist conflict-lifted illegal cubes
+    #: and proven-FAIL target frames on the cached model, pruning every
+    #: later bound and every property sharing the (circuit, initial state,
+    #: environment) cache key.  Sound (prune-only), so verdicts and
+    #: counterexamples match the non-learning search; decision counts may
+    #: shrink.  Effective only together with ``incremental``.
+    learning: bool = True
     #: validate every generated trace by concrete simulation.
     validate_traces: bool = True
     #: use the legal-assignment-bias decision ordering (ablation switch).
@@ -93,6 +105,7 @@ class AssertionChecker:
         self._incremental_model: Optional[UnrolledModel] = None
         self._restore_savepoint = None
         self._counter_marks = (0, 0, 0, 0, 0)
+        self._learning_marks = None
         self.compiler = PropertyCompiler(circuit)
         use_estg = self.options.use_estg or self.options.use_local_fsm_guidance
         self.estg = ExtendedStateTransitionGraph(enabled=use_estg)
@@ -186,11 +199,16 @@ class AssertionChecker:
                     else:
                         # Count the skeleton frame built by the cache miss.
                         statistics.frames_built += self._incremental_model.frames_constructed
+                    # Per-check gauges/counters of the shared model.
+                    self._incremental_model.engine.frontier_peak = 0
+                    self._learning_marks = self._learning_counter_marks()
                 start_frame = compiled.warmup_frames
                 for target_frame in range(start_frame, bound):
                     statistics.frames_explored = target_frame + 1
                     try:
-                        outcome, model, search = self._check_target_frame(compiled, target_frame)
+                        outcome, model, search = self._check_target_frame(
+                            compiled, target_frame, statistics
+                        )
                         if search is not None:
                             statistics.accumulate_search(search)
                         self._accumulate_engine_counters(statistics, model)
@@ -213,6 +231,8 @@ class AssertionChecker:
                         # Retract this bound's goals (and the search's decision
                         # stack) so the cached base fixpoint is restored exactly.
                         self._retract_goals()
+                if self.options.incremental:
+                    self._accumulate_learning_counters(statistics)
             except BaseException:
                 # An escaping error may have interrupted a structural base
                 # mutation (extend/sync); drop this circuit's cached models
@@ -235,9 +255,51 @@ class AssertionChecker:
         )
 
     # ------------------------------------------------------------------
-    def _check_target_frame(self, compiled: CompiledProperty, target_frame: int):
+    @property
+    def _learning_enabled(self) -> bool:
+        """Cross-bound learning needs the persistent incremental model."""
+        return self.options.learning and self.options.incremental
+
+    @staticmethod
+    def _prop_fingerprint(compiled: CompiledProperty) -> object:
+        """A stable identity for learned facts that depend on the goal.
+
+        Two compilations of the same property expression build logically
+        identical monitors, so facts keyed by the expression text and goal
+        value transfer across ``check()`` calls and checker instances.
+        Learned cubes are ordering-independent *theorems*, so this key
+        carries no search configuration.
+        """
+        return (repr(compiled.prop.expr), compiled.goal_value)
+
+    def _search_fingerprint(self, compiled: CompiledProperty) -> object:
+        """The proven-FAIL memo key: property plus search configuration.
+
+        Unlike learned cubes, a FAIL verdict is the outcome of *this*
+        bounded search procedure -- the datapath completion heuristics are
+        decision-order dependent -- so memoised verdicts may only be reused
+        by searches with identical ordering and resource configuration.
+        """
+        options = self.options
+        limits = options.limits
+        return (
+            self._prop_fingerprint(compiled),
+            options.use_bias,
+            options.probability_sample_vectors,
+            options.probability_sample_seed,
+            (limits.max_decisions, limits.max_backtracks, limits.max_depth,
+             limits.decision_cut_limit, limits.completion_attempts,
+             limits.arithmetic_budget),
+        )
+
+    def _check_target_frame(
+        self, compiled: CompiledProperty, target_frame: int,
+        statistics: CheckStatistics,
+    ):
         if self.options.incremental:
-            return self._check_target_frame_incremental(compiled, target_frame)
+            return self._check_target_frame_incremental(
+                compiled, target_frame, statistics
+            )
         num_frames = target_frame + 1
         model = UnrolledModel(
             self.circuit, num_frames, initial_state=self.initial_state
@@ -247,18 +309,21 @@ class AssertionChecker:
             self._assert_requirements(model, compiled, target_frame)
         except ImplicationConflict:
             return JustifyOutcome.FAIL, model, None
-        search = self._run_justifier(model, compiled)
+        search = self._run_justifier(model, compiled, None)
         return search.outcome, model, search
 
     def _check_target_frame_incremental(
-        self, compiled: CompiledProperty, target_frame: int
+        self, compiled: CompiledProperty, target_frame: int,
+        statistics: CheckStatistics,
     ):
         """One target frame on the shared incremental model.
 
         The model is grown (never rebuilt) to ``target_frame + 1`` frames;
         the per-bound environment/goal requirements are asserted on top of an
         engine savepoint that :meth:`_retract_goals` rolls back afterwards,
-        restoring the reusable base fixpoint.
+        restoring the reusable base fixpoint.  With learning enabled, target
+        frames already proven FAIL on this model are skipped outright, and
+        failed searches extend the proven set.
         """
         model = self._incremental_model
         engine = model.engine
@@ -269,37 +334,216 @@ class AssertionChecker:
             engine.justified_cache_misses,
             model.frames_constructed,
         )
+        learning_store = model.estg if self._learning_enabled else None
+        # The heuristic ESTG stores (use_estg / FSM guidance) may prune
+        # unsoundly by design; verdicts reached under them must never enter
+        # the shared proven-FAIL memo.
+        memo_safe = learning_store is not None and not self.estg.enabled
+        search_fp = self._search_fingerprint(compiled)
+        if memo_safe and learning_store.is_proven_fail(search_fp, target_frame):
+            statistics.targets_skipped += 1
+            return JustifyOutcome.FAIL, model, None
         model.extend_to(target_frame + 1)
         self._restore_savepoint = engine.savepoint()
         try:
-            self._assert_requirements(model, compiled, target_frame)
+            self._assert_requirements(
+                model, compiled, target_frame, learning_store=learning_store
+            )
         except ImplicationConflict:
+            if memo_safe:
+                learning_store.record_proven_fail(search_fp, target_frame)
             return JustifyOutcome.FAIL, model, None
-        search = self._run_justifier(model, compiled)
+        learning = None
+        if learning_store is not None:
+            learning = LearningContext(
+                estg=learning_store,
+                prop_fp=self._prop_fingerprint(compiled),
+                target_frame=target_frame,
+                base_trail_mark=self._restore_savepoint[0][0],
+            )
+        search = self._run_justifier(model, compiled, learning)
+        if memo_safe and search.outcome is JustifyOutcome.FAIL:
+            learning_store.record_proven_fail(search_fp, target_frame)
         return search.outcome, model, search
 
     def _assert_requirements(
-        self, model: UnrolledModel, compiled: CompiledProperty, target_frame: int
+        self,
+        model: UnrolledModel,
+        compiled: CompiledProperty,
+        target_frame: int,
+        learning_store=None,
     ) -> None:
-        """Assert environment constraints (all frames) and the goal (target)."""
+        """Assert environment constraints (all frames) and the goal (target).
+
+        With a learning store present the environment is propagated first
+        and pending illegal-state candidates get their conflict re-check in
+        the goal-free context, so verified cubes hold for *every* property
+        sharing this model; the goal is asserted afterwards.
+        """
         engine = model.engine
+        env_root = RootCause("env")
         for frame in range(target_frame + 1):
             for name, value in self.environment.pinned.items():
                 net = self.circuit.net(name)
                 engine.assign(
-                    model.key(net, frame), BV3.from_int(net.width, value), propagate=False
+                    model.key(net, frame), BV3.from_int(net.width, value),
+                    propagate=False, reason=env_root,
                 )
             for net in self._assumption_nets + self._one_hot_nets:
-                engine.assign(model.key(net, frame), BV3.from_int(1, 1), propagate=False)
+                engine.assign(
+                    model.key(net, frame), BV3.from_int(1, 1),
+                    propagate=False, reason=env_root,
+                )
+        if learning_store is not None:
+            engine.propagate()
+            self._verify_state_candidates(model)
         # The inverted property goal at the target frame.
         engine.assign(
             model.key(compiled.monitor, target_frame),
             BV3.from_int(1, compiled.goal_value),
-            propagate=False,
+            propagate=False, reason=RootCause("goal"),
         )
         engine.propagate()
 
-    def _run_justifier(self, model: UnrolledModel, compiled: CompiledProperty):
+    # ------------------------------------------------------------------
+    # Learned-cube verification (the conflict re-check guard)
+    # ------------------------------------------------------------------
+    def _verify_state_candidates(self, model: UnrolledModel) -> None:
+        """Promote pending illegal-state cubes that re-derive a conflict.
+
+        Runs in the environment-only context (goal not yet asserted): a
+        cube whose assertion at frame 0 conflicts by pure implication is
+        illegal for every property sharing the model.  The conflict's
+        antecedents lift the cube down to the registers that participated,
+        guarded by a second re-check of the lifted cube.
+        """
+        store = model.estg
+        pending = store.pending_state_candidates()
+        if not pending:
+            return
+        by_name = {ff.q.name: ff.q for ff in model.circuit.flip_flops}
+        for candidate in pending:
+            literals = []
+            resolvable = True
+            for name, cube in candidate.state:
+                net = by_name.get(name)
+                if net is None:
+                    resolvable = False
+                    break
+                literals.append((net, cube))
+            if not resolvable:
+                candidate.failures = store.candidate_patience
+                continue
+            promoted = self._recheck_state_cube(model, literals)
+            if promoted is None:
+                candidate.failures += 1
+                continue
+            candidate.failures = store.candidate_patience  # settled
+            store.record_learned_cube(
+                promoted, lifted=len(promoted.literals) < len(literals)
+            )
+
+    def _recheck_state_cube(
+        self, model: UnrolledModel, literals
+    ) -> Optional[LearnedCube]:
+        """Assert a state cube at frame 0 and keep it only if it conflicts.
+
+        The antecedent walk runs down to the per-bound savepoint (below the
+        environment band), not just to the re-check's own assignments: a
+        conflict may lean on values the environment back-implied from later
+        frames, and those frames must enter the cone so the cube's window
+        check keeps it away from shallower bounds where that environment
+        depth is not asserted.
+        """
+        engine = model.engine
+        if self._restore_savepoint is not None:
+            walk_mark = self._restore_savepoint[0][0]
+        else:
+            walk_mark = engine.assignment.trail_length
+
+        def attempt(cubes):
+            mark = walk_mark
+            roots = {
+                model.key(net, 0): RootCause("state", model.key(net, 0), value)
+                for net, value in cubes
+            }
+            engine.push_level()
+            try:
+                for net, value in cubes:
+                    key = model.key(net, 0)
+                    engine.assign(key, value, propagate=False, reason=roots[key])
+                engine.propagate()
+            except ImplicationConflict as exc:
+                analysis = engine.analyze_conflict(exc, mark)
+                engine.pop_level()
+                # A literal whose own assignment contradicted never reached
+                # the trail; credit it as a participant explicitly.
+                if exc.key in roots:
+                    analysis.roots.append(roots[exc.key])
+                return analysis
+            engine.pop_level()
+            return None
+
+        analysis = attempt(literals)
+        if analysis is None:
+            return None
+        chosen, cone = literals, analysis.cone
+        if not analysis.opaque:
+            participating = {
+                root.key for root in analysis.roots if root.kind == "state"
+            }
+            lifted = [
+                (net, value)
+                for net, value in literals
+                if model.key(net, 0) in participating
+            ]
+            if lifted and len(lifted) < len(literals):
+                # The guard: the lifted cube must still conflict on its own.
+                second = attempt(lifted)
+                if second is not None:
+                    chosen, cone = lifted, second.cone
+        frames = [key[1] for key in cone]
+        # Propagation only reaches active frames, so the cone bounds the
+        # unrolling depth the fact needs; opaque analyses fall back to the
+        # current window.
+        max_frame = max(frames, default=model.num_frames - 1)
+        return LearnedCube(
+            literals=tuple(
+                (net, 0, value)
+                for net, value in sorted(chosen, key=lambda item: item[0].name)
+            ),
+            shiftable=False,
+            min_position=0,
+            max_position=max_frame,
+            prop_fp=None,
+            source="state",
+        )
+
+    def _learning_counter_marks(self):
+        if not self._learning_enabled or self._incremental_model is None:
+            return None
+        store = self._incremental_model.estg
+        return (store.cubes_learned, store.cubes_lifted, store.cube_hits)
+
+    def _accumulate_learning_counters(self, statistics: CheckStatistics) -> None:
+        marks = getattr(self, "_learning_marks", None)
+        model = self._incremental_model
+        if model is None:
+            return
+        statistics.frontier_peak = max(
+            statistics.frontier_peak, model.engine.frontier_peak
+        )
+        if marks is None:
+            return
+        store = model.estg
+        statistics.cubes_learned += store.cubes_learned - marks[0]
+        statistics.cubes_lifted += store.cubes_lifted - marks[1]
+        statistics.cube_hits += store.cube_hits - marks[2]
+
+    def _run_justifier(
+        self, model: UnrolledModel, compiled: CompiledProperty,
+        learning: Optional[LearningContext],
+    ):
         justifier = Justifier(
             model,
             prove_mode=isinstance(compiled.prop, Assertion),
@@ -307,6 +551,7 @@ class AssertionChecker:
             limits=self.options.limits,
             estg=self.estg if self.estg.enabled else None,
             sampled_probabilities=self._sampled_probabilities,
+            learning=learning,
         )
         return justifier.run()
 
@@ -330,6 +575,7 @@ class AssertionChecker:
         statistics.justified_cache_hits += engine.justified_cache_hits - just_hits
         statistics.justified_cache_misses += engine.justified_cache_misses - just_misses
         statistics.frames_built += model.frames_constructed - frames_mark
+        statistics.frontier_peak = max(statistics.frontier_peak, engine.frontier_peak)
 
     # ------------------------------------------------------------------
     def _extract_trace(

@@ -17,6 +17,15 @@ triple:
   portfolio/batch runs that check many properties against the same circuit
   object (the common batch shape) skip the rebuild entirely.
 
+Each cached model also carries its
+:class:`~repro.atpg.estg.ExtendedStateTransitionGraph` (``model.estg``): the
+conflict-lifted illegal cubes and proven-FAIL target memo learned during one
+check persist with the model, so every later bound -- and every property
+sharing the (circuit, initial state, environment) key -- starts from what
+earlier searches already proved.  Evicting a model drops its learned facts
+with it, which is exactly right: the facts are only meaningful relative to
+that model's environment fingerprint.
+
 The cache key uses the circuit's *identity*: circuits are mutable builder
 objects and two structurally equal netlists are still distinct designs.  The
 cached model holds a strong reference to its circuit, so an entry's id

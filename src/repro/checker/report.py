@@ -46,6 +46,11 @@ def statistics_to_dict(statistics) -> Dict[str, object]:
         "frames_built": statistics.frames_built,
         "rule_cache_hit_rate": round(statistics.rule_cache_hit_rate, 4),
         "justified_cache_hit_rate": round(statistics.justified_cache_hit_rate, 4),
+        "cubes_learned": statistics.cubes_learned,
+        "cubes_lifted": statistics.cubes_lifted,
+        "cube_hits": statistics.cube_hits,
+        "targets_skipped": statistics.targets_skipped,
+        "frontier_peak": statistics.frontier_peak,
         "peak_memory_mb": round(statistics.peak_memory_mb, 4),
     }
 

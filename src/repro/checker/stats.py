@@ -29,6 +29,14 @@ class CheckStatistics:
     rule_cache_misses: int = 0
     justified_cache_hits: int = 0
     justified_cache_misses: int = 0
+    #: cross-bound search learning (CheckerOptions.learning).
+    cubes_learned: int = 0
+    cubes_lifted: int = 0
+    cube_hits: int = 0
+    #: target frames skipped because an earlier bound proved them FAIL.
+    targets_skipped: int = 0
+    #: high-water mark of the unjustified-node frontier during the check.
+    frontier_peak: int = 0
 
     def accumulate_search(self, result) -> None:
         """Fold one :class:`~repro.atpg.justify.JustifyResult` into the totals."""

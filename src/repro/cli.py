@@ -174,6 +174,7 @@ def _command_check(args: argparse.Namespace) -> int:
         max_frames=args.max_frames,
         use_local_fsm_guidance=args.fsm_guidance,
         incremental=not args.no_incremental,
+        learning=not args.no_learning,
     )
     checker = AssertionChecker(circuit, environment=environment, options=options)
     results: List[CheckResult] = [checker.check(prop) for prop in properties]
@@ -241,6 +242,7 @@ def _check_portfolio(
             CheckerOptions(
                 use_local_fsm_guidance=True,
                 incremental=not args.no_incremental,
+                learning=not args.no_learning,
             )
         )
         if name == "atpg" and args.fsm_guidance
@@ -258,6 +260,7 @@ def _check_portfolio(
             jobs=args.jobs,
             run_all=args.compare,
             incremental=not args.no_incremental,
+            learning=not args.no_learning,
         )
     ).run(jobs)
 
@@ -466,6 +469,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rebuild the unrolled implication network from scratch for "
         "every bound instead of reusing it incrementally (debug/ablation)",
+    )
+    check.add_argument(
+        "--no-learning",
+        action="store_true",
+        help="disable cross-bound search learning (persistent illegal-state "
+        "cubes and proven-FAIL target memoisation on the cached unrolled "
+        "models); verdicts are unchanged, only speed (debug/ablation)",
     )
     check.set_defaults(func=_command_check)
 

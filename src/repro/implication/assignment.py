@@ -5,11 +5,18 @@ word-level signal may have been refined several times before the decision
 being undone; the store therefore records, per decision level, the previous
 cube of every signal it changes and restores those cubes on backtrack
 (Section 3.1, last paragraph).
+
+Every trail entry also carries the *reason* of the refinement: the
+implication node that derived it, or a :class:`RootCause` describing an
+external assignment (a search decision, an environment constraint, the
+property goal, an initial-state value...).  Walking the trail backward from
+a conflict therefore recovers the set of external facts that produced it --
+the basis of the conflict lifting in :mod:`repro.atpg.justify`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.bitvector import BV3, BV3Conflict
 
@@ -17,12 +24,59 @@ from repro.bitvector import BV3, BV3Conflict
 Savepoint = Tuple[int, int]
 
 
+class RootCause:
+    """External (non-implied) cause of an assignment.
+
+    ``kind`` classifies the origin so conflict analysis can decide whether a
+    learned fact is reusable:
+
+    * ``"decision"`` -- a branch-and-bound decision (becomes a cube literal);
+    * ``"env"`` -- an environment constraint (asserted in every frame of
+      every check sharing the model, so it never needs to be recorded);
+    * ``"goal"`` -- the property goal at the target frame (facts depending
+      on it are only reusable for the same property, re-based to the new
+      target);
+    * ``"base"`` -- part of the base model (initial state values);
+    * ``"solver"`` / ``"completion"`` -- datapath solver choices (their
+      failures are heuristic, so cones containing them are never learned
+      as proofs).
+    """
+
+    __slots__ = ("kind", "key", "cube")
+
+    def __init__(self, kind: str, key: Optional[Hashable] = None, cube: Optional[BV3] = None):
+        self.kind = kind
+        self.key = key
+        self.cube = cube
+
+    def __repr__(self) -> str:
+        return "RootCause(%s, %r)" % (self.kind, self.key)
+
+
 class ImplicationConflict(Exception):
     """Raised when an implication contradicts the current assignment."""
 
-    def __init__(self, message: str, key: Optional[Hashable] = None):
+    def __init__(
+        self,
+        message: str,
+        key: Optional[Hashable] = None,
+        keys: Optional[Tuple[Hashable, ...]] = None,
+    ):
         super().__init__(message)
         self.key = key
+        #: keys of the node whose rule detected the contradiction (seeds of
+        #: the antecedent walk); falls back to ``(key,)`` when the conflict
+        #: surfaced in a direct cube intersection.
+        self.keys = keys
+
+    @property
+    def conflict_keys(self) -> Tuple[Hashable, ...]:
+        """Keys seeding the backward antecedent walk."""
+        if self.keys is not None:
+            return tuple(self.keys)
+        if self.key is not None:
+            return (self.key,)
+        return ()
 
 
 class Assignment:
@@ -37,16 +91,24 @@ class Assignment:
     levels are already open, and rolling back to it also closes every level
     opened after it.  The incremental checker uses this to retract a whole
     per-bound goal (including the search's decision stack) in one step.
+
+    ``on_restore`` (when set) is invoked with every key whose cube is
+    restored by :meth:`pop_level` / :meth:`rollback_to`; the implication
+    engine uses it to keep the unjustified-node frontier in sync with
+    backtracking at O(changed keys) cost.
     """
 
-    __slots__ = ("_values", "_widths", "_trail", "_level_marks")
+    __slots__ = ("_values", "_widths", "_trail", "_level_marks", "on_restore")
 
     def __init__(self):
         self._values: Dict[Hashable, BV3] = {}
         self._widths: Dict[Hashable, int] = {}
-        # Each trail entry is (key, previous cube or None when first assigned).
-        self._trail: List[Tuple[Hashable, Optional[BV3]]] = []
+        # Each trail entry is (key, previous cube or None when first
+        # assigned, reason or None).
+        self._trail: List[Tuple[Hashable, Optional[BV3], Optional[object]]] = []
         self._level_marks: List[int] = []
+        #: optional callback invoked with each restored key on backtrack.
+        self.on_restore: Optional[Callable[[Hashable], None]] = None
 
     # ------------------------------------------------------------------
     def register(self, key: Hashable, width: int) -> None:
@@ -86,12 +148,14 @@ class Assignment:
         return dict(self._values)
 
     # ------------------------------------------------------------------
-    def assign(self, key: Hashable, cube: BV3) -> bool:
+    def assign(self, key: Hashable, cube: BV3, reason: Optional[object] = None) -> bool:
         """Refine ``key`` with ``cube`` (cube intersection).
 
         Returns ``True`` when new information was added, ``False`` when the
         cube was already implied.  Raises :class:`ImplicationConflict` when
-        the refinement contradicts the current value.
+        the refinement contradicts the current value.  ``reason`` (an
+        implication node or a :class:`RootCause`) is recorded on the trail
+        for conflict analysis.
         """
         width = self._widths.get(key)
         if width is None:
@@ -104,7 +168,7 @@ class Assignment:
         if current is None:
             if cube.is_fully_unknown():
                 return False
-            self._trail.append((key, None))
+            self._trail.append((key, None, reason))
             self._values[key] = cube
             return True
         try:
@@ -115,9 +179,21 @@ class Assignment:
             ) from exc
         if refined == current:
             return False
-        self._trail.append((key, current))
+        self._trail.append((key, current, reason))
         self._values[key] = refined
         return True
+
+    # ------------------------------------------------------------------
+    # Conflict analysis support
+    # ------------------------------------------------------------------
+    @property
+    def trail_length(self) -> int:
+        """Current trail position (usable as a walk boundary)."""
+        return len(self._trail)
+
+    def trail_entry(self, index: int) -> Tuple[Hashable, Optional[BV3], Optional[object]]:
+        """The (key, previous cube, reason) record at trail position ``index``."""
+        return self._trail[index]
 
     # ------------------------------------------------------------------
     # Decision levels
@@ -139,18 +215,23 @@ class Assignment:
         """
         if not self._level_marks:
             raise RuntimeError("pop_level called with no open decision level")
-        mark = self._level_marks.pop()
-        while len(self._trail) > mark:
-            key, previous = self._trail.pop()
-            if previous is None:
-                del self._values[key]
-            else:
-                self._values[key] = previous
+        self._restore_to(self._level_marks.pop())
 
     def pop_all_levels(self) -> None:
         """Return to decision level 0."""
         while self._level_marks:
             self.pop_level()
+
+    def _restore_to(self, mark: int) -> None:
+        on_restore = self.on_restore
+        while len(self._trail) > mark:
+            key, previous, _reason = self._trail.pop()
+            if previous is None:
+                del self._values[key]
+            else:
+                self._values[key] = previous
+            if on_restore is not None:
+                on_restore(key)
 
     # ------------------------------------------------------------------
     # Savepoints (retraction across decision levels)
@@ -174,12 +255,7 @@ class Assignment:
                 % (savepoint, len(self._trail), len(self._level_marks))
             )
         del self._level_marks[level_depth:]
-        while len(self._trail) > trail_mark:
-            key, previous = self._trail.pop()
-            if previous is None:
-                del self._values[key]
-            else:
-                self._values[key] = previous
+        self._restore_to(trail_mark)
 
     def __len__(self) -> int:
         return len(self._values)

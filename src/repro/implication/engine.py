@@ -6,7 +6,7 @@ The engine is agnostic of frames and netlists: it operates on
 implication rule.  Whenever a key's cube is refined, every node watching that
 key is re-evaluated, until a fixpoint is reached or a conflict surfaces.
 
-Two mechanisms make the engine reusable across incremental checking runs:
+Three mechanisms make the engine reusable across incremental checking runs:
 
 * **Retractable node groups** -- nodes added while a decision level (or a
   :meth:`ImplicationEngine.savepoint`) is open are *retired* when that level
@@ -17,15 +17,33 @@ Two mechanisms make the engine reusable across incremental checking runs:
   without being removed; inactive nodes are skipped by the propagation
   worklist.  The unrolled model uses this to keep time frames beyond the
   current check bound physically present but logically inert.
+* **The unjustified frontier** -- the engine incrementally maintains the set
+  of nodes whose required output is not implied by their inputs.  Keys
+  touched by assignment or backtracking land in a dirty set; a frontier
+  query re-tests only the nodes watching dirty keys, so each step of the
+  branch-and-bound search costs O(changed keys) instead of O(active nodes).
+
+Conflict analysis: every trail refinement records its *reason* (the deriving
+node, or a :class:`~repro.implication.assignment.RootCause` for external
+assignments).  :meth:`ImplicationEngine.analyze_conflict` walks the trail
+backward from a conflict to the external roots that produced it, which is
+what lets the justifier lift learned illegal cubes down to the decisions
+that actually participated.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bitvector import BV3, BV3Conflict
-from repro.implication.assignment import Assignment, ImplicationConflict, Savepoint
+from repro.implication.assignment import (
+    Assignment,
+    ImplicationConflict,
+    RootCause,
+    Savepoint,
+)
 
 #: Engine savepoint: (assignment savepoint, node count).
 EngineSavepoint = Tuple[Savepoint, int]
@@ -44,6 +62,8 @@ class ImplicationNode:
         Callable refining a list of cubes (same order as ``keys``).
     num_outputs:
         How many trailing keys are outputs (used by the justification test).
+        Pure constraint nodes (e.g. learned illegal cubes) use 0: they can
+        conflict but never carry a requirement of their own.
     """
 
     __slots__ = ("name", "keys", "rule", "num_outputs", "tag", "active")
@@ -70,17 +90,42 @@ class ImplicationNode:
 
     @property
     def output_keys(self) -> List[Hashable]:
+        if self.num_outputs == 0:
+            return []
         return self.keys[len(self.keys) - self.num_outputs :]
 
     def __repr__(self) -> str:
         return "ImplicationNode(%s)" % (self.name,)
 
 
+@dataclass
+class ConflictAnalysis:
+    """External antecedents of one implication conflict.
+
+    ``roots`` are the :class:`RootCause` records that fed the conflict (in
+    reverse-chronological order, possibly with duplicates); ``cone`` is every
+    key the derivation touched; ``opaque`` is set when some contributing
+    assignment carried no reason, in which case the analysis is incomplete
+    and nothing may be learned from this conflict.
+    """
+
+    roots: List[RootCause] = field(default_factory=list)
+    cone: Set[Hashable] = field(default_factory=set)
+    opaque: bool = False
+
+
 class ImplicationEngine:
     """Propagates word-level implications to a fixpoint over a node network."""
 
+    #: rule-memo eviction policy.  The LRU experiment (see README.md) found
+    #: identical hit rates to FIFO on deep-search sweeps -- per-node caches
+    #: rarely reach the 256-entry limit -- while the move-to-end bookkeeping
+    #: slowed the hot evaluation path by 15-20%, so FIFO stays the default.
+    rule_cache_lru = False
+
     def __init__(self, assignment: Optional[Assignment] = None):
         self.assignment = assignment if assignment is not None else Assignment()
+        self.assignment.on_restore = self._mark_key_dirty
         self.nodes: List[ImplicationNode] = []
         self._watchers: Dict[Hashable, List[ImplicationNode]] = {}
         self._queue: deque = deque()
@@ -97,9 +142,9 @@ class ImplicationEngine:
         # Memoized rule evaluations.  Branch-and-bound revisits many
         # identical pin-cube combinations across backtracked branches; rules
         # are pure functions of their cubes, so their results can be reused.
-        # Eviction is FIFO one-entry-at-a-time (dicts preserve insertion
-        # order), so deep searches keep their hot entries instead of losing
-        # the whole per-node cache at the limit.
+        # Eviction drops one entry at a time (dicts preserve insertion
+        # order); with ``rule_cache_lru`` hits are moved to the back first,
+        # so deep searches keep their hot entries.
         self._rule_cache: Dict[int, Dict[Tuple[BV3, ...], List[BV3]]] = {}
         self._rule_cache_limit = 256
         self.rule_cache_hits = 0
@@ -108,6 +153,14 @@ class ImplicationEngine:
         # Node count at each open decision level, so popping a level also
         # retires the nodes added while it was open.
         self._level_node_marks: List[int] = []
+        # Unjustified-frontier state: keys touched since the last refresh,
+        # nodes explicitly marked for re-testing (activation toggles), and
+        # the persistent frontier itself (id(node) -> node).
+        self._dirty_keys: Set[Hashable] = set()
+        self._dirty_nodes: Dict[int, ImplicationNode] = {}
+        self._unjustified: Dict[int, ImplicationNode] = {}
+        #: high-water mark of the frontier size (reportable statistic).
+        self.frontier_peak = 0
 
     # ------------------------------------------------------------------
     def add_node(self, node: ImplicationNode, widths: Optional[Sequence[int]] = None) -> None:
@@ -118,19 +171,27 @@ class ImplicationEngine:
                 self.assignment.register(key, width)
         for key in node.keys:
             self._watchers.setdefault(key, []).append(node)
+        self._dirty_nodes[id(node)] = node
 
     def watchers(self, key: Hashable) -> List[ImplicationNode]:
         """Nodes that read or drive ``key``."""
         return self._watchers.get(key, [])
 
     # ------------------------------------------------------------------
-    def assign(self, key: Hashable, cube: BV3, propagate: bool = True) -> bool:
+    def assign(
+        self,
+        key: Hashable,
+        cube: BV3,
+        propagate: bool = True,
+        reason: Optional[object] = None,
+    ) -> bool:
         """Refine ``key`` with ``cube`` and (optionally) propagate to fixpoint.
 
         Returns ``True`` when new information was added.  Raises
-        :class:`ImplicationConflict` on contradiction.
+        :class:`ImplicationConflict` on contradiction.  ``reason`` is stored
+        on the trail for conflict analysis (see :meth:`analyze_conflict`).
         """
-        changed = self.assignment.assign(key, cube)
+        changed = self.assignment.assign(key, cube, reason)
         if changed:
             self.implication_count += 1
             self._enqueue_watchers(key)
@@ -139,7 +200,12 @@ class ImplicationEngine:
         return changed
 
     def _enqueue_watchers(self, key: Hashable) -> None:
+        # Watchers are already being visited here, so the frontier's dirty
+        # marking rides along (only backtrack restores go through the
+        # cheaper key set, where no watcher walk happens anyway).
+        dirty = self._dirty_nodes
         for node in self._watchers.get(key, []):
+            dirty[id(node)] = node
             if not node.active:
                 continue
             marker = id(node)
@@ -147,9 +213,21 @@ class ImplicationEngine:
                 self._queued.add(marker)
                 self._queue.append(node)
 
+    def _mark_key_dirty(self, key: Hashable) -> None:
+        """Record a restored key for the next frontier refresh."""
+        self._dirty_keys.add(key)
+
+    def mark_dirty(self, nodes: Iterable[ImplicationNode]) -> None:
+        """Schedule nodes for frontier re-testing (activation toggles)."""
+        dirty = self._dirty_nodes
+        for node in nodes:
+            dirty[id(node)] = node
+
     def enqueue(self, nodes: Iterable[ImplicationNode]) -> None:
         """Schedule specific nodes for (re-)evaluation."""
+        dirty = self._dirty_nodes
         for node in nodes:
+            dirty[id(node)] = node
             if not node.active:
                 continue
             marker = id(node)
@@ -188,20 +266,62 @@ class ImplicationEngine:
             try:
                 refined = node.rule(cubes)
             except BV3Conflict as exc:
-                raise ImplicationConflict("%s: %s" % (node.name, exc)) from exc
+                raise ImplicationConflict(
+                    "%s: %s" % (node.name, exc), keys=tuple(node.keys)
+                ) from exc
             if len(cache) >= self._rule_cache_limit:
-                # FIFO: drop only the oldest entry, not the whole cache.
+                # Drop only the oldest entry, not the whole cache.
                 del cache[next(iter(cache))]
                 self.rule_cache_evictions += 1
             cache[cache_key] = refined
         else:
             self.rule_cache_hits += 1
-        for key, old, new in zip(node.keys, cubes, refined):
-            if new is old or new == old:
+            if self.rule_cache_lru:
+                # Move-to-end on hit: hot entries outlive the eviction scan.
+                del cache[cache_key]
+                cache[cache_key] = refined
+        try:
+            for key, old, new in zip(node.keys, cubes, refined):
+                if new is old or new == old:
+                    continue
+                if self.assignment.assign(key, new, node):
+                    self.implication_count += 1
+                    self._enqueue_watchers(key)
+        except ImplicationConflict as exc:
+            if exc.keys is None:
+                # Attribute the contradiction to the node that derived the
+                # incompatible cube, so conflict analysis can walk all of
+                # its antecedents (not just the conflicting key's).
+                exc.keys = tuple(node.keys)
+            raise
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def analyze_conflict(self, conflict: ImplicationConflict, stop_mark: int) -> ConflictAnalysis:
+        """Walk the trail backward from ``conflict`` to its external roots.
+
+        ``stop_mark`` bounds the walk: trail entries below it (the shared
+        base-model fixpoint) are treated as part of the model, not as
+        antecedents.  The walk visits only entries whose key is already
+        known to be in the conflict cone, expanding the cone through each
+        deriving node's keys -- the standard implication-graph traversal,
+        done directly on the restore trail.
+        """
+        assignment = self.assignment
+        relevant: Set[Hashable] = set(conflict.conflict_keys)
+        analysis = ConflictAnalysis(cone=relevant, opaque=not relevant)
+        for index in range(assignment.trail_length - 1, stop_mark - 1, -1):
+            key, _previous, reason = assignment.trail_entry(index)
+            if key not in relevant:
                 continue
-            if self.assignment.assign(key, new):
-                self.implication_count += 1
-                self._enqueue_watchers(key)
+            if reason is None:
+                analysis.opaque = True
+            elif isinstance(reason, RootCause):
+                analysis.roots.append(reason)
+            else:  # an ImplicationNode: pull its pins into the cone
+                relevant.update(reason.keys)
+        return analysis
 
     # ------------------------------------------------------------------
     # Decision level management (delegates to the assignment store)
@@ -269,10 +389,13 @@ class ImplicationEngine:
                 watchers.pop()
             if not watchers:
                 self._watchers.pop(key, None)
-        # Drop memo entries: id() values may be reused by future node objects.
+        # Drop memo and frontier entries: id() values may be reused by
+        # future node objects.
         for node_id in retired_ids:
             self._rule_cache.pop(node_id, None)
             self._justified_cache.pop(node_id, None)
+            self._dirty_nodes.pop(node_id, None)
+            self._unjustified.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # Justification support
@@ -320,7 +443,7 @@ class ImplicationEngine:
     def unjustified_nodes(
         self, nodes: Optional[Iterable[ImplicationNode]] = None
     ) -> List[ImplicationNode]:
-        """All nodes whose required output is not yet justified."""
+        """All nodes whose required output is not yet justified (full scan)."""
         candidates = self.nodes if nodes is None else nodes
         result = []
         for node in candidates:
@@ -330,3 +453,48 @@ class ImplicationEngine:
             if has_requirement and not self.is_justified(node):
                 result.append(node)
         return result
+
+    # ------------------------------------------------------------------
+    # Incremental unjustified frontier
+    # ------------------------------------------------------------------
+    def _refresh_frontier(self) -> None:
+        dirty_nodes = self._dirty_nodes
+        if self._dirty_keys:
+            watchers = self._watchers
+            for key in self._dirty_keys:
+                for node in watchers.get(key, ()):
+                    dirty_nodes[id(node)] = node
+            self._dirty_keys.clear()
+        if not dirty_nodes:
+            return
+        unjustified = self._unjustified
+        is_assigned = self.assignment.is_assigned
+        for marker, node in dirty_nodes.items():
+            if (
+                node.active
+                and any(is_assigned(key) for key in node.output_keys)
+                and not self.is_justified(node)
+            ):
+                unjustified[marker] = node
+            else:
+                unjustified.pop(marker, None)
+        dirty_nodes.clear()
+        if len(unjustified) > self.frontier_peak:
+            self.frontier_peak = len(unjustified)
+
+    def unjustified_frontier(
+        self, order: Dict[int, int]
+    ) -> List[ImplicationNode]:
+        """The unjustified nodes, incrementally maintained.
+
+        Only nodes whose keys changed since the last query (assignment,
+        backtrack restore, activation toggle, addition) are re-tested; the
+        result is returned in the caller's canonical order (``order`` maps
+        ``id(node)`` to its rank, e.g. the unrolled model's fresh-build node
+        order), making the frontier bit-compatible with a full
+        :meth:`unjustified_nodes` scan over the same nodes.
+        """
+        self._refresh_frontier()
+        if not self._unjustified:
+            return []
+        return sorted(self._unjustified.values(), key=lambda node: order[id(node)])

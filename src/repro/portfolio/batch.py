@@ -76,6 +76,10 @@ class BatchOptions:
     #: one circuit object and land on the same worker also share the cached
     #: skeleton across properties (monitor logic is absorbed incrementally).
     incremental: bool = True
+    #: cross-bound search learning in the ATPG engine (illegal cubes and
+    #: proven-FAIL targets persist on the cached models, so grouped jobs
+    #: sharing a circuit also share what earlier properties learned).
+    learning: bool = True
 
 
 @dataclass
@@ -144,37 +148,59 @@ def _engine_names(engines: Sequence[Union[str, Engine]]) -> List[str]:
 
 
 def _configure_engines(
-    engines: Sequence[Union[str, Engine]], incremental: bool
+    engines: Sequence[Union[str, Engine]], incremental: bool, learning: bool = True
 ) -> Sequence[Union[str, Engine]]:
-    """Materialise per-batch engine configuration (ATPG incremental toggle).
+    """Materialise per-batch engine configuration (ATPG toggles).
 
-    The batch flag applies to the registry name ``"atpg"`` and to
+    The batch flags apply to the registry name ``"atpg"`` and to
     :class:`AtpgEngine` instances that did not pin their own ``incremental``
-    argument; an engine constructed with an explicit ``incremental=`` wins.
+    / ``learning`` arguments; an engine constructed with an explicit choice
+    wins.
     """
-    if incremental:
-        return engines  # the checker's default is already incremental
+    if incremental and learning:
+        return engines  # the checker's defaults are already on
     from repro.portfolio.engines import AtpgEngine
 
+    incremental_override = None if incremental else False
+    learning_override = None if learning else False
     configured: List[Union[str, Engine]] = []
     for engine in engines:
         if engine == "atpg":
-            configured.append(AtpgEngine(incremental=False))
-        elif isinstance(engine, AtpgEngine) and engine.incremental is None:
-            configured.append(AtpgEngine(engine.options, incremental=False))
+            configured.append(
+                AtpgEngine(
+                    incremental=incremental_override, learning=learning_override
+                )
+            )
+        elif isinstance(engine, AtpgEngine):
+            new_incremental = engine.incremental
+            new_learning = engine.learning
+            if not incremental and new_incremental is None:
+                new_incremental = False
+            if not learning and new_learning is None:
+                new_learning = False
+            if (new_incremental, new_learning) == (engine.incremental, engine.learning):
+                configured.append(engine)
+            else:
+                configured.append(
+                    AtpgEngine(
+                        engine.options,
+                        incremental=new_incremental,
+                        learning=new_learning,
+                    )
+                )
         else:
             configured.append(engine)
     return configured
 
 
 def _run_batch_job(payload: Tuple[int, BatchJob, Sequence[Union[str, Engine]],
-                                  EngineBudget, int, bool, bool]) -> BatchItem:
+                                  EngineBudget, int, bool, bool, bool]) -> BatchItem:
     """Run one job's portfolio (in the worker or inline) and wrap the outcome."""
-    _index, job, engines, budget, seed, run_all, incremental = payload
+    _index, job, engines, budget, seed, run_all, incremental, learning = payload
     try:
         checker = PortfolioChecker(
             job.circuit,
-            engines=_configure_engines(engines, incremental),
+            engines=_configure_engines(engines, incremental, learning),
             environment=job.environment,
             initial_state=job.initial_state,
             options=PortfolioOptions(
@@ -213,12 +239,21 @@ def _error_item(job: BatchJob, engines: Sequence[Union[str, Engine]],
 
 
 def _batch_worker(task_queue, result_queue) -> None:
-    """Worker loop: pop payloads until the ``None`` sentinel, ship results."""
+    """Worker loop: pop payload *groups* until the ``None`` sentinel.
+
+    Each task is the list of payloads sharing one circuit.  Shipping them
+    together matters twice: the group is pickled in one message, so every
+    job in it unpickles the *same* circuit object, and the jobs then run
+    back-to-back in this process -- which is exactly what the process-wide
+    :class:`~repro.checker.incremental.UnrolledModelCache` (and the learned
+    cubes riding its models) needs to hit across properties.
+    """
     while True:
-        payload = task_queue.get()
-        if payload is None:
+        group = task_queue.get()
+        if group is None:
             return
-        result_queue.put((payload[0], _run_batch_job(payload)))
+        for payload in group:
+            result_queue.put((payload[0], _run_batch_job(payload)))
 
 
 class BatchRunner:
@@ -245,6 +280,7 @@ class BatchRunner:
                 job.seed if job.seed is not None else base_seed + index,
                 options.run_all,
                 options.incremental,
+                options.learning,
             )
             for index, job in enumerate(jobs)
         ]
@@ -264,9 +300,44 @@ class BatchRunner:
             base_seed=base_seed,
         )
 
+    @staticmethod
+    def _group_by_circuit(payloads, pool_size: int = 1) -> List[List[tuple]]:
+        """Partition payloads into per-circuit task chunks (submission order).
+
+        Jobs sharing a circuit ship together, so a worker unpickles the
+        circuit once per chunk and runs the jobs back-to-back -- which is
+        what the process-wide model cache (and the learned facts attached
+        to the cached models) needs to hit across properties.  Oversized
+        groups are *chunked* so a batch dominated by one circuit (the
+        common shape) still spreads across all ``pool_size`` workers
+        instead of serialising on one; each chunk keeps the single-pickle
+        circuit sharing, and a worker crash loses at most one chunk.
+        Report ordering is unaffected: results are reassembled by payload
+        index.
+        """
+        groups: Dict[int, List[tuple]] = {}
+        ordered: List[List[tuple]] = []
+        for payload in payloads:
+            circuit_id = id(payload[1].circuit)
+            group = groups.get(circuit_id)
+            if group is None:
+                group = groups[circuit_id] = []
+                ordered.append(group)
+            group.append(payload)
+        if pool_size <= 1:
+            return ordered
+        # Even chunking: enough tasks to occupy every worker, while keeping
+        # chunks as large as possible (cache hits scale with chunk length).
+        chunk_size = max(1, -(-len(payloads) // pool_size))
+        chunked: List[List[tuple]] = []
+        for group in ordered:
+            for start in range(0, len(group), chunk_size):
+                chunked.append(group[start:start + chunk_size])
+        return chunked
+
     # ------------------------------------------------------------------
     def _run_workers(self, payloads, pool_size: int) -> Dict[int, BatchItem]:
-        """Fan payloads across non-daemonic worker processes.
+        """Fan payload groups across non-daemonic worker processes.
 
         Results are drained while the workers run (never after join: a child
         blocks on exit until its queue buffer is read), and submission order
@@ -275,8 +346,8 @@ class BatchRunner:
         ctx = fork_context()
         task_queue = ctx.Queue()
         result_queue = ctx.Queue()
-        for payload in payloads:
-            task_queue.put(payload)
+        for group in self._group_by_circuit(payloads, pool_size):
+            task_queue.put(group)
         for _ in range(pool_size):
             task_queue.put(None)  # one stop sentinel per worker
         workers = [
@@ -309,7 +380,7 @@ class BatchRunner:
     @staticmethod
     def _lost_item(payload) -> BatchItem:
         """Placeholder for a job whose worker died without reporting."""
-        _index, job, engines, _budget, seed, _run_all, _incremental = payload
+        job, engines, seed = payload[1], payload[2], payload[4]
         return _error_item(
             job, engines, seed, "batch worker died before reporting a result"
         )

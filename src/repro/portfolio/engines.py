@@ -97,11 +97,12 @@ class AtpgEngine:
     """Adapter for the paper's word-level ATPG :class:`AssertionChecker`.
 
     ``incremental`` toggles the shared unrolled-model reuse path (see
-    :mod:`repro.checker.incremental`).  Left at ``None`` it defers to the
-    ``options`` object (whose default is on); passed explicitly it overrides
-    ``options.incremental``.  Consecutive ``run`` calls against the *same
-    circuit object* (the common batch shape) reuse the cached skeleton
-    across properties.
+    :mod:`repro.checker.incremental`) and ``learning`` the cross-bound
+    search learning riding the cached models.  Left at ``None`` they defer
+    to the ``options`` object (whose defaults are on); passed explicitly
+    they override it.  Consecutive ``run`` calls against the *same circuit
+    object* (the common batch shape) reuse the cached skeleton -- and its
+    learned illegal cubes -- across properties.
     """
 
     name = "atpg"
@@ -111,9 +112,11 @@ class AtpgEngine:
         self,
         options: Optional[CheckerOptions] = None,
         incremental: Optional[bool] = None,
+        learning: Optional[bool] = None,
     ):
         self.options = options
         self.incremental = incremental
+        self.learning = learning
 
     def run(self, circuit, prop, environment, initial_state, budget) -> EngineResult:
         started = time.perf_counter()
@@ -122,6 +125,8 @@ class AtpgEngine:
             overrides = {"max_frames": budget.max_frames}
             if self.incremental is not None:
                 overrides["incremental"] = self.incremental
+            if self.learning is not None:
+                overrides["learning"] = self.learning
             options = replace(options, **overrides)
             checker = AssertionChecker(
                 circuit,
@@ -135,7 +140,8 @@ class AtpgEngine:
         from repro.checker.report import statistics_to_dict
 
         stats = {"frames_explored": result.frames_explored,
-                 "incremental": options.incremental}
+                 "incremental": options.incremental,
+                 "learning": options.learning and options.incremental}
         stats.update(statistics_to_dict(result.statistics))
         return EngineResult(
             engine=self.name,

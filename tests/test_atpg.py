@@ -282,3 +282,39 @@ def test_estg_transitions():
     estg.record_transition(a, b, "conflict")
     assert estg.stats()["transitions"] == 1
     assert list(estg.transitions.values())[0].visits == 2
+
+
+def test_estg_covers_with_unknown_bits():
+    """X bits in the general cube cover any value of those bits; X bits in
+    the specific cube are only covered by X (or wider) in the general one."""
+    covers = ExtendedStateTransitionGraph._covers
+    general = (("mode", bv("1xx")),)
+    assert covers(general, (("mode", bv("100")),))
+    assert covers(general, (("mode", bv("1x1")),))
+    assert not covers(general, (("mode", bv("0xx")),))
+    # The specific cube's unknown bit may stray outside the general cube.
+    assert not covers((("mode", bv("10x")),), (("mode", bv("1xx")),))
+
+
+def test_estg_covers_empty_and_missing_registers():
+    covers = ExtendedStateTransitionGraph._covers
+    # An empty general cube constrains nothing and covers every state...
+    assert covers((), (("mode", bv("01")),))
+    assert covers((), ())
+    # ...but a general cube naming a register the specific state leaves
+    # unconstrained cannot cover it.
+    assert not covers((("mode", bv("01")),), ())
+    assert not covers((("mode", bv("01")),), (("other", bv("01")),))
+
+
+def test_estg_rejects_empty_cubes_and_respects_max_entries():
+    estg = ExtendedStateTransitionGraph(max_entries=2)
+    estg.record_illegal_state(())  # empty cubes are never recorded
+    assert estg.stats()["illegal_states"] == 0
+    for value in ("001", "010", "100"):
+        estg.record_illegal_state(estg.state_cube([("s", bv(value))]))
+    # The third cube hit the max_entries ceiling and was dropped.
+    assert estg.stats()["illegal_states"] == 2
+    assert not estg.is_illegal(estg.state_cube([("s", bv("100"))]))
+    estg.record_structurally_illegal_state(())
+    assert estg.stats()["structurally_illegal"] == 0

@@ -36,7 +36,13 @@ from test_bitparallel import build_random_circuit
 # ----------------------------------------------------------------------
 def _check_pair(circuit_fresh, circuit_inc, prop, environment=None,
                 initial_state=None, bound=4):
-    """Run the same property through the fresh and incremental paths."""
+    """Run the same property through the fresh and incremental paths.
+
+    Cross-bound learning is pinned off: these tests assert the *unrolling*
+    contract (bit-identical searches), while learning deliberately prunes
+    decisions (its own verdict/counterexample equivalence is covered by
+    tests/test_learning.py).
+    """
     fresh = AssertionChecker(
         circuit_fresh,
         environment=environment,
@@ -47,7 +53,7 @@ def _check_pair(circuit_fresh, circuit_inc, prop, environment=None,
         circuit_inc,
         environment=environment,
         initial_state=initial_state,
-        options=CheckerOptions(max_frames=bound, incremental=True),
+        options=CheckerOptions(max_frames=bound, incremental=True, learning=False),
         model_cache=UnrolledModelCache(),
     ).check(prop)
     return fresh, incremental

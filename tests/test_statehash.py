@@ -6,6 +6,7 @@ from repro.atpg.statehash import (
     StateHasher,
     find_first_loop,
     find_loops,
+    hash_cube_literals,
     loop_free_length,
 )
 from repro.baselines import RandomSimulationChecker, RandomSimulationOptions
@@ -62,6 +63,28 @@ def test_register_filter_restricts_the_snapshot():
     assert hasher.hash_state(full) == hasher.hash_state(reduced)
 
 
+def test_hash_values_are_stable_across_processes():
+    """Pinned constants: FNV-1a output must not drift between runs or
+    machines (the learned-cube stores rely on it for deduplication)."""
+    assert StateHasher().hash_state({"cnt": 3, "mode": 1}) == 2589969766604552132
+    assert hash_cube_literals(
+        [("a", 0, bv("1x")), ("b", -1, bv("01"))]
+    ) == 9838414925954797333
+
+
+def test_cube_literal_fingerprint_is_order_independent():
+    forward = [("a", 0, bv("1x")), ("b", -1, bv("01"))]
+    backward = list(reversed(forward))
+    assert hash_cube_literals(forward) == hash_cube_literals(backward)
+    # Frame positions and unknown bits are part of the identity.
+    assert hash_cube_literals(forward) != hash_cube_literals(
+        [("a", 1, bv("1x")), ("b", -1, bv("01"))]
+    )
+    assert hash_cube_literals(forward) != hash_cube_literals(
+        [("a", 0, bv("11")), ("b", -1, bv("01"))]
+    )
+
+
 # ----------------------------------------------------------------------
 # Loop detection
 # ----------------------------------------------------------------------
@@ -89,6 +112,45 @@ def test_loop_free_sequence():
 def test_loop_free_length_stops_at_first_revisit():
     states = [{"s": 0}, {"s": 1}, {"s": 1}, {"s": 2}]
     assert loop_free_length(states) == 2
+
+
+def _witness_state_sequence(circuit, counterexample):
+    """Register snapshots along a witness trace (initial state included)."""
+    simulator = Simulator(circuit, initial_state=counterexample.initial_state)
+    states = [dict(simulator.register_values())]
+    for vector in counterexample.inputs:
+        simulator.step(vector)
+        states.append(dict(simulator.register_values()))
+    return states
+
+
+def test_atpg_witness_sequence_loop_marks_the_idle_step():
+    circuit = build_counter(limit=3, width=2)
+    checker = AssertionChecker(circuit, options=CheckerOptions(max_frames=8))
+    result = checker.check(Witness("reach_three", Signal("cnt") == 3))
+    assert result.status is CheckStatus.WITNESS_FOUND
+    states = _witness_state_sequence(circuit, result.counterexample)
+    # The x-filled inputs idle once after the counter reaches 3, so the
+    # sequence ends in a self-loop -- exactly what loop detection reports.
+    assert states == [{"cnt": 0}, {"cnt": 1}, {"cnt": 2}, {"cnt": 3}, {"cnt": 3}]
+    assert find_first_loop(states) == ExecutionLoop(start=3, end=4)
+    assert loop_free_length(states) == 4
+
+
+def test_random_witness_sequence_exposes_its_loop():
+    circuit = build_counter(limit=3, width=2)
+    checker = RandomSimulationChecker(
+        circuit,
+        options=RandomSimulationOptions(num_runs=32, cycles_per_run=24, seed=9),
+    )
+    result = checker.check(Witness("reach_three", Signal("cnt") == 3))
+    assert result.status is CheckStatus.WITNESS_FOUND
+    states = _witness_state_sequence(circuit, result.counterexample)
+    # This seed's wandering witness revisits its start state: the loop is
+    # exactly what compact_trace removes.
+    loop = find_first_loop(states)
+    assert loop is not None
+    assert loop_free_length(states) == loop.end < len(states)
 
 
 def test_simulated_counter_loops_at_its_period():
