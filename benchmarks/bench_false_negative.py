@@ -54,11 +54,11 @@ def _false_negative_sweep(width=6, num_vars=3, num_rows=3, samples=150, seed=200
         rows, rhs = _random_system(rng, width, num_vars, num_rows)
         modular = ModularLinearSystem.from_matrix(rows, rhs, width).solve()
         rational = RationalLinearSolver(width).solve_matrix(rows, rhs)
-        if modular is not None:
+        if modular:  # Infeasible (with its certificate core) is falsy
             modular_sat += 1
         if rational is not None:
             rational_sat += 1
-        if modular is not None and rational is None:
+        if modular and rational is None:
             false_negatives += 1
     return modular_sat, rational_sat, false_negatives, samples
 

@@ -14,6 +14,13 @@ cases (p5, p12-p14 -- all HOLD, so every target frame is searched), checks
 that both arms return identical verdicts at every bound, and asserts the
 headline claim: **>= 2x median speedup with learning on**.
 
+A second, datapath-heavy sweep (p15, the industry_06 checksum cross-check)
+exercises *infeasibility certificates*: every justification leaf is refuted
+by the modular solver, whose certificate cores are lifted into learned
+datapath cubes.  Its acceptance gates: certificates must actually flow
+(``datapath_cubes_learned > 0`` and pruning fires from datapath cubes
+``> 0``) and the learning arm must win by >= 1.5x median.
+
 Methodology note: the speedup is computed from *paired* rounds (each round
 times the non-learning sweep immediately followed by the learning sweep,
 and the per-case ratio is the median of per-round ratios).  Timing the two
@@ -42,6 +49,12 @@ pytestmark = pytest.mark.benchmark(disable_gc=True)
 SWEEPS = [("p5", 7), ("p12", 5), ("p13", 7), ("p14", 8)]
 #: headline acceptance threshold: median speedup across the sweeps.
 MEDIAN_SPEEDUP = 2.0
+
+#: the datapath-certificate sweep: every leaf of every p15 search dies in
+#: the modular solver, so learning lives or dies on Infeasible cores.
+DATAPATH_SWEEPS = [("p15", 5)]
+#: acceptance threshold for the datapath sweep (ISSUE 5 criterion).
+DATAPATH_MEDIAN_SPEEDUP = 1.5
 
 #: paired rounds for the speedup ratios.
 ROUNDS = 3
@@ -74,6 +87,13 @@ def _summarise(results):
         "cubes_learned": sum(r.statistics.cubes_learned for r in results),
         "cube_hits": sum(r.statistics.cube_hits for r in results),
         "targets_skipped": sum(r.statistics.targets_skipped for r in results),
+        "solver_cores": sum(r.statistics.solver_cores for r in results),
+        "datapath_cubes_learned": sum(
+            r.statistics.datapath_cubes_learned for r in results
+        ),
+        "datapath_cube_hits": sum(
+            r.statistics.datapath_cube_hits for r in results
+        ),
     }
     return statuses, totals
 
@@ -81,7 +101,7 @@ def _summarise(results):
 # ----------------------------------------------------------------------
 # Absolute-time regression gate rows (one per arm)
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("case_id,depth", SWEEPS)
+@pytest.mark.parametrize("case_id,depth", SWEEPS + DATAPATH_SWEEPS)
 def test_sweep_without_learning(benchmark, case_id, depth):
     results = benchmark.pedantic(
         _run_sweep, args=(case_id, depth, False), rounds=GATE_ROUNDS, iterations=1
@@ -90,7 +110,7 @@ def test_sweep_without_learning(benchmark, case_id, depth):
     assert totals["targets_skipped"] == 0 and totals["cubes_learned"] == 0
 
 
-@pytest.mark.parametrize("case_id,depth", SWEEPS)
+@pytest.mark.parametrize("case_id,depth", SWEEPS + DATAPATH_SWEEPS)
 def test_sweep_with_learning(benchmark, case_id, depth):
     results = benchmark.pedantic(
         _run_sweep, args=(case_id, depth, True), rounds=GATE_ROUNDS, iterations=1
@@ -103,45 +123,44 @@ def test_sweep_with_learning(benchmark, case_id, depth):
 # ----------------------------------------------------------------------
 # Paired speedup measurement + acceptance assertions
 # ----------------------------------------------------------------------
-def test_learning_speedup_report():
+def _paired_rounds(sweeps):
+    """Paired off/on timings per case: (rows, speedups, summaries)."""
     import time
 
     rows = []
     speedups = []
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        for case_id, depth in SWEEPS:
-            ratios = []
-            best_off = best_on = float("inf")
-            summary_on = None
-            for _ in range(ROUNDS):
-                started = time.perf_counter()
-                results_off = _run_sweep(case_id, depth, False)
-                time_off = time.perf_counter() - started
-                started = time.perf_counter()
-                results_on = _run_sweep(case_id, depth, True)
-                time_on = time.perf_counter() - started
-                # Identical verdicts at every bound are part of the contract.
-                statuses_off, _ = _summarise(results_off)
-                statuses_on, summary_on = _summarise(results_on)
-                assert statuses_on == statuses_off, (case_id, statuses_on, statuses_off)
-                ratios.append(time_off / time_on if time_on > 0 else float("inf"))
-                best_off = min(best_off, time_off)
-                best_on = min(best_on, time_on)
-            speedup = stats_module.median(ratios)
-            speedups.append(speedup)
-            rows.append(
-                "%-6s %6d %10.3f %10.3f %7.2fx %7d %6d %8d"
-                % (case_id, depth, best_off, best_on, speedup,
-                   summary_on["cubes_learned"], summary_on["cube_hits"],
-                   summary_on["targets_skipped"])
-            )
-    finally:
-        if gc_was_enabled:
-            gc.enable()
+    summaries = {}
+    for case_id, depth in sweeps:
+        ratios = []
+        best_off = best_on = float("inf")
+        summary_on = None
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            results_off = _run_sweep(case_id, depth, False)
+            time_off = time.perf_counter() - started
+            started = time.perf_counter()
+            results_on = _run_sweep(case_id, depth, True)
+            time_on = time.perf_counter() - started
+            # Identical verdicts at every bound are part of the contract.
+            statuses_off, _ = _summarise(results_off)
+            statuses_on, summary_on = _summarise(results_on)
+            assert statuses_on == statuses_off, (case_id, statuses_on, statuses_off)
+            ratios.append(time_off / time_on if time_on > 0 else float("inf"))
+            best_off = min(best_off, time_off)
+            best_on = min(best_on, time_on)
+        speedup = stats_module.median(ratios)
+        speedups.append(speedup)
+        summaries[case_id] = summary_on
+        rows.append(
+            "%-6s %6d %10.3f %10.3f %7.2fx %7d %6d %8d"
+            % (case_id, depth, best_off, best_on, speedup,
+               summary_on["cubes_learned"], summary_on["cube_hits"],
+               summary_on["targets_skipped"])
+        )
+    return rows, speedups, summaries
 
-    median = stats_module.median(speedups)
+
+def _report_speedups(title, rows, median, threshold):
     header = (
         "%-6s %6s %10s %10s %8s %7s %6s %8s"
         % ("case", "bounds", "off(s)", "on(s)", "speedup", "cubes", "hits", "skipped")
@@ -150,14 +169,58 @@ def test_learning_speedup_report():
         [header, "-" * len(header)]
         + rows
         + ["", "median speedup across sweeps: %.2fx (threshold %.1fx)"
-           % (median, MEDIAN_SPEEDUP)]
+           % (median, threshold)]
     )
-    reporting.register_table(
+    reporting.register_table(title, table)
+    print("\n" + title + "\n" + table)
+
+
+def test_learning_speedup_report():
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        rows, speedups, _summaries = _paired_rounds(SWEEPS)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    median = stats_module.median(speedups)
+    _report_speedups(
         "[Learning] multi-bound prove-mode sweeps, learning vs --no-learning",
-        table,
+        rows, median, MEDIAN_SPEEDUP,
     )
-    print("\n[Learning] multi-bound prove-mode sweeps, learning vs --no-learning\n" + table)
     assert median >= MEDIAN_SPEEDUP, (
         "cross-bound learning regressed: median sweep speedup is %.2fx "
         "(expected >= %.1fx)" % (median, MEDIAN_SPEEDUP)
+    )
+
+
+def test_datapath_certificate_speedup_report():
+    """ISSUE 5 acceptance: on the datapath-heavy sweep, certificates must
+    produce learned datapath cubes, those cubes must fire, and learning must
+    win by >= 1.5x median over --no-learning."""
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        rows, speedups, summaries = _paired_rounds(DATAPATH_SWEEPS)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    median = stats_module.median(speedups)
+    _report_speedups(
+        "[Learning] datapath-certificate sweep (p15), learning vs --no-learning",
+        rows, median, DATAPATH_MEDIAN_SPEEDUP,
+    )
+    for case_id, summary in summaries.items():
+        assert summary["solver_cores"] > 0, (
+            "%s: no infeasibility certificates were produced" % (case_id,)
+        )
+        assert summary["datapath_cubes_learned"] > 0, (
+            "%s: certificates did not produce learned datapath cubes" % (case_id,)
+        )
+        assert summary["datapath_cube_hits"] > 0, (
+            "%s: learned datapath cubes never fired" % (case_id,)
+        )
+    assert median >= DATAPATH_MEDIAN_SPEEDUP, (
+        "datapath certificate learning regressed: median sweep speedup is "
+        "%.2fx (expected >= %.1fx)" % (median, DATAPATH_MEDIAN_SPEEDUP)
     )

@@ -83,8 +83,9 @@ class LearnedCube:
     #: ``None`` marks a property-independent fact.
     prop_fp: Optional[object] = None
     #: how the cube was derived: "resolution" (subtree conflict resolution),
-    #: "conflict" (single implication conflict) or "state" (re-check-verified
-    #: illegal state cube).
+    #: "conflict" (single implication conflict), "state" (re-check-verified
+    #: illegal state cube) or "datapath" (a modular-solver infeasibility
+    #: certificate participated in the derivation).
     source: str = "resolution"
     hits: int = 0
     #: store fingerprint, set on recording (None for session-only cubes);
@@ -164,6 +165,10 @@ class ExtendedStateTransitionGraph:
         self.cubes_learned = 0
         self.cubes_lifted = 0
         self.cube_hits = 0
+        #: cubes whose derivation used a datapath infeasibility certificate,
+        #: and the constraint-node fires attributable to them.
+        self.datapath_cubes_learned = 0
+        self.datapath_cube_hits = 0
         #: the installed cube that raised the most recent conflict, consumed
         #: by conflict analysis so derived facts inherit its provenance.
         self.last_fired: Optional[LearnedCube] = None
@@ -285,6 +290,8 @@ class ExtendedStateTransitionGraph:
         cube.fingerprint = fingerprint
         self.learned_cubes[fingerprint] = cube
         self.cubes_learned += 1
+        if cube.source == "datapath":
+            self.datapath_cubes_learned += 1
         if lifted:
             self.cubes_lifted += 1
         while len(self.learned_cubes) > self.max_learned_cubes:
@@ -375,6 +382,8 @@ class ExtendedStateTransitionGraph:
             "cubes_learned": self.cubes_learned,
             "cubes_lifted": self.cubes_lifted,
             "cube_hits": self.cube_hits,
+            "datapath_cubes_learned": self.datapath_cubes_learned,
+            "datapath_cube_hits": self.datapath_cube_hits,
             "proven_fail_targets": len(self.proven_fail_targets),
         }
 

@@ -12,7 +12,11 @@ assignment already carries the property requirements.  It repeatedly:
 4. when the control constraints are satisfied, checks the remaining datapath
    requirements with the modular arithmetic solver and a bounded completion
    search; if they are infeasible the ATPG backtracks and looks for the next
-   control solution.
+   control solution.  The solver's answers are typed: a *proved* infeasible
+   system carries a certificate (the engine keys of the clashing source
+   constraints) that is analysed exactly like an implication conflict, so
+   datapath refutations feed conflict learning; a budget-exhausted
+   ``Unknown`` prunes the leaf only and never produces a learned cube.
 
 The outcome is SUCCESS (every requirement justified -- a counterexample /
 witness exists), FAIL (the requirements cannot be satisfied -- the assertion
@@ -57,6 +61,7 @@ from repro.bitvector import BV3, BV3Conflict
 from repro.implication.assignment import ImplicationConflict, RootCause
 from repro.implication.engine import ImplicationNode
 from repro.modsolver.extract import DatapathConstraintExtractor
+from repro.modsolver.result import Infeasible, Solution
 from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
 
 
@@ -78,6 +83,8 @@ class JustifyResult:
     conflicts: int = 0
     arithmetic_calls: int = 0
     implications: int = 0
+    #: datapath solver calls answered with an infeasibility certificate.
+    solver_cores: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -121,20 +128,24 @@ class _SubtreeFacts:
     """Conflict antecedents accumulated while a subtree failed.
 
     Tracks the external roots feeding every conflict in the subtree, the
-    frame extent of the implication cones (for re-basing validity) and
-    whether any cone touched an initial-state-derived value.
+    frame extent of the implication cones (for re-basing validity),
+    whether any cone touched an initial-state-derived value, and whether a
+    datapath-solver infeasibility certificate participated (cubes resolved
+    from such facts are counted as datapath-derived).
     """
 
     roots: Set[RootCause] = field(default_factory=set)
     min_frame: int = 0
     max_frame: int = 0
     base: bool = False
+    datapath: bool = False
 
     def merge(self, other: "_SubtreeFacts") -> None:
         self.roots |= other.roots
         self.min_frame = min(self.min_frame, other.min_frame)
         self.max_frame = max(self.max_frame, other.max_frame)
         self.base = self.base or other.base
+        self.datapath = self.datapath or other.datapath
 
 
 def _make_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
@@ -151,6 +162,8 @@ def _make_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
             if not literal.covers(current):
                 return list(cubes)
         store.cube_hits += 1
+        if cube.source == "datapath":
+            store.datapath_cube_hits += 1
         cube.hits += 1
         store.touch(cube)
         store.last_fired = cube
@@ -186,6 +199,7 @@ class Justifier:
         self.backtracks = 0
         self.conflicts = 0
         self.arithmetic_calls = 0
+        self.solver_cores = 0
         self._aborted = False
         #: cubes learned during this search, waiting to be installed as
         #: constraint nodes at the next safe point (between sibling
@@ -230,6 +244,7 @@ class Justifier:
             conflicts=self.conflicts,
             arithmetic_calls=self.arithmetic_calls,
             implications=self.engine.implication_count - start_implications,
+            solver_cores=self.solver_cores,
         )
 
     # ------------------------------------------------------------------
@@ -316,9 +331,11 @@ class Justifier:
         if fired is not None:
             # The conflict came from an installed learned cube: fold the
             # cube's own provenance in, so facts derived from it inherit its
-            # property dependence and frame anchoring.
+            # property dependence, frame anchoring and datapath origin.
             if fired.prop_fp is not None:
                 facts.roots.add(RootCause("goal"))
+            if fired.source == "datapath":
+                facts.datapath = True
             if fired.shiftable:
                 facts.min_frame = min(
                     facts.min_frame, context.target_frame + fired.min_position
@@ -372,7 +389,7 @@ class Justifier:
             min_position=min_position,
             max_position=max_position,
             prop_fp=context.prop_fp if goal_seen else None,
-            source="resolution",
+            source="datapath" if facts.datapath else "resolution",
         )
         if goal_seen and not shiftable:
             # The goal sits at this search's target frame, but an
@@ -449,12 +466,15 @@ class Justifier:
         if not candidates:
             # No control freedom remains: hand the residual requirements to
             # the modular arithmetic constraint solver (plus completion).
-            if self._datapath_feasible():
+            feasible, leaf_facts = self._datapath_feasible()
+            if feasible:
                 return JustifyOutcome.SUCCESS, None
             self._learn_illegal_state()
-            # Solver verdicts are bounded heuristics, not proofs: nothing
-            # may be learned from this leaf.
-            return JustifyOutcome.FAIL, None
+            # Only a solver infeasibility *certificate* yields facts here;
+            # budget-exhausted (Unknown) and completion-heuristic leaves
+            # return None, which poisons every enclosing resolution so
+            # nothing is ever learned from an unproven branch.
+            return JustifyOutcome.FAIL, leaf_facts
 
         learning = self.learning
         candidate = candidates[0]
@@ -533,10 +553,47 @@ class Justifier:
     # ------------------------------------------------------------------
     # Datapath phase: modular arithmetic solving + bounded completion
     # ------------------------------------------------------------------
-    def _datapath_feasible(self) -> bool:
+    def _certificate_facts(self, infeasible: Infeasible) -> Optional[_SubtreeFacts]:
+        """Turn a solver infeasibility core into learnable subtree facts.
+
+        The core's tags are implication-engine keys whose implied values
+        clash; seeding conflict analysis with them walks the trail back to
+        the external roots (decisions, goal, environment) that produced
+        those values -- exactly the treatment of an implication conflict,
+        so datapath refutations lift into cubes like control conflicts do.
+        """
+        if self.learning is None:
+            return None
+        keys = tuple(infeasible.core)
+        if not keys:
+            return None
+        # No installed cube fired for this synthetic conflict; clear any
+        # stale marker so its provenance is not wrongly inherited.
+        self.learning.estg.last_fired = None
+        conflict = ImplicationConflict("datapath infeasibility certificate", keys=keys)
+        facts = self._analyze_conflict(conflict)
+        if facts is not None:
+            facts.datapath = True
+        return facts
+
+    def _datapath_feasible(self) -> Tuple[bool, Optional[_SubtreeFacts]]:
+        """Solve the residual datapath requirements at a search leaf.
+
+        Returns ``(feasible, facts)``.  ``facts`` is non-``None`` only when
+        the modular solver *proved* the extracted system contradictory (an
+        :class:`~repro.modsolver.result.Infeasible` certificate): those
+        leaves are theorems and participate in conflict learning.  Leaves
+        closed by budget exhaustion (``Unknown``), by a conflicting solver
+        assignment or by the completion heuristic stay unlearnable.
+
+        On failure the engine is rolled back to the leaf's entry savepoint:
+        the completion phase opens one decision level per completed key, so
+        a plain ``pop_level`` would leave those levels dangling and the
+        enclosing decision's backtrack would undo the wrong level.
+        """
         unjustified = self._datapath_unjustified()
         if not unjustified:
-            return True
+            return True, None
 
         arithmetic_nodes = [
             node
@@ -548,12 +605,17 @@ class Justifier:
             extractor = DatapathConstraintExtractor(self.engine)
             problem = extractor.extract(arithmetic_nodes)
             if not problem.is_empty():
-                solution = problem.solve(budget=self.limits.arithmetic_budget)
-                if solution is None:
-                    return False
+                result = problem.solve(budget=self.limits.arithmetic_budget)
+                if isinstance(result, Infeasible):
+                    self.solver_cores += 1
+                    return False, self._certificate_facts(result)
+                if not isinstance(result, Solution):
+                    # Unknown: the budget gave out; prune locally only.
+                    return False, None
+                save = self.engine.savepoint()
                 self.engine.push_level()
                 try:
-                    for key, value in solution.items():
+                    for key, value in result.assignment.items():
                         width = self.engine.assignment.width(key)
                         cube = BV3.from_int(width, value)
                         self.engine.assign(
@@ -563,13 +625,17 @@ class Justifier:
                     self.engine.propagate()
                 except ImplicationConflict:
                     self.conflicts += 1
-                    self.engine.pop_level()
-                    return False
+                    self.engine.rollback_to(save)
+                    return False, None
                 if self._complete_datapath():
-                    return True
-                self.engine.pop_level()
-                return False
-        return self._complete_datapath()
+                    return True, None
+                self.engine.rollback_to(save)
+                return False, None
+        save = self.engine.savepoint()
+        if self._complete_datapath():
+            return True, None
+        self.engine.rollback_to(save)
+        return False, None
 
     def _complete_datapath(self) -> bool:
         """Greedy completion of the remaining undetermined datapath inputs.
@@ -577,13 +643,23 @@ class Justifier:
         Repeatedly pick an unjustified node and try a small set of candidate
         completions (min / max of the current cube) for one of its
         undetermined free input keys.  Bounded by ``completion_attempts``.
+
+        Datapath nodes are served first: while any datapath node is
+        unjustified, every attempt goes to a datapath key, so the bounded
+        budget is not burnt completing control-node keys that ride along in
+        the unjustified set (those are handled once the datapath is clear,
+        e.g. comparator outputs feeding control with no decision freedom
+        left).
         """
         for _ in range(self.limits.completion_attempts):
             unjustified = self._unjustified()
             if not unjustified:
                 return True
+            datapath = [
+                node for node in unjustified if not self._is_control_node(node)
+            ]
             progressed = False
-            for node in unjustified:
+            for node in datapath if datapath else unjustified:
                 key = self._pick_completion_key(node)
                 if key is None:
                     continue

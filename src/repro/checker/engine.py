@@ -523,7 +523,10 @@ class AssertionChecker:
         if not self._learning_enabled or self._incremental_model is None:
             return None
         store = self._incremental_model.estg
-        return (store.cubes_learned, store.cubes_lifted, store.cube_hits)
+        return (
+            store.cubes_learned, store.cubes_lifted, store.cube_hits,
+            store.datapath_cubes_learned, store.datapath_cube_hits,
+        )
 
     def _accumulate_learning_counters(self, statistics: CheckStatistics) -> None:
         marks = getattr(self, "_learning_marks", None)
@@ -539,6 +542,8 @@ class AssertionChecker:
         statistics.cubes_learned += store.cubes_learned - marks[0]
         statistics.cubes_lifted += store.cubes_lifted - marks[1]
         statistics.cube_hits += store.cube_hits - marks[2]
+        statistics.datapath_cubes_learned += store.datapath_cubes_learned - marks[3]
+        statistics.datapath_cube_hits += store.datapath_cube_hits - marks[4]
 
     def _run_justifier(
         self, model: UnrolledModel, compiled: CompiledProperty,

@@ -42,6 +42,7 @@ def statistics_to_dict(statistics) -> Dict[str, object]:
         "conflicts": statistics.conflicts,
         "implications": statistics.implications,
         "arithmetic_calls": statistics.arithmetic_calls,
+        "solver_cores": statistics.solver_cores,
         "models_reused": statistics.models_reused,
         "frames_built": statistics.frames_built,
         "rule_cache_hit_rate": round(statistics.rule_cache_hit_rate, 4),
@@ -49,6 +50,8 @@ def statistics_to_dict(statistics) -> Dict[str, object]:
         "cubes_learned": statistics.cubes_learned,
         "cubes_lifted": statistics.cubes_lifted,
         "cube_hits": statistics.cube_hits,
+        "datapath_cubes_learned": statistics.datapath_cubes_learned,
+        "datapath_cube_hits": statistics.datapath_cube_hits,
         "targets_skipped": statistics.targets_skipped,
         "frontier_peak": statistics.frontier_peak,
         "peak_memory_mb": round(statistics.peak_memory_mb, 4),

@@ -29,10 +29,16 @@ class CheckStatistics:
     rule_cache_misses: int = 0
     justified_cache_hits: int = 0
     justified_cache_misses: int = 0
+    #: datapath solver calls refuted with an infeasibility certificate.
+    solver_cores: int = 0
     #: cross-bound search learning (CheckerOptions.learning).
     cubes_learned: int = 0
     cubes_lifted: int = 0
     cube_hits: int = 0
+    #: learned cubes derived from datapath solver certificates, and the
+    #: pruning fires attributable to them.
+    datapath_cubes_learned: int = 0
+    datapath_cube_hits: int = 0
     #: target frames skipped because an earlier bound proved them FAIL.
     targets_skipped: int = 0
     #: high-water mark of the unjustified-node frontier during the check.
@@ -45,6 +51,7 @@ class CheckStatistics:
         self.conflicts += result.conflicts
         self.implications += result.implications
         self.arithmetic_calls += result.arithmetic_calls
+        self.solver_cores += result.solver_cores
         self.justify_runs += 1
 
     @property

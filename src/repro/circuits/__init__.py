@@ -21,6 +21,7 @@ from repro.circuits.industry import (
     build_industry_03,
     build_industry_04,
     build_industry_05,
+    build_industry_06,
 )
 from repro.circuits.properties import (
     PropertyCase,
@@ -28,6 +29,7 @@ from repro.circuits.properties import (
     build_case,
     all_cases,
     circuit_statistics,
+    extended_case_ids,
 )
 
 __all__ = [
@@ -40,9 +42,11 @@ __all__ = [
     "build_industry_03",
     "build_industry_04",
     "build_industry_05",
+    "build_industry_06",
     "PropertyCase",
     "all_case_ids",
     "all_cases",
     "build_case",
     "circuit_statistics",
+    "extended_case_ids",
 ]

@@ -13,7 +13,13 @@ exercise the same code paths:
 * ``industry_04`` -- a tri-state bus whose enables are primary inputs
   constrained one-hot by the environment (p13: no bus contention);
 * ``industry_05`` -- a small one-hot-encoded controller whose non-one-hot
-  states are internal don't-cares (p14: they are unreachable).
+  states are internal don't-cares (p14: they are unreachable);
+* ``industry_06`` -- a datapath-heavy checksum cross-checker in the p12
+  consensus style: two adder trees recompute the same sum through different
+  paths whose difference is a control-selected offset that can never equal
+  the sentinel gap (p15: the sentinel pair is unreachable).  Every search
+  leaf bottoms out in the modular arithmetic solver, which makes this the
+  exercise bench for datapath infeasibility certificates.
 
 Every generator accepts size parameters so the scalability benchmark can grow
 the designs; the defaults keep the Table 2 reproduction fast on a laptop.
@@ -232,3 +238,58 @@ def build_industry_05(source_lines: int = 47) -> Industry05Ports:
     circuit.output(done_out)
 
     return Industry05Ports(circuit=circuit, state=state, start=start, done=done_out)
+
+
+# ----------------------------------------------------------------------
+# industry_06: datapath checksum cross-check (solver-certificate heavy)
+# ----------------------------------------------------------------------
+@dataclass
+class Industry06Ports:
+    circuit: Circuit
+    sum_direct: Net
+    sum_cross: Net
+    selects: List[Net]
+
+
+def build_industry_06(
+    num_selects: int = 5, data_width: int = 16, source_lines: int = 1083
+) -> Industry06Ports:
+    """Two checksum units recomputing one sum through different adder trees.
+
+    ``sum_direct = x + y`` and ``sum_cross = x + (y + offset)`` where
+    ``offset`` is a sum of control-selected per-stage steps, each 3 or 5.
+    Whatever the selects choose, ``sum_cross - sum_direct = offset >= 3``,
+    so the sentinel pair ``(sum_direct, sum_cross) = (7, 9)`` (gap 2) is
+    unreachable -- but proving any single leaf needs the modular linear
+    solver: with ``x`` and ``y`` both free, no word-level implication can
+    close the three-equation system, and the refutation rests on the row
+    combination ``(x+y) - (y+offset... ) - ...`` that cancels the free
+    variables.  This is the certificate-exercising design behind p15.
+    """
+    circuit = Circuit("industry_06", source_lines=source_lines)
+    x = circuit.input("x", data_width)
+    y = circuit.input("y", data_width)
+
+    selects: List[Net] = []
+    offset: Net = None
+    for index in range(num_selects):
+        select = circuit.input("sel_%d" % index, 1)
+        selects.append(select)
+        step = circuit.mux(
+            select,
+            circuit.const(3, data_width),
+            circuit.const(5, data_width),
+            name="step_%d" % index,
+        )
+        offset = step if offset is None else circuit.add(
+            offset, step, name="offset_%d" % index
+        )
+
+    shifted = circuit.add(y, offset, name="shifted")
+    sum_direct = circuit.add(x, y, name="sum_direct")
+    sum_cross = circuit.add(x, shifted, name="sum_cross")
+    circuit.output(sum_direct)
+    circuit.output(sum_cross)
+    return Industry06Ports(
+        circuit=circuit, sum_direct=sum_direct, sum_cross=sum_cross, selects=selects
+    )

@@ -21,6 +21,7 @@ from repro.circuits.industry import (
     build_industry_03,
     build_industry_04,
     build_industry_05,
+    build_industry_06,
 )
 from repro.circuits.token_ring import build_token_ring
 from repro.netlist.circuit import Circuit, CircuitStats
@@ -283,6 +284,24 @@ def _case_p14() -> PreparedCase:
     )
 
 
+def _case_p15() -> PreparedCase:
+    ports = build_industry_06()
+    prop = Assertion(
+        "p15",
+        Not(
+            And(
+                Signal(ports.sum_direct.name) == 7,
+                Signal(ports.sum_cross.name) == 9,
+            )
+        ),
+        description="the cross-checked checksums never report the (7, 9) sentinel pair",
+    )
+    return PreparedCase(
+        "p15", "industry_06", ports.circuit, prop, Environment(), None, 3,
+        CheckStatus.HOLDS, prop.description,
+    )
+
+
 _CASE_BUILDERS: Dict[str, Tuple[str, str, CheckStatus, int, Callable[[], PreparedCase]]] = {
     "p1": ("addr_decoder", "write a selected memory cell", CheckStatus.WITNESS_FOUND, 4, _case_p1),
     "p2": ("addr_decoder", "address selects never overlap", CheckStatus.HOLDS, 3, _case_p2),
@@ -300,10 +319,23 @@ _CASE_BUILDERS: Dict[str, Tuple[str, str, CheckStatus, int, Callable[[], Prepare
     "p14": ("industry_05", "don't-care states unreachable", CheckStatus.HOLDS, 5, _case_p14),
 }
 
+#: cases beyond the paper's fourteen -- workloads grown by this repo.
+#: ``p15`` is the datapath-certificate sweep: every justification leaf is
+#: refuted by the modular solver, so it exercises infeasibility-certificate
+#: learning (and is the workload of the datapath rows in bench_learning).
+_EXTENDED_CASE_BUILDERS: Dict[str, Tuple[str, str, CheckStatus, int, Callable[[], PreparedCase]]] = {
+    "p15": ("industry_06", "checksum sentinel pair unreachable", CheckStatus.HOLDS, 3, _case_p15),
+}
+
 
 def all_case_ids() -> List[str]:
     """The fourteen property identifiers in paper order."""
     return list(_CASE_BUILDERS.keys())
+
+
+def extended_case_ids() -> List[str]:
+    """Identifiers of the repo's extra (non-paper) property cases."""
+    return list(_EXTENDED_CASE_BUILDERS.keys())
 
 
 def all_cases() -> List[PropertyCase]:
@@ -324,11 +356,15 @@ def all_cases() -> List[PropertyCase]:
 
 
 def build_case(case_id: str) -> PreparedCase:
-    """Instantiate one property case by identifier (``"p1"`` .. ``"p14"``)."""
-    try:
-        entry = _CASE_BUILDERS[case_id]
-    except KeyError:
-        raise KeyError("unknown property case %r (valid: p1..p14)" % (case_id,)) from None
+    """Instantiate one property case (``"p1"`` .. ``"p14"``, or extended)."""
+    entry = _CASE_BUILDERS.get(case_id)
+    if entry is None:
+        entry = _EXTENDED_CASE_BUILDERS.get(case_id)
+    if entry is None:
+        raise KeyError(
+            "unknown property case %r (valid: p1..p14 and extended %s)"
+            % (case_id, ", ".join(_EXTENDED_CASE_BUILDERS))
+        )
     return entry[4]()
 
 

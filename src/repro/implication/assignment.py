@@ -37,9 +37,15 @@ class RootCause:
       on it are only reusable for the same property, re-based to the new
       target);
     * ``"base"`` -- part of the base model (initial state values);
+    * ``"state"`` -- an illegal-state cube literal asserted during the
+      conflict re-check guard (see the checker's candidate verification);
     * ``"solver"`` / ``"completion"`` -- datapath solver choices (their
       failures are heuristic, so cones containing them are never learned
-      as proofs).
+      as proofs).  Note the asymmetry with solver *certificates*: a proved
+      :class:`~repro.modsolver.result.Infeasible` answer never assigns
+      anything, so no ``"solver"`` root enters its cone -- the certificate
+      is seeded from the clashing keys directly and analysed like any
+      implication conflict.
     """
 
     __slots__ = ("kind", "key", "cube")
@@ -54,7 +60,14 @@ class RootCause:
 
 
 class ImplicationConflict(Exception):
-    """Raised when an implication contradicts the current assignment."""
+    """Raised when an implication contradicts the current assignment.
+
+    Also constructed *synthetically* (never raised) by the justifier to
+    seed conflict analysis with the key core of a datapath-solver
+    infeasibility certificate -- the analysis only consumes
+    :attr:`conflict_keys`, so a refutation found outside the implication
+    engine is traced exactly like one found inside it.
+    """
 
     def __init__(
         self,

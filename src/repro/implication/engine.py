@@ -307,6 +307,12 @@ class ImplicationEngine:
         known to be in the conflict cone, expanding the cone through each
         deriving node's keys -- the standard implication-graph traversal,
         done directly on the restore trail.
+
+        The conflict need not have been raised by this engine: a synthetic
+        :class:`ImplicationConflict` seeded with the key core of an external
+        refutation (e.g. a datapath-solver infeasibility certificate) is
+        analysed identically, since only :attr:`ImplicationConflict.conflict_keys`
+        and the trail are consulted.
         """
         assignment = self.assignment
         relevant: Set[Hashable] = set(conflict.conflict_keys)

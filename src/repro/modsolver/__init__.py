@@ -15,6 +15,11 @@ counterexamples).
   remaining system linear.
 * :mod:`repro.modsolver.extract` -- extraction of arithmetic constraints from
   the datapath portion of a (time-frame expanded) netlist.
+* :mod:`repro.modsolver.result` -- the typed solver results
+  (:class:`Solution` / :class:`Infeasible` with an unsatisfiable-core
+  certificate / :class:`Unknown` for exhausted budgets), which keep
+  "proved infeasible" strictly apart from "gave up" so the search-learning
+  layer only ever learns from proofs.
 """
 
 from repro.modsolver.modular import (
@@ -36,8 +41,12 @@ from repro.modsolver.nonlinear import (
     NonlinearSolver,
 )
 from repro.modsolver.extract import DatapathConstraintExtractor, ArithmeticProblem
+from repro.modsolver.result import Infeasible, Solution, Unknown
 
 __all__ = [
+    "Solution",
+    "Infeasible",
+    "Unknown",
     "multiplicative_inverse",
     "multiplicative_inverse_with_product",
     "solve_scalar_congruence",

@@ -18,19 +18,31 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple, Union
 
 from repro.bitvector import BV3
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.modsolver.linear import ModularLinearSystem
 from repro.modsolver.nonlinear import NonlinearConstraint, NonlinearSolver
+from repro.modsolver.result import Infeasible, Solution, Unknown
 from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
-from repro.netlist.gates import ConstGate
+from repro.netlist.gates import BufGate, ConstGate
+
+#: solver re-invocations spent reconciling a solution with partially
+#: implied cubes (the bounded completion retry of :meth:`_solve_width`).
+PARTIAL_CUBE_RETRY_BUDGET = 8
 
 
 @dataclass
 class ArithmeticProblem:
-    """Arithmetic constraints over unrolled-model variables, grouped by width."""
+    """Arithmetic constraints over unrolled-model variables, grouped by width.
+
+    Every extracted constraint is tagged with the engine keys whose
+    *implied values* it encodes (operands folded to constants, plus the
+    keys pinned from fully known cubes at solve time), so an infeasible
+    answer carries a certificate expressed in engine keys -- exactly what
+    conflict analysis needs to lift the clash back to its external roots.
+    """
 
     linear_by_width: Dict[int, ModularLinearSystem] = field(default_factory=dict)
     nonlinear: List[NonlinearConstraint] = field(default_factory=list)
@@ -57,26 +69,40 @@ class ArithmeticProblem:
 
     def solve(
         self, budget: int = 256, enumeration_limit: int = 64
-    ) -> Optional[Dict[Hashable, int]]:
-        """Find one assignment satisfying every extracted constraint.
+    ) -> Union[Solution, Infeasible, Unknown]:
+        """Solve every extracted constraint group (typed result).
 
         Widths are solved independently; the non-linear constraints of each
         width are handled by :class:`NonlinearSolver`.  Candidate solutions
-        are filtered against the partially-implied cubes.  Returns ``None``
-        when any group is infeasible (or no candidate within the budget
-        respects the cubes).
+        are filtered against the partially-implied cubes.  Returns
+
+        * :class:`~repro.modsolver.result.Solution` with one combined
+          assignment when every group is satisfiable,
+        * :class:`~repro.modsolver.result.Infeasible` with an engine-key
+          core when some group is *proved* contradictory (any single
+          infeasible group certifies the whole problem), or
+        * :class:`~repro.modsolver.result.Unknown` when a group ran out of
+          budget or no in-budget candidate respected the partial cubes --
+          never a proof, so callers must not learn from it.
         """
         solver = NonlinearSolver(budget=budget, enumeration_limit=enumeration_limit)
         combined: Dict[Hashable, int] = {}
+        unknown: Optional[Unknown] = None
         widths = sorted(set(self.linear_by_width) | {c.width for c in self.nonlinear})
         for width in widths:
             linear = self.linear_by_width.get(width, ModularLinearSystem(width))
             nonlinear = [c for c in self.nonlinear if c.width == width]
-            solution = self._solve_width(solver, linear, nonlinear, width)
-            if solution is None:
-                return None
-            combined.update(solution)
-        return combined
+            result = self._solve_width(solver, linear, nonlinear, width)
+            if isinstance(result, Infeasible):
+                # A certificate beats an Unknown from an earlier group.
+                return result
+            if isinstance(result, Unknown):
+                unknown = result
+                continue
+            combined.update(result.assignment)
+        if unknown is not None:
+            return unknown
+        return Solution(combined)
 
     def _solve_width(
         self,
@@ -84,7 +110,7 @@ class ArithmeticProblem:
         linear: ModularLinearSystem,
         nonlinear: List[NonlinearConstraint],
         width: int,
-    ) -> Optional[Dict[Hashable, int]]:
+    ) -> Union[Solution, Infeasible, Unknown]:
         # Pin fully known variables, and try a small set of completions for
         # partially known ones (their cube's min/max completions).
         fixed: Dict[Hashable, int] = {}
@@ -100,28 +126,66 @@ class ArithmeticProblem:
             elif not cube.is_fully_unknown():
                 partial.append(var)
 
-        solution = solver.solve(linear, nonlinear, fixed=fixed)
-        if solution is None:
-            return None
-        # Respect partially implied cubes; when violated, retry with the
-        # offending variable pinned to a completion of its cube.
-        for attempt in range(4):
+        # Only implication-forced pins are present here, so an Infeasible
+        # answer is a genuine certificate of the extracted system.
+        result = solver.solve(linear, nonlinear, fixed=fixed)
+        if not isinstance(result, Solution):
+            return result
+        return self._respect_partial_cubes(
+            solver, linear, nonlinear, fixed, partial, result.assignment
+        )
+
+    def _respect_partial_cubes(
+        self,
+        solver: NonlinearSolver,
+        linear: ModularLinearSystem,
+        nonlinear: List[NonlinearConstraint],
+        fixed: Dict[Hashable, int],
+        partial: List[Hashable],
+        solution: Dict[Hashable, int],
+    ) -> Union[Solution, Unknown]:
+        """Reconcile a solution with the partially implied cubes.
+
+        Each violating variable is retried with *both* of its cube's
+        boundary completions (min and max), depth-first, bounded by
+        :data:`PARTIAL_CUBE_RETRY_BUDGET` solver re-invocations.  The pins
+        are heuristic choices, so a failure here -- including an infeasible
+        pinned system -- is only ever :class:`Unknown`, never a certificate.
+        """
+        budget = [PARTIAL_CUBE_RETRY_BUDGET]
+
+        def refine(
+            pinned: Dict[Hashable, int], candidate: Dict[Hashable, int]
+        ) -> Optional[Solution]:
             violating = [
                 var
                 for var in partial
-                if var in solution and not self.cubes[var].contains_int(solution[var])
+                if var in candidate and not self.cubes[var].contains_int(candidate[var])
             ]
             if not violating:
-                return solution
-            for var in violating:
-                fixed[var] = self.cubes[var].min_value() if attempt % 2 == 0 else self.cubes[var].max_value()
-            solution = solver.solve(linear, nonlinear, fixed=fixed)
-            if solution is None:
-                return None
-        return solution if all(
-            var not in solution or self.cubes[var].contains_int(solution[var])
-            for var in partial
-        ) else None
+                return Solution(candidate)
+            var = violating[0]
+            completions = []
+            for value in (self.cubes[var].min_value(), self.cubes[var].max_value()):
+                if value not in completions:
+                    completions.append(value)
+            for value in completions:
+                if budget[0] <= 0:
+                    return None
+                budget[0] -= 1
+                attempt = dict(pinned)
+                attempt[var] = value
+                result = solver.solve(linear, nonlinear, fixed=attempt)
+                if isinstance(result, Solution):
+                    refined = refine(attempt, result.assignment)
+                    if refined is not None:
+                        return refined
+            return None
+
+        refined = refine(dict(fixed), solution)
+        if refined is None:
+            return Unknown("completion")
+        return refined
 
 
 class DatapathConstraintExtractor:
@@ -163,10 +227,19 @@ class DatapathConstraintExtractor:
                 self._extract_multiplier(problem, node, gate)
             elif isinstance(gate, (ShiftLeft, ShiftRight)):
                 self._extract_shift(problem, node, gate)
+            elif isinstance(gate, BufGate) and gate.output.width > 1:
+                # Word-level buffers (assign aliases from HDL elaboration)
+                # are pure equalities: without them, arithmetic constraints
+                # on either side of the alias land on *different* solver
+                # variables and the system degenerates to a satisfiable
+                # relaxation -- no solution respects the real netlist and
+                # no infeasibility can ever be certified.
+                self._extract_buffer(problem, node, gate)
             else:
                 continue
-            # Pull in neighbouring arithmetic nodes connected through any
-            # variable that is not yet fully determined.
+            # Pull in neighbouring arithmetic nodes (and the word-level
+            # buffers gluing them together) connected through any variable
+            # that is not yet fully determined.
             for key in node.keys:
                 cube = self.engine.assignment.get(key)
                 if cube.is_fully_known():
@@ -180,6 +253,9 @@ class DatapathConstraintExtractor:
                     if isinstance(
                         neighbour_gate,
                         (Adder, Subtractor, Multiplier, ShiftLeft, ShiftRight),
+                    ) or (
+                        isinstance(neighbour_gate, BufGate)
+                        and neighbour_gate.output.width > 1
                     ):
                         worklist.append(neighbour)
         return problem
@@ -192,59 +268,80 @@ class DatapathConstraintExtractor:
             problem.linear_by_width[width] = system
         return system
 
-    def _term(self, problem: ArithmeticProblem, key: Hashable) -> Tuple[Optional[Hashable], int]:
-        """Return (variable or None, constant part) for a pin key."""
+    def _term(
+        self, problem: ArithmeticProblem, key: Hashable
+    ) -> Tuple[Optional[Hashable], int, FrozenSet[Hashable]]:
+        """Return (variable or None, constant part, provenance) for a pin key.
+
+        A pin folded to a constant contributes its key as provenance: the
+        constant is an *implied value*, and any certificate using the
+        constraint must be traceable back through that key's trail entries.
+        Pins kept as variables carry no assumption and stay untagged.
+        """
         cube = self.engine.assignment.get(key)
         problem.cubes[key] = cube
         if cube.is_fully_known():
-            return None, cube.to_int()
-        return key, 0
+            return None, cube.to_int(), frozenset((key,))
+        return key, 0, frozenset()
 
-    def _extract_adder(self, problem: ArithmeticProblem, node: ImplicationNode, gate: Adder) -> None:
-        width = gate.output.width
+    def _add_signed_constraint(
+        self,
+        problem: ArithmeticProblem,
+        width: int,
+        signed_keys: Iterable[Tuple[Hashable, int]],
+    ) -> None:
+        """Fold ``sum(sign * pin) = 0`` into the width's linear system.
+
+        Fully known pins become constants (contributing their keys to the
+        constraint's provenance tags); the rest stay solver variables.
+        """
         system = self._linear_system(problem, width)
-        keys = dict(zip(self._adder_pin_names(gate), node.keys))
         coefficients: Dict[Hashable, int] = {}
         constant = 0
-        for name, sign in (("a", 1), ("b", 1), ("out", -1)):
-            var, const = self._term(problem, keys[name])
+        tags: FrozenSet[Hashable] = frozenset()
+        for key, sign in signed_keys:
+            var, const, term_tags = self._term(problem, key)
+            tags |= term_tags
             if var is None:
                 constant += sign * const
             else:
                 coefficients[var] = coefficients.get(var, 0) + sign
+        # sum(sign * pin) = 0  ->  sum(coeff * var) = -constant
+        system.add_constraint(coefficients, -constant, tags)
+
+    def _extract_adder(self, problem: ArithmeticProblem, node: ImplicationNode, gate: Adder) -> None:
+        keys = dict(zip(self._adder_pin_names(gate), node.keys))
+        signed = [(keys["a"], 1), (keys["b"], 1), (keys["out"], -1)]
         if "cin" in keys:
-            var, const = self._term(problem, keys["cin"])
-            if var is None:
-                constant += const
-            else:
-                coefficients[var] = coefficients.get(var, 0) + 1
-        # a + b + cin - out = 0  ->  sum(coeff * var) = -constant
-        system.add_constraint(coefficients, -constant)
+            signed.append((keys["cin"], 1))
+        self._add_signed_constraint(problem, gate.output.width, signed)
+
+    def _extract_buffer(
+        self, problem: ArithmeticProblem, node: ImplicationNode, gate: BufGate
+    ) -> None:
+        keys = dict(zip(("a", "out"), node.keys))
+        self._add_signed_constraint(
+            problem, gate.output.width, [(keys["a"], 1), (keys["out"], -1)]
+        )
 
     def _extract_subtractor(
         self, problem: ArithmeticProblem, node: ImplicationNode, gate: Subtractor
     ) -> None:
-        width = gate.output.width
-        system = self._linear_system(problem, width)
         keys = dict(zip(("a", "b", "out"), node.keys))
-        coefficients: Dict[Hashable, int] = {}
-        constant = 0
-        for name, sign in (("a", 1), ("b", -1), ("out", -1)):
-            var, const = self._term(problem, keys[name])
-            if var is None:
-                constant += sign * const
-            else:
-                coefficients[var] = coefficients.get(var, 0) + sign
-        system.add_constraint(coefficients, -constant)
+        self._add_signed_constraint(
+            problem, gate.output.width,
+            [(keys["a"], 1), (keys["b"], -1), (keys["out"], -1)],
+        )
 
     def _extract_multiplier(
         self, problem: ArithmeticProblem, node: ImplicationNode, gate: Multiplier
     ) -> None:
         width = gate.output.width
         keys = dict(zip(("a", "b", "out"), node.keys))
-        a_var, a_const = self._term(problem, keys["a"])
-        b_var, b_const = self._term(problem, keys["b"])
-        out_var, out_const = self._term(problem, keys["out"])
+        a_var, a_const, a_tags = self._term(problem, keys["a"])
+        b_var, b_const, b_tags = self._term(problem, keys["b"])
+        out_var, out_const, out_tags = self._term(problem, keys["out"])
+        tags = a_tags | b_tags | out_tags
 
         constant_operand = None
         if isinstance(gate.a.driver, ConstGate):
@@ -258,18 +355,18 @@ class DatapathConstraintExtractor:
             if a_var is None and b_var is None:
                 product = (a_const * b_const) % (1 << width)
                 if out_var is None:
-                    system.add_constraint({}, product - out_const)
+                    system.add_constraint({}, product - out_const, tags)
                 else:
-                    system.add_constraint({out_var: 1}, product)
+                    system.add_constraint({out_var: 1}, product, tags)
             else:
                 known = a_const if a_var is None else b_const
                 variable = b_var if a_var is None else a_var
                 coefficients = {variable: known}
                 if out_var is None:
-                    system.add_constraint(coefficients, out_const)
+                    system.add_constraint(coefficients, out_const, tags)
                 else:
                     coefficients[out_var] = coefficients.get(out_var, 0) - 1
-                    system.add_constraint(coefficients, 0)
+                    system.add_constraint(coefficients, 0, tags)
             return
 
         problem.nonlinear.append(
@@ -279,6 +376,7 @@ class DatapathConstraintExtractor:
                 b=b_var if b_var is not None else b_const,
                 product=out_var if out_var is not None else out_const,
                 width=width,
+                tags=tags,
             )
         )
 
@@ -292,8 +390,9 @@ class DatapathConstraintExtractor:
             # right shift is handled as a non-linear constraint only when the
             # operand is unknown (division is not linear in the modular ring).
             keys = dict(zip(("a", "out"), node.keys))
-            a_var, a_const = self._term(problem, keys["a"])
-            out_var, out_const = self._term(problem, keys["out"])
+            a_var, a_const, a_tags = self._term(problem, keys["a"])
+            out_var, out_const, out_tags = self._term(problem, keys["out"])
+            tags = a_tags | out_tags
             if kind == "shl":
                 system = self._linear_system(problem, width)
                 factor = (1 << gate.constant) % (1 << width)
@@ -307,7 +406,7 @@ class DatapathConstraintExtractor:
                     constant -= out_const
                 else:
                     coefficients[out_var] = coefficients.get(out_var, 0) - 1
-                system.add_constraint(coefficients, -constant)
+                system.add_constraint(coefficients, -constant, tags)
             else:
                 problem.nonlinear.append(
                     NonlinearConstraint(
@@ -316,13 +415,14 @@ class DatapathConstraintExtractor:
                         b=gate.constant,
                         product=out_var if out_var is not None else out_const,
                         width=width,
+                        tags=tags,
                     )
                 )
             return
         keys = dict(zip(("a", "amount", "out"), node.keys))
-        a_var, a_const = self._term(problem, keys["a"])
-        amount_var, amount_const = self._term(problem, keys["amount"])
-        out_var, out_const = self._term(problem, keys["out"])
+        a_var, a_const, a_tags = self._term(problem, keys["a"])
+        amount_var, amount_const, amount_tags = self._term(problem, keys["amount"])
+        out_var, out_const, out_tags = self._term(problem, keys["out"])
         problem.nonlinear.append(
             NonlinearConstraint(
                 kind=kind,
@@ -330,6 +430,7 @@ class DatapathConstraintExtractor:
                 b=amount_var if amount_var is not None else amount_const,
                 product=out_var if out_var is not None else out_const,
                 width=width,
+                tags=a_tags | amount_tags | out_tags,
             )
         )
 

@@ -19,23 +19,52 @@ with the multiplicative-inverse-with-product machinery of
 :mod:`repro.modsolver.modular` (the paper's Theorems 1 and 2), and the
 results are transformed back to the original variables.  The overall cost is
 O(max(m, n)^3) ring operations, matching the complexity claim in Section 4.1.
+
+Infeasibility certificates: an unsolvable scalar congruence sits in row
+``i`` of ``D = U·A·V``; row ``i`` of the left multiplier ``U`` records the
+(unimodular) combination of *original* constraints that produced it, so the
+constraints with a non-zero entry in that row form a genuine unsatisfiable
+core.  :meth:`ModularLinearSystem.solve` returns their provenance tags in
+:class:`~repro.modsolver.result.Infeasible` instead of a bare ``None``; the
+linear solver is exact, so it never answers
+:class:`~repro.modsolver.result.Unknown`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import product as cartesian_product
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.modsolver.modular import solve_scalar_congruence
+from repro.modsolver.result import Infeasible
 
 
 @dataclass
 class LinearConstraint:
-    """One linear equation ``sum(coeff_i * var_i) = rhs (mod 2**width)``."""
+    """One linear equation ``sum(coeff_i * var_i) = rhs (mod 2**width)``.
+
+    ``tags`` carries the constraint's provenance (opaque hashables -- the
+    datapath extractor stores the implication-engine keys whose implied
+    values the equation encodes).  Certificates report the union of the
+    tags of the clashing constraints.
+    """
 
     coefficients: Dict[Hashable, int]
     rhs: int
+    tags: FrozenSet[Hashable] = field(default_factory=frozenset)
 
     def evaluate(self, assignment: Mapping[Hashable, int], width: int) -> int:
         """Left-hand side value under ``assignment`` (mod ``2**width``)."""
@@ -173,8 +202,17 @@ class ModularLinearSystem:
             self._var_index[var] = len(self.variables)
             self.variables.append(var)
 
-    def add_constraint(self, coefficients: Mapping[Hashable, int], rhs: int) -> None:
-        """Add ``sum(coeff * var) = rhs``; unknown variables are registered."""
+    def add_constraint(
+        self,
+        coefficients: Mapping[Hashable, int],
+        rhs: int,
+        tags: Iterable[Hashable] = (),
+    ) -> None:
+        """Add ``sum(coeff * var) = rhs``; unknown variables are registered.
+
+        ``tags`` is the constraint's provenance, reported in infeasibility
+        cores (see :class:`LinearConstraint`).
+        """
         clean: Dict[Hashable, int] = {}
         modulus = 1 << self.width
         for var, coeff in coefficients.items():
@@ -182,23 +220,45 @@ class ModularLinearSystem:
             self.add_variable(var)
             if coeff:
                 clean[var] = coeff
-        self.constraints.append(LinearConstraint(clean, rhs % modulus))
+        self.constraints.append(LinearConstraint(clean, rhs % modulus, frozenset(tags)))
 
     def is_solution(self, assignment: Mapping[Hashable, int]) -> bool:
         """True when ``assignment`` satisfies every constraint."""
         return all(c.is_satisfied(assignment, self.width) for c in self.constraints)
 
+    def _core_of_row(self, left: Sequence[Sequence[int]], row: int, modulus: int) -> Infeasible:
+        """The certificate of an unsolvable congruence in row ``row``.
+
+        The congruence is the ``U``-row combination of the original
+        constraints; every constraint entering it with a non-zero multiplier
+        (mod ``2**width`` -- a multiplier that vanishes in the ring truly
+        contributes nothing) is a core member.
+        """
+        core: set = set()
+        for k, constraint in enumerate(self.constraints):
+            if left[row][k] % modulus != 0:
+                core |= constraint.tags
+        return Infeasible(core=frozenset(core))
+
     # ------------------------------------------------------------------
-    def solve(self) -> Optional[ModularSolutionSet]:
-        """Find all solutions; returns ``None`` when the system is infeasible."""
+    def solve(self) -> Union[ModularSolutionSet, Infeasible]:
+        """Find all solutions, or the certificate of why none exist.
+
+        Returns the closed-form :class:`ModularSolutionSet` when the system
+        is satisfiable and :class:`~repro.modsolver.result.Infeasible`
+        (with the clashing constraints' provenance tags as ``core``)
+        otherwise.  The linear solver is exact: it never returns
+        :class:`~repro.modsolver.result.Unknown`.
+        """
         num_vars = len(self.variables)
         num_rows = len(self.constraints)
         modulus = 1 << self.width
 
         if num_vars == 0:
-            if all(c.rhs % modulus == 0 for c in self.constraints):
-                return ModularSolutionSet(self.width, [], {}, [], [])
-            return None
+            for constraint in self.constraints:
+                if constraint.rhs % modulus != 0:
+                    return Infeasible(core=constraint.tags)
+            return ModularSolutionSet(self.width, [], {}, [], [])
 
         matrix = [
             [c.coefficients.get(var, 0) for var in self.variables] for c in self.constraints
@@ -221,14 +281,14 @@ class ModularLinearSystem:
             c_i = transformed_rhs[i] if i < num_rows else 0
             scalar = solve_scalar_congruence(diag, c_i, self.width)
             if scalar is None:
-                return None
+                return self._core_of_row(left, i, modulus)
             particular_y[i] = scalar.base
             if scalar.count > 1:
                 free_steps.append((i, scalar.step if scalar.step else 1, scalar.count))
         # Remaining rows (more constraints than variables) must be trivially satisfied.
         for i in range(num_vars, num_rows):
             if transformed_rhs[i] % modulus != 0:
-                return None
+                return self._core_of_row(left, i, modulus)
 
         # x = V * y
         particular_x = {

@@ -318,3 +318,83 @@ def test_estg_rejects_empty_cubes_and_respects_max_entries():
     assert not estg.is_illegal(estg.state_cube([("s", bv("100"))]))
     estg.record_structurally_illegal_state(())
     assert estg.stats()["structurally_illegal"] == 0
+
+
+# ----------------------------------------------------------------------
+# Datapath completion: budget goes to datapath nodes first
+# ----------------------------------------------------------------------
+def _mixed_completion_model():
+    """Control OR (built first, so earlier in canonical order) plus a
+    datapath comparator, both unjustified, both completable."""
+    circuit = Circuit("mixed")
+    c1 = circuit.input("c1", 1)
+    c2 = circuit.input("c2", 1)
+    ctl = circuit.or_(c1, c2, name="ctl")
+    x = circuit.input("x", 8)
+    probe = circuit.ne(x, 3, name="probe")
+    circuit.output(ctl)
+    circuit.output(probe)
+    model = UnrolledModel(circuit, 1)
+    model.assign(ctl, 0, BV3.from_int(1, 1), propagate=False)
+    model.assign(probe, 0, BV3.from_int(1, 1), propagate=False)
+    model.engine.propagate()
+    return circuit, model
+
+
+def test_completion_budget_serves_datapath_nodes_first():
+    """Regression: with a single completion attempt the budget must go to
+    the datapath comparator's key, not to the control OR that precedes it
+    in canonical node order (the old scan burnt attempts on control)."""
+    circuit, model = _mixed_completion_model()
+    justifier = Justifier(model, limits=JustifierLimits(completion_attempts=1))
+    justifier._complete_datapath()
+    assert model.value(circuit.net("x"), 0).is_fully_known()
+    assert model.value(circuit.net("c1"), 0).bit(0) is None
+    assert model.value(circuit.net("c2"), 0).bit(0) is None
+
+
+def test_completion_clears_mixed_set_within_datapath_sized_budget():
+    """One attempt per datapath key plus one control fallback completes the
+    mixed set; the old control-first order needed control + datapath."""
+    circuit, model = _mixed_completion_model()
+    justifier = Justifier(model, limits=JustifierLimits(completion_attempts=2))
+    assert justifier._complete_datapath()
+    assert not justifier._unjustified()
+
+
+def test_completion_still_serves_control_only_sets():
+    """Control nodes without decision freedom keep their completion path
+    once the datapath is clear (the fallback must not disappear)."""
+    circuit = Circuit("ctlonly")
+    c1 = circuit.input("c1", 1)
+    c2 = circuit.input("c2", 1)
+    ctl = circuit.or_(c1, c2, name="ctl")
+    circuit.output(ctl)
+    model = UnrolledModel(circuit, 1)
+    model.assign(ctl, 0, BV3.from_int(1, 1), propagate=False)
+    model.engine.propagate()
+    justifier = Justifier(model, limits=JustifierLimits(completion_attempts=1))
+    assert justifier._complete_datapath()
+
+
+def test_failed_datapath_leaf_restores_decision_levels():
+    """Regression: a failed datapath leaf must roll back every completion
+    level it opened -- a dangling level would make the enclosing decision's
+    backtrack undo the wrong refinements."""
+    circuit = Circuit("leak")
+    x = circuit.input("x", 8)
+    y = circuit.input("y", 8)
+    circuit.output(circuit.ne(x, 3, name="p1"))
+    circuit.output(circuit.ne(y, 4, name="p2"))
+    model = UnrolledModel(circuit, 1)
+    model.assign(circuit.net("p1"), 0, BV3.from_int(1, 1), propagate=False)
+    model.assign(circuit.net("p2"), 0, BV3.from_int(1, 1), propagate=False)
+    model.engine.propagate()
+    # One attempt completes only the first probe, so the leaf fails with a
+    # completion level opened mid-way.
+    justifier = Justifier(model, limits=JustifierLimits(completion_attempts=1))
+    before = model.engine.assignment.decision_level
+    feasible, facts = justifier._datapath_feasible()
+    assert not feasible and facts is None
+    assert model.engine.assignment.decision_level == before
+    assert not model.value(circuit.net("x"), 0).is_fully_known()

@@ -20,7 +20,7 @@ from repro.bitvector.bv3 import bv
 from repro.checker import AssertionChecker, CheckerOptions
 from repro.checker.incremental import UnrolledModelCache
 from repro.checker.report import statistics_to_dict
-from repro.circuits import all_case_ids, build_case, build_token_ring
+from repro.circuits import all_case_ids, build_case, build_token_ring, extended_case_ids
 from repro.implication.assignment import ImplicationConflict, RootCause
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.properties import Assertion, OneHot, Signal, Witness
@@ -58,7 +58,7 @@ def _assert_equivalent(with_learning, without_learning):
 # ----------------------------------------------------------------------
 # Tentpole: verdict/counterexample equivalence at every bound
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("case_id", all_case_ids())
+@pytest.mark.parametrize("case_id", all_case_ids() + extended_case_ids())
 def test_learning_equivalent_on_zoo_sweeps(case_id):
     case_on, case_off = build_case(case_id), build_case(case_id)
     bounds = list(range(1, case_on.max_frames + 2))
@@ -528,6 +528,7 @@ def test_learning_counters_surface_in_report_json():
     ).check(case.prop)
     payload = statistics_to_dict(result.statistics)
     for key in ("cubes_learned", "cubes_lifted", "cube_hits",
+                "solver_cores", "datapath_cubes_learned", "datapath_cube_hits",
                 "targets_skipped", "frontier_peak"):
         assert key in payload
     assert payload["frontier_peak"] > 0
@@ -632,3 +633,78 @@ def test_grouped_batch_report_ordering_is_deterministic():
     workers = run(2)
     assert [row[0] for row in inline] == ["a_onehot", "b_onehot", "a_first", "b_first"]
     assert inline == workers
+
+
+# ----------------------------------------------------------------------
+# Datapath infeasibility certificates
+# ----------------------------------------------------------------------
+def test_datapath_certificates_learn_and_prune():
+    """The p15 sweep bottoms out in the modular solver at every leaf: the
+    certificates must produce learned datapath cubes at the first bound and
+    prune later bounds through re-based datapath cube hits."""
+    case = build_case("p15")
+    bounds = list(range(1, case.max_frames + 2))
+    results = _sweep(case.circuit, case.prop, bounds, True,
+                     environment=case.environment, initial_state=case.initial_state)
+    assert all(result.status is case.expected_status for result in results)
+    cores = sum(result.statistics.solver_cores for result in results)
+    learned = sum(result.statistics.datapath_cubes_learned for result in results)
+    hits = sum(result.statistics.datapath_cube_hits for result in results)
+    assert cores > 0
+    assert learned > 0
+    assert hits > 0
+    # Later bounds must not redo the certificate work of the first one.
+    assert results[-1].statistics.solver_cores == 0
+    assert results[-1].statistics.decisions < results[0].statistics.decisions
+
+
+def _unknowable_mul_circuit():
+    """A multiplier coupled to an adder through free operands: genuinely
+    infeasible for the sentinel pair, but only factor *sampling* can
+    explore it, so every solver verdict is Unknown -- never a proof."""
+    from repro.netlist import Circuit
+
+    circuit = Circuit("mulbudget")
+    a = circuit.input("a", 8)
+    b = circuit.input("b", 8)
+    sel = circuit.input("sel", 1)
+    off = circuit.mux(sel, circuit.const(0, 8), circuit.const(8, 8), name="off")
+    product = circuit.mul(a, b, name="product")
+    total = circuit.add(circuit.add(a, b, name="ab"), off, name="total")
+    circuit.output(product)
+    circuit.output(total)
+    return circuit
+
+
+@pytest.mark.parametrize("arithmetic_budget", [1, 256])
+def test_budget_exhausted_solver_results_never_learn(arithmetic_budget):
+    """Regression (satellite): a budget-exhausted (Unknown) solver answer
+    must never install a learned cube -- it proves nothing.  budget=1 pins
+    the NonlinearSolver(budget=1) start; the default budget exhausts the
+    incomplete factor enumeration instead, with the same obligation."""
+    from repro.atpg.justify import JustifierLimits
+    from repro.properties import And, Not
+
+    circuit = _unknowable_mul_circuit()
+    prop = Assertion(
+        "sentinel",
+        Not(And(Signal("product") == 6, Signal("total") == 0)),
+    )
+    cache = UnrolledModelCache()
+    checker = AssertionChecker(
+        circuit,
+        options=CheckerOptions(
+            max_frames=3, trace_memory=False,
+            limits=JustifierLimits(arithmetic_budget=arithmetic_budget),
+        ),
+        model_cache=cache,
+    )
+    results = [checker.check(prop, max_frames=bound) for bound in (1, 2, 3)]
+    assert all(result.status.value == "holds" for result in results)
+    model, _ = cache.acquire(circuit, None, checker.environment)
+    assert not model.estg.learned_cubes
+    assert model.estg.datapath_cubes_learned == 0
+    for result in results:
+        assert result.statistics.solver_cores == 0
+        assert result.statistics.cubes_learned == 0
+        assert result.statistics.datapath_cubes_learned == 0

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.modsolver.linear import LinearConstraint, ModularLinearSystem
+from repro.modsolver.result import Infeasible
 
 
 def brute_force_solutions(rows, rhs, width):
@@ -72,19 +73,24 @@ def test_multiplier_false_negative_example_linearised():
 # ----------------------------------------------------------------------
 # API behaviour
 # ----------------------------------------------------------------------
-def test_infeasible_system_returns_none():
+def test_infeasible_system_returns_certificate():
     system = ModularLinearSystem(4)
-    system.add_constraint({"x": 2}, 3)  # 2x = 3 mod 16 has no solution
-    assert system.solve() is None
+    system.add_constraint({"x": 2}, 3, tags=("c0",))  # 2x = 3 mod 16: no solution
+    result = system.solve()
+    assert isinstance(result, Infeasible)
+    assert not result  # infeasible results are falsy
+    assert result.core == frozenset({"c0"})
 
 
 def test_contradictory_constants():
     system = ModularLinearSystem(4)
-    system.add_constraint({}, 5)
-    assert system.solve() is None
+    system.add_constraint({}, 5, tags=("five",))
+    result = system.solve()
+    assert isinstance(result, Infeasible)
+    assert result.core == frozenset({"five"})
     empty = ModularLinearSystem(4)
     empty.add_constraint({}, 0)
-    assert empty.solve() is not None
+    assert empty.solve()
 
 
 def test_no_variables_no_constraints():
@@ -102,9 +108,11 @@ def test_more_constraints_than_variables():
     assert solutions is not None
     assert solutions.particular["x"] == 5
     conflicting = ModularLinearSystem(4)
-    conflicting.add_constraint({"x": 1}, 5)
-    conflicting.add_constraint({"x": 1}, 6)
-    assert conflicting.solve() is None
+    conflicting.add_constraint({"x": 1}, 5, tags=("first",))
+    conflicting.add_constraint({"x": 1}, 6, tags=("second",))
+    result = conflicting.solve()
+    assert isinstance(result, Infeasible)
+    assert result.core == frozenset({"first", "second"})
 
 
 def test_substitute_and_free_variables():
@@ -154,11 +162,74 @@ def test_solver_agrees_with_brute_force(width, num_vars, num_rows, data):
     system = ModularLinearSystem.from_matrix(rows, rhs, width)
     solutions = system.solve()
     if not expected:
-        assert solutions is None
+        assert isinstance(solutions, Infeasible)
         return
-    assert solutions is not None
+    assert not isinstance(solutions, Infeasible)
     variables = system.variables
     enumerated = {
         tuple(solution[v] for v in variables) for solution in solutions.enumerate(limit=4096)
     }
     assert enumerated == set(expected)
+
+
+# ----------------------------------------------------------------------
+# Infeasibility certificates: the reported core is minimal-ish
+# ----------------------------------------------------------------------
+def _tagged_system(width, tagged_constraints):
+    system = ModularLinearSystem(width)
+    for tag, (coefficients, rhs) in tagged_constraints.items():
+        system.add_constraint(coefficients, rhs, tags=(tag,))
+    return system
+
+
+def _core_members_are_necessary(width, tagged_constraints):
+    """Every tag in the core must be necessary: dropping that constraint
+    (keeping the rest) must make the remaining *core* satisfiable."""
+    result = _tagged_system(width, tagged_constraints).solve()
+    assert isinstance(result, Infeasible)
+    core = result.core
+    assert core and core <= set(tagged_constraints)
+    for dropped in core:
+        remaining = {
+            tag: spec
+            for tag, spec in tagged_constraints.items()
+            if tag in core and tag != dropped
+        }
+        assert _tagged_system(width, remaining).solve(), (
+            "core member %r is unnecessary" % (dropped,)
+        )
+    return core
+
+
+def test_core_is_minimal_for_direct_clash():
+    """x = 5 vs x = 6 clash; an unrelated satisfiable constraint on y must
+    stay out of the core."""
+    core = _core_members_are_necessary(4, {
+        "x_is_5": ({"x": 1}, 5),
+        "x_is_6": ({"x": 1}, 6),
+        "y_is_0": ({"y": 1}, 0),
+    })
+    assert core == {"x_is_5", "x_is_6"}
+
+
+def test_core_is_minimal_for_cancelling_combination():
+    """The p15 shape: (x+y), (y-w) and (x+w) combine to cancel every
+    variable and contradict the constants; all three are necessary, the
+    bystander is not."""
+    core = _core_members_are_necessary(16, {
+        "direct": ({"x": 1, "y": 1}, 7),
+        "shift": ({"y": 1, "w": -1}, (-9) % (1 << 16)),
+        "cross": ({"x": 1, "w": 1}, 9),
+        "bystander": ({"z": 3}, 1),
+    })
+    assert core == {"direct", "shift", "cross"}
+
+
+def test_core_for_unsolvable_congruence_after_elimination():
+    """2x = 3 reached only after eliminating y through two other rows."""
+    core = _core_members_are_necessary(4, {
+        "sum": ({"x": 1, "y": 1}, 1),
+        "double": ({"x": 3, "y": 1}, 4),  # subtracting: 2x = 3 (mod 16)
+        "free": ({"z": 1, "w": 5}, 11),
+    })
+    assert core == {"sum", "double"}

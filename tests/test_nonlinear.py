@@ -9,6 +9,7 @@ from repro.modsolver.nonlinear import (
     NonlinearSolver,
     enumerate_factor_pairs,
 )
+from repro.modsolver.result import Infeasible, Solution, Unknown
 
 
 def test_paper_multiplier_example_has_both_factors():
@@ -45,8 +46,9 @@ def test_solver_multiplier_with_side_constraint():
     linear.add_constraint({"b": 1}, 7)  # side constraint forces b = 7
     constraint = NonlinearConstraint("mul", "a", "b", 12, 4)
     solver = NonlinearSolver()
-    solution = solver.solve(linear, [constraint], fixed={"a": 4})
-    assert solution is not None
+    result = solver.solve(linear, [constraint], fixed={"a": 4})
+    assert isinstance(result, Solution)
+    solution = result.assignment
     assert solution["b"] == 7
     assert (solution["a"] * solution["b"]) % 16 == 12
 
@@ -54,9 +56,9 @@ def test_solver_multiplier_with_side_constraint():
 def test_solver_pure_linear_passthrough():
     linear = ModularLinearSystem(4)
     linear.add_constraint({"x": 3}, 9)
-    solution = NonlinearSolver().solve(linear, [])
-    assert solution is not None
-    assert (3 * solution["x"]) % 16 == 9
+    result = NonlinearSolver().solve(linear, [])
+    assert isinstance(result, Solution)
+    assert (3 * result.assignment["x"]) % 16 == 9
 
 
 def test_solver_infeasible_nonlinear():
@@ -65,8 +67,13 @@ def test_solver_infeasible_nonlinear():
     # a * b = 1 requires b odd; with b = 5 fixed, a must be 5 (5*5=25=1 mod 8),
     # but the extra constraint pins a to an incompatible value.
     linear.add_constraint({"a": 1}, 2)
-    constraint = NonlinearConstraint("mul", "a", "b", 1, 3)
-    assert NonlinearSolver().solve(linear, [constraint]) is None
+    constraint = NonlinearConstraint("mul", "a", "b", 1, 3, tags=frozenset({"mul"}))
+    result = NonlinearSolver().solve(linear, [constraint])
+    # b = 5 is implied by its unit row, so the congruence enumeration for a
+    # is complete and every branch closes with a linear clash on a's pin:
+    # a certified refutation.
+    assert isinstance(result, Infeasible)
+    assert "mul" in result.core
 
 
 def test_solver_shift_constraint():
@@ -74,15 +81,17 @@ def test_solver_shift_constraint():
     linear = ModularLinearSystem(4)
     linear.add_constraint({"c": 1}, 8)
     linear.add_constraint({"a": 1}, 1)
-    solution = NonlinearSolver().solve(linear, [constraint])
-    assert solution is not None
+    result = NonlinearSolver().solve(linear, [constraint])
+    assert isinstance(result, Solution)
+    solution = result.assignment
     assert (solution["a"] << solution["s"]) % 16 == 8
 
 
 def test_solver_both_operands_unknown():
     constraint = NonlinearConstraint("mul", "a", "b", 6, 4)
-    solution = NonlinearSolver().solve(ModularLinearSystem(4), [constraint])
-    assert solution is not None
+    result = NonlinearSolver().solve(ModularLinearSystem(4), [constraint])
+    assert isinstance(result, Solution)
+    solution = result.assignment
     assert (solution["a"] * solution["b"]) % 16 == 6
 
 
@@ -94,3 +103,54 @@ def test_factor_pairs_are_always_valid(width, data):
     for a, b in enumerate_factor_pairs(product, width, limit=64):
         assert 0 <= a < modulus and 0 <= b < modulus
         assert (a * b) % modulus == product
+
+
+# ----------------------------------------------------------------------
+# Typed results: budget exhaustion vs proved infeasibility
+# ----------------------------------------------------------------------
+def test_budget_exhaustion_is_unknown_not_infeasible():
+    """A solver with budget=1 gives up after the first factor candidate;
+    the result must be Unknown (prune-only), never a certificate."""
+    linear = ModularLinearSystem(4)
+    # a * b = 6 with a + b = 0 is genuinely infeasible (-a**2 = 6 has no
+    # root mod 16) but only factor sampling can explore it.
+    linear.add_constraint({"a": 1, "b": 1}, 0)
+    constraint = NonlinearConstraint("mul", "a", "b", 6, 4)
+    result = NonlinearSolver(budget=1).solve(linear, [constraint])
+    assert isinstance(result, Unknown)
+    assert result.reason == "budget"
+
+
+def test_incomplete_enumeration_never_certifies():
+    """Factor-pair sampling is bounded, so an exhausted enumeration must
+    answer Unknown even when every explored branch was refuted."""
+    linear = ModularLinearSystem(4)
+    linear.add_constraint({"a": 1, "b": 1}, 0)
+    constraint = NonlinearConstraint("mul", "a", "b", 6, 4)
+    result = NonlinearSolver().solve(linear, [constraint])
+    assert isinstance(result, Unknown)
+
+
+def test_implied_unit_pins_enable_certification():
+    """Values forced by unit linear rows count as known operands: with both
+    operands pinned the single-candidate plan is complete and a product
+    mismatch is a certified refutation carrying the pins' provenance."""
+    linear = ModularLinearSystem(4)
+    linear.add_constraint({"a": 1}, 9, tags=("pin_a",))
+    linear.add_constraint({"b": 1}, 9, tags=("pin_b",))
+    constraint = NonlinearConstraint("mul", "a", "b", 6, 4, tags=frozenset({"gate"}))
+    result = NonlinearSolver().solve(linear, [constraint])
+    assert isinstance(result, Infeasible)  # 9 * 9 = 1 != 6 (mod 16)
+    assert {"pin_a", "pin_b", "gate"} <= set(result.core)
+
+
+def test_unsolvable_congruence_is_certified():
+    """a pinned even with an odd product: Theorem 1.2 refutes outright and
+    the core carries the pins' provenance."""
+    linear = ModularLinearSystem(4)
+    constraint = NonlinearConstraint("mul", "a", "b", 7, 4, tags=frozenset({"gate"}))
+    result = NonlinearSolver().solve(
+        linear, [constraint], fixed={"a": 2}, fixed_tags={"a": frozenset({"key_a"})}
+    )
+    assert isinstance(result, Infeasible)
+    assert "gate" in result.core and "key_a" in result.core

@@ -20,6 +20,7 @@ from repro.atpg import UnrolledModel
 from repro.bitvector import BV3
 from repro.modsolver.extract import DatapathConstraintExtractor
 from repro.modsolver.linear import ModularLinearSystem
+from repro.modsolver.result import Solution
 from repro.modsolver.modular import solve_scalar_congruence
 from repro.netlist import Circuit
 
@@ -53,7 +54,7 @@ def test_planted_linear_systems_are_solved(data):
         system.add_constraint(coefficients, rhs)
 
     solutions = system.solve()
-    assert solutions is not None, "a planted solution exists but the solver said UNSAT"
+    assert solutions, "a planted solution exists but the solver said UNSAT"
     assert system.is_solution(planted)
     particular = solutions.substitute([0] * solutions.num_free_variables)
     full = dict(planted)
@@ -107,10 +108,10 @@ def test_extractor_solution_respects_connected_constraints(width, factor, target
     model.assign(diff, 0, BV3.from_int(width, target))
     unjustified = model.engine.unjustified_nodes()
     problem = DatapathConstraintExtractor(model.engine).extract(unjustified)
-    solution = problem.solve()
+    result = problem.solve()
 
     feasible = any((factor * value - value) % modulus == target for value in range(modulus))
-    if solution is None:
+    if not isinstance(result, Solution):
         # Implication may already have solved everything (no unjustified
         # nodes); in that case the assignment itself must be consistent.
         if not unjustified:
@@ -120,6 +121,6 @@ def test_extractor_solution_respects_connected_constraints(width, factor, target
         else:
             assert not feasible
         return
-    value = solution.get((a, 0))
+    value = result.assignment.get((a, 0))
     if value is not None:
         assert (factor * value - value) % modulus == target
