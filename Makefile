@@ -21,13 +21,17 @@ PROFILE_CASE ?= p3
 PROFILE_BOUND ?= 12
 PROFILE_TOP ?= 25
 
-.PHONY: test lint coverage bench-smoke bench-check bench-baseline bench-full profile
+.PHONY: test lint coverage docs-check bench-smoke bench-check bench-baseline bench-full profile
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) -m ruff check .
+
+# Run the README quickstart end-to-end and link-check README + docs/*.md.
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 # cProfile one representative `repro check` run and dump the top functions
 # by cumulative time (hot-path regression triage).

@@ -21,6 +21,13 @@ datapath cubes.  Its acceptance gates: certificates must actually flow
 (``datapath_cubes_learned > 0`` and pruning fires from datapath cubes
 ``> 0``) and the learning arm must win by >= 1.5x median.
 
+A third sweep measures the *persistent knowledge base* (:mod:`repro.kb`):
+a store primed by one sweep per case is handed to fresh checkers (fresh
+circuits, fresh model caches -- everything a new process would have), and
+the warm arm must consume the persisted facts (``kb_cubes_loaded`` /
+``kb_hits`` > 0) and win by >= 1.5x median over the same sweep without a
+store.
+
 Methodology note: the speedup is computed from *paired* rounds (each round
 times the non-learning sweep immediately followed by the learning sweep,
 and the per-case ratio is the median of per-round ratios).  Timing the two
@@ -56,6 +63,12 @@ DATAPATH_SWEEPS = [("p15", 5)]
 #: acceptance threshold for the datapath sweep (ISSUE 5 criterion).
 DATAPATH_MEDIAN_SPEEDUP = 1.5
 
+#: the warm-knowledge-base sweep: one control-heavy, one memo-dominated and
+#: one datapath-heavy case, all primed into one store.
+KB_SWEEPS = [("p5", 7), ("p12", 5), ("p15", 5)]
+#: acceptance threshold for the warm-KB sweep (ISSUE 6 criterion).
+KB_MEDIAN_SPEEDUP = 1.5
+
 #: paired rounds for the speedup ratios.
 ROUNDS = 3
 #: rounds for the absolute-time gate rows (regression gate uses minima, and
@@ -65,7 +78,7 @@ ROUNDS = 3
 GATE_ROUNDS = 3
 
 
-def _run_sweep(case_id, depth, learning):
+def _run_sweep(case_id, depth, learning, kb_path=None):
     case = build_case(case_id)
     checker = AssertionChecker(
         case.circuit,
@@ -73,7 +86,7 @@ def _run_sweep(case_id, depth, learning):
         initial_state=case.initial_state,
         options=CheckerOptions(
             max_frames=depth, incremental=True, learning=learning,
-            trace_memory=False,
+            kb_path=kb_path, trace_memory=False,
         ),
         model_cache=UnrolledModelCache(),
     )
@@ -94,6 +107,10 @@ def _summarise(results):
         "datapath_cube_hits": sum(
             r.statistics.datapath_cube_hits for r in results
         ),
+        # kb_cubes_loaded is a gauge per check; the last bound's value is
+        # the total the model carried through the sweep.
+        "kb_cubes_loaded": results[-1].statistics.kb_cubes_loaded,
+        "kb_hits": sum(r.statistics.kb_hits for r in results),
     }
     return statuses, totals
 
@@ -191,6 +208,87 @@ def test_learning_speedup_report():
     assert median >= MEDIAN_SPEEDUP, (
         "cross-bound learning regressed: median sweep speedup is %.2fx "
         "(expected >= %.1fx)" % (median, MEDIAN_SPEEDUP)
+    )
+
+
+def test_kb_warm_sweep_report(tmp_path):
+    """ISSUE 6 acceptance: a store primed by earlier sweeps must make fresh
+    checkers faster.  The warm arm sees only what the store persisted (fresh
+    circuits and model caches per sweep, as a new process would), must
+    consume it (``kb_cubes_loaded`` / ``kb_hits`` > 0), return identical
+    verdicts, and win by >= 1.5x median over the no-store arm."""
+    import time
+
+    kb_path = str(tmp_path / "warm.db")
+    for case_id, depth in KB_SWEEPS:  # prime the store (untimed)
+        _run_sweep(case_id, depth, True, kb_path=kb_path)
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        rows = []
+        speedups = []
+        summaries = {}
+        for case_id, depth in KB_SWEEPS:
+            ratios = []
+            best_cold = best_warm = float("inf")
+            summary_warm = None
+            for _ in range(ROUNDS):
+                started = time.perf_counter()
+                results_cold = _run_sweep(case_id, depth, True)
+                time_cold = time.perf_counter() - started
+                started = time.perf_counter()
+                results_warm = _run_sweep(case_id, depth, True, kb_path=kb_path)
+                time_warm = time.perf_counter() - started
+                statuses_cold, _ = _summarise(results_cold)
+                statuses_warm, summary_warm = _summarise(results_warm)
+                assert statuses_warm == statuses_cold, (
+                    case_id, statuses_warm, statuses_cold,
+                )
+                ratios.append(
+                    time_cold / time_warm if time_warm > 0 else float("inf")
+                )
+                best_cold = min(best_cold, time_cold)
+                best_warm = min(best_warm, time_warm)
+            speedup = stats_module.median(ratios)
+            speedups.append(speedup)
+            summaries[case_id] = summary_warm
+            rows.append(
+                "%-6s %6d %10.3f %10.3f %7.2fx %7d %6d %8d"
+                % (case_id, depth, best_cold, best_warm, speedup,
+                   summary_warm["kb_cubes_loaded"], summary_warm["kb_hits"],
+                   summary_warm["targets_skipped"])
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    median = stats_module.median(speedups)
+    header = (
+        "%-6s %6s %10s %10s %8s %7s %6s %8s"
+        % ("case", "bounds", "cold(s)", "warm(s)", "speedup",
+           "loaded", "kbhits", "skipped")
+    )
+    table = "\n".join(
+        [header, "-" * len(header)]
+        + rows
+        + ["", "median warm-KB speedup across sweeps: %.2fx (threshold %.1fx)"
+           % (median, KB_MEDIAN_SPEEDUP)]
+    )
+    reporting.register_table(
+        "[Learning] warm knowledge-base sweeps, primed store vs --no-kb", table
+    )
+    print("\n[Learning] warm knowledge-base sweeps, primed store vs --no-kb\n"
+          + table)
+    for case_id, summary in summaries.items():
+        assert summary["kb_hits"] > 0, (
+            "%s: the warm sweep never consumed a persisted fact" % (case_id,)
+        )
+    assert any(s["kb_cubes_loaded"] > 0 for s in summaries.values()), (
+        "no sweep loaded any persisted cubes from the store"
+    )
+    assert median >= KB_MEDIAN_SPEEDUP, (
+        "warm knowledge-base reuse regressed: median sweep speedup is %.2fx "
+        "(expected >= %.1fx)" % (median, KB_MEDIAN_SPEEDUP)
     )
 
 

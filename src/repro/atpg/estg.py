@@ -24,7 +24,10 @@ property check; the learned cubes and the target memo additionally persist
 across *bounds*, *properties* and *checker instances* when the graph rides a
 cached :class:`~repro.atpg.timeframe.UnrolledModel` (see
 :mod:`repro.checker.incremental`), which is where the cross-bound speed-up
-materialises.
+materialises.  With a knowledge base attached (:mod:`repro.kb`) they also
+persist across *processes*: cubes and memos are flushed to a sqlite store on
+checker teardown and merged back into the graph of any later model with the
+same structural fingerprint (see ``docs/knowledge-base.md``).
 """
 
 from __future__ import annotations
@@ -91,6 +94,9 @@ class LearnedCube:
     #: store fingerprint, set on recording (None for session-only cubes);
     #: lets a constraint-node fire refresh the cube's LRU position.
     fingerprint: Optional[int] = None
+    #: True for cubes installed from the persistent knowledge base rather
+    #: than learned in this process; their fires count as ``kb_hits``.
+    from_kb: bool = False
 
     def anchor(self, target_frame: int) -> Optional[List[Tuple[object, int, BV3]]]:
         """The literals re-based to ``target_frame`` ((net, frame, cube)).
@@ -169,6 +175,14 @@ class ExtendedStateTransitionGraph:
         #: and the constraint-node fires attributable to them.
         self.datapath_cubes_learned = 0
         self.datapath_cube_hits = 0
+        #: cubes merged in from the persistent knowledge base (see
+        #: :mod:`repro.kb`) and the constraint-node fires / memo skips
+        #: attributable to knowledge-base facts.
+        self.kb_cubes_loaded = 0
+        self.kb_hits = 0
+        #: proven-FAIL memo entries that came from the knowledge base, so
+        #: memo skips can be attributed to it.
+        self.kb_fail_targets: Set[Tuple[object, int]] = set()
         #: the installed cube that raised the most recent conflict, consumed
         #: by conflict analysis so derived facts inherit its provenance.
         self.last_fired: Optional[LearnedCube] = None
@@ -308,6 +322,43 @@ class ExtendedStateTransitionGraph:
         if cube.fingerprint is not None and cube.fingerprint in self.learned_cubes:
             self.learned_cubes.move_to_end(cube.fingerprint)
 
+    def adopt_kb_cube(self, cube: LearnedCube, fingerprint: int) -> bool:
+        """Install a cube loaded from the persistent knowledge base.
+
+        Unlike :meth:`record_learned_cube` this neither counts as learning
+        nor recomputes the fingerprint (the store saved the one computed at
+        recording time, so re-derived cubes deduplicate against loaded
+        ones).  Merge semantics: an already-present cube keeps its identity
+        but takes the maximum of the two hit counters.  Returns ``True``
+        when the cube was newly installed, ``False`` on merge or when the
+        store is at capacity (the load never evicts live cubes).
+        """
+        existing = self.learned_cubes.get(fingerprint)
+        if existing is not None:
+            existing.hits = max(existing.hits, cube.hits)
+            return False
+        if len(self.learned_cubes) >= self.max_learned_cubes:
+            return False
+        cube.fingerprint = fingerprint
+        cube.from_kb = True
+        self.learned_cubes[fingerprint] = cube
+        self.kb_cubes_loaded += 1
+        return True
+
+    def adopt_kb_fail(self, prop_fp: object, target_frame: int) -> bool:
+        """Install a proven-FAIL memo entry loaded from the knowledge base.
+
+        Returns ``True`` when the pair was new; loaded pairs are also
+        remembered in :attr:`kb_fail_targets` so memo skips they cause are
+        attributed to the knowledge base (``kb_hits``).
+        """
+        pair = (prop_fp, target_frame)
+        self.kb_fail_targets.add(pair)
+        if pair in self.proven_fail_targets:
+            return False
+        self.proven_fail_targets.add(pair)
+        return True
+
     @staticmethod
     def _literal_name(net: object) -> str:
         name = getattr(net, "name", None)
@@ -385,6 +436,8 @@ class ExtendedStateTransitionGraph:
             "datapath_cubes_learned": self.datapath_cubes_learned,
             "datapath_cube_hits": self.datapath_cube_hits,
             "proven_fail_targets": len(self.proven_fail_targets),
+            "kb_cubes_loaded": self.kb_cubes_loaded,
+            "kb_hits": self.kb_hits,
         }
 
     def __repr__(self) -> str:

@@ -164,6 +164,8 @@ def _make_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
         store.cube_hits += 1
         if cube.source == "datapath":
             store.datapath_cube_hits += 1
+        if cube.from_kb:
+            store.kb_hits += 1
         cube.hits += 1
         store.touch(cube)
         store.last_fired = cube

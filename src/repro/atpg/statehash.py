@@ -1,13 +1,19 @@
-"""State hashing and execution-loop detection.
+"""State hashing, property digests and execution-loop detection.
 
 The paper's future-work section names two algorithmic extensions: efficient
 state hashing for the extended state transition graph, and detection of loops
-in execution sequences.  Both are implemented here:
+in execution sequences.  Both are implemented here, together with the
+structural property digests the persistent knowledge base keys facts by:
 
 * :class:`StateHasher` canonicalises register-value snapshots (dictionaries or
   :data:`~repro.atpg.estg.StateCube` tuples) into stable 64-bit hashes, so
   visited-state sets can be kept as plain integer sets instead of storing the
   full cubes;
+* :func:`property_digest` / :func:`property_search_digest` hash a property
+  expression *structurally* (alpha-renamed: the digest depends only on the
+  expression's shape and the free design-signal names it binds, never on
+  Python ``repr`` details or object identity), so equivalent properties can
+  share learned facts across processes;
 * :func:`find_first_loop` / :func:`find_loops` locate revisited states in an
   execution sequence -- a witness or counterexample that revisits a state
   contains a removable loop, and a search that revisits a state has exhausted
@@ -36,6 +42,16 @@ def _fnv1a(data: bytes) -> int:
         value ^= byte
         value = (value * _FNV_PRIME) & _MASK64
     return value
+
+
+def fnv1a(data: bytes) -> int:
+    """Public 64-bit FNV-1a over ``data``.
+
+    Every persistent fingerprint in the repo (state hashes, cube
+    fingerprints, the knowledge-base keys in :mod:`repro.kb`) goes through
+    this one function so the constants live in exactly one place.
+    """
+    return _fnv1a(data)
 
 
 class StateHasher:
@@ -89,6 +105,83 @@ def hash_cube_literals(literals: Iterable[Tuple[str, int, BV3]]) -> int:
         "%s@%d=%s" % (name, position, cube) for name, position, cube in literals
     )
     return _fnv1a(";".join(items).encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Structural property digests
+# ----------------------------------------------------------------------
+#: operators whose operand order does not change the property's meaning;
+#: their operands are digest-sorted so ``a == b`` and ``b == a`` share facts.
+_COMMUTATIVE_OPS = frozenset({"==", "!=", "&", "|", "^", "+", "*"})
+
+
+def _canonical_expr(expr, normalize: bool) -> str:
+    """Canonical serialisation of a property expression.
+
+    The serialisation is *alpha-renamed* in the sense that it depends only on
+    the expression's structure and the design-signal names it binds -- never
+    on Python object identities, ``repr`` formatting, or term counts (the
+    ``repr`` of ``OneHot``/``AtMostOneHot`` elides its terms, which is why
+    fingerprints must not be built from ``repr``).  With ``normalize`` the
+    operands of commutative/associative operators are sorted so logically
+    identical spellings serialise identically; without it the spelling order
+    is preserved (used for search-procedure-sensitive keys, where operand
+    order changes monitor structure and hence decision order).
+    """
+    from repro.properties import spec
+
+    if isinstance(expr, spec.Signal):
+        return "s:%s" % expr.name
+    if isinstance(expr, spec.Const):
+        return "c:%d/%s" % (expr.value, expr.width)
+    if isinstance(expr, spec.BinOp):
+        parts = [_canonical_expr(expr.lhs, normalize), _canonical_expr(expr.rhs, normalize)]
+        if normalize and expr.op in _COMMUTATIVE_OPS:
+            parts.sort()
+        return "b:%s(%s)" % (expr.op, ",".join(parts))
+    if isinstance(expr, spec.Not):
+        return "not(%s)" % _canonical_expr(expr.expr, normalize)
+    if isinstance(expr, (spec.And, spec.Or, spec.OneHot, spec.AtMostOneHot)):
+        tag = type(expr).__name__.lower()
+        parts = [_canonical_expr(term, normalize) for term in expr.terms]
+        if normalize:
+            parts.sort()
+        return "%s(%s)" % (tag, ",".join(parts))
+    if isinstance(expr, spec.Implies):
+        return "imp(%s,%s)" % (
+            _canonical_expr(expr.antecedent, normalize),
+            _canonical_expr(expr.consequent, normalize),
+        )
+    if isinstance(expr, spec.Delayed):
+        return "d%d/%d(%s)" % (expr.cycles, expr.initial, _canonical_expr(expr.expr, normalize))
+    # Forward compatibility: unknown node kinds fall back to their repr,
+    # prefixed so they can never collide with the tagged forms above.
+    return "x:%s:%r" % (type(expr).__name__, expr)
+
+
+def property_digest(expr) -> int:
+    """Stable 64-bit structural digest of a property expression.
+
+    Commutative operators are operand-sorted, so equivalent spellings of the
+    same property (``a == b`` vs ``b == a``, reordered conjunctions) digest
+    identically and share *semantic* facts -- learned cubes are theorems
+    about the design, valid for any property with the same meaning.  The
+    digest is process-stable (pure FNV-1a over a canonical serialisation),
+    which is what lets the knowledge base key facts by it on disk.
+    """
+    return _fnv1a(_canonical_expr(expr, normalize=True).encode("utf-8"))
+
+
+def property_search_digest(expr) -> int:
+    """Stable 64-bit digest of the *exact* spelling of a property expression.
+
+    Unlike :func:`property_digest` this preserves operand order: the spelling
+    determines the compiled monitor's structure and therefore the search's
+    decision order, and procedure-sensitive facts (the proven-FAIL target
+    memo, which must reproduce this search's abort behaviour exactly) may
+    only be shared between searches over the identical monitor.
+    """
+    return _fnv1a(_canonical_expr(expr, normalize=False).encode("utf-8"))
 
 
 @dataclass

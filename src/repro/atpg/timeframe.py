@@ -122,6 +122,14 @@ class UnrolledModel:
         #: own graph for the ``use_estg`` ablation path.
         self.estg = ExtendedStateTransitionGraph(enabled=False)
 
+        #: persistent knowledge base plumbing (set by
+        #: :meth:`repro.kb.store.KnowledgeBase.attach`): a zero-argument
+        #: flush callback the model cache runs before dropping the model,
+        #: and the (store, model key) pairs already merged into ``estg`` so
+        #: repeated checks do not reload.
+        self.kb_flush_hook = None
+        self.kb_loaded_keys: Set[object] = set()
+
         #: keys whose base-fixpoint value is *frame-anchored*: derived from
         #: an initial-state cube or through a register crossing node.  Both
         #: kinds of fact break under frame shifting (frame-0 registers are

@@ -27,6 +27,7 @@ from repro.atpg.justify import (
     JustifyOutcome,
     LearningContext,
 )
+from repro.atpg.statehash import property_digest, property_search_digest
 from repro.atpg.timeframe import UnrolledModel
 from repro.bitvector import BV3
 from repro.checker.incremental import UnrolledModelCache, shared_model_cache
@@ -57,6 +58,12 @@ class CheckerOptions:
     #: counterexamples match the non-learning search; decision counts may
     #: shrink.  Effective only together with ``incremental``.
     learning: bool = True
+    #: path of a persistent knowledge base (:mod:`repro.kb`): learned cubes
+    #: and proven-FAIL memos are loaded from it before checking and flushed
+    #: back on checker teardown, extending the learning above across
+    #: *processes*.  ``None`` keeps learned state process-local.  Effective
+    #: only together with ``incremental`` and ``learning``.
+    kb_path: Optional[str] = None
     #: validate every generated trace by concrete simulation.
     validate_traces: bool = True
     #: use the legal-assignment-bias decision ordering (ablation switch).
@@ -106,6 +113,20 @@ class AssertionChecker:
         self._restore_savepoint = None
         self._counter_marks = (0, 0, 0, 0, 0)
         self._learning_marks = None
+        #: persistent knowledge base handle (None when not configured).
+        self._kb = None
+        if (
+            self.options.kb_path
+            and self.options.incremental
+            and self.options.learning
+        ):
+            from repro.kb import circuit_snapshot, open_knowledge_base
+
+            # Snapshot the circuit's structural fingerprint and net-name set
+            # *before* this checker compiles assumption/property monitors
+            # into it, so the on-disk key names the bare design.
+            circuit_snapshot(circuit)
+            self._kb = open_knowledge_base(self.options.kb_path)
         self.compiler = PropertyCompiler(circuit)
         use_estg = self.options.use_estg or self.options.use_local_fsm_guidance
         self.estg = ExtendedStateTransitionGraph(enabled=use_estg)
@@ -201,6 +222,11 @@ class AssertionChecker:
                         statistics.frames_built += self._incremental_model.frames_constructed
                     # Per-check gauges/counters of the shared model.
                     self._incremental_model.engine.frontier_peak = 0
+                    if self._kb is not None and self.options.learning:
+                        self._kb.attach(
+                            self._incremental_model, self.circuit,
+                            self.initial_state, self.environment,
+                        )
                     self._learning_marks = self._learning_counter_marks()
                 start_frame = compiled.warmup_frames
                 for target_frame in range(start_frame, bound):
@@ -233,6 +259,14 @@ class AssertionChecker:
                         self._retract_goals()
                 if self.options.incremental:
                     self._accumulate_learning_counters(statistics)
+                    if self._kb is not None and self._incremental_model is not None:
+                        # Checker-teardown write-tx: everything this check
+                        # learned is on disk before the verdict is returned.
+                        flush_hook = getattr(
+                            self._incremental_model, "kb_flush_hook", None
+                        )
+                        if flush_hook is not None:
+                            flush_hook()
             except BaseException:
                 # An escaping error may have interrupted a structural base
                 # mutation (extend/sync); drop this circuit's cached models
@@ -264,26 +298,33 @@ class AssertionChecker:
     def _prop_fingerprint(compiled: CompiledProperty) -> object:
         """A stable identity for learned facts that depend on the goal.
 
-        Two compilations of the same property expression build logically
-        identical monitors, so facts keyed by the expression text and goal
-        value transfer across ``check()`` calls and checker instances.
+        The key is the *normalized* structural digest of the property
+        expression (:func:`~repro.atpg.statehash.property_digest`) plus the
+        goal value: any compilation of a logically identical expression
+        builds a logically identical monitor, so facts keyed this way
+        transfer across ``check()`` calls, checker instances, equivalent
+        property spellings and -- via the knowledge base -- processes.
         Learned cubes are ordering-independent *theorems*, so this key
         carries no search configuration.
         """
-        return (repr(compiled.prop.expr), compiled.goal_value)
+        return (property_digest(compiled.prop.expr), compiled.goal_value)
 
     def _search_fingerprint(self, compiled: CompiledProperty) -> object:
-        """The proven-FAIL memo key: property plus search configuration.
+        """The proven-FAIL memo key: property spelling plus search config.
 
         Unlike learned cubes, a FAIL verdict is the outcome of *this*
         bounded search procedure -- the datapath completion heuristics are
         decision-order dependent -- so memoised verdicts may only be reused
         by searches with identical ordering and resource configuration.
+        That includes the exact property spelling
+        (:func:`~repro.atpg.statehash.property_search_digest`, which keeps
+        operand order): a commuted but equivalent expression compiles to a
+        differently-shaped monitor and hence a different decision order.
         """
         options = self.options
         limits = options.limits
         return (
-            self._prop_fingerprint(compiled),
+            (property_search_digest(compiled.prop.expr), compiled.goal_value),
             options.use_bias,
             options.probability_sample_vectors,
             options.probability_sample_seed,
@@ -342,6 +383,9 @@ class AssertionChecker:
         search_fp = self._search_fingerprint(compiled)
         if memo_safe and learning_store.is_proven_fail(search_fp, target_frame):
             statistics.targets_skipped += 1
+            if (search_fp, target_frame) in learning_store.kb_fail_targets:
+                # The skip is owed to a memo loaded from the knowledge base.
+                learning_store.kb_hits += 1
             return JustifyOutcome.FAIL, model, None
         model.extend_to(target_frame + 1)
         self._restore_savepoint = engine.savepoint()
@@ -526,6 +570,7 @@ class AssertionChecker:
         return (
             store.cubes_learned, store.cubes_lifted, store.cube_hits,
             store.datapath_cubes_learned, store.datapath_cube_hits,
+            store.kb_hits,
         )
 
     def _accumulate_learning_counters(self, statistics: CheckStatistics) -> None:
@@ -544,6 +589,10 @@ class AssertionChecker:
         statistics.cube_hits += store.cube_hits - marks[2]
         statistics.datapath_cubes_learned += store.datapath_cubes_learned - marks[3]
         statistics.datapath_cube_hits += store.datapath_cube_hits - marks[4]
+        statistics.kb_hits += store.kb_hits - marks[5]
+        # Gauge, not delta: how many knowledge-base cubes the shared model
+        # carries (every check on a warm model reports the full count).
+        statistics.kb_cubes_loaded = store.kb_cubes_loaded
 
     def _run_justifier(
         self, model: UnrolledModel, compiled: CompiledProperty,

@@ -22,9 +22,10 @@ Each cached model also carries its
 conflict-lifted illegal cubes and proven-FAIL target memo learned during one
 check persist with the model, so every later bound -- and every property
 sharing the (circuit, initial state, environment) key -- starts from what
-earlier searches already proved.  Evicting a model drops its learned facts
-with it, which is exactly right: the facts are only meaningful relative to
-that model's environment fingerprint.
+earlier searches already proved.  Evicting a model drops its in-memory
+facts with it; when a persistent knowledge base is attached
+(:mod:`repro.kb` sets ``model.kb_flush_hook``) the cache flushes the facts
+to disk first, so eviction never loses what a later process could reuse.
 
 The cache key uses the circuit's *identity*: circuits are mutable builder
 objects and two structurally equal netlists are still distinct designs.  The
@@ -63,6 +64,22 @@ def environment_fingerprint(environment: Optional[Environment]) -> Hashable:
         if initialization is None
         else tuple(tuple(sorted(vector.items())) for vector in initialization.vectors),
     )
+
+
+def _flush_model_kb(model: UnrolledModel) -> None:
+    """Run a model's knowledge-base flush hook, if one is attached.
+
+    Learned facts pass their verification guard when *recorded*, so they
+    are safe to persist regardless of the engine state the model is being
+    dropped in; a failing store must never turn an eviction into an error.
+    """
+    hook = getattr(model, "kb_flush_hook", None)
+    if hook is None:
+        return
+    try:
+        hook()
+    except Exception:  # pragma: no cover - defensive
+        pass
 
 
 def initial_state_fingerprint(
@@ -140,26 +157,34 @@ class UnrolledModelCache:
         # not stall other cache users.  A racing duplicate build is benign
         # (last insert wins).
         model = UnrolledModel(circuit, 1, initial_state=initial_state)
+        dropped = []
         with self._lock:
             self.misses += 1
             self._entries[key] = model
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                dropped.append(self._entries.popitem(last=False)[1])
+        for stale_model in dropped:
+            _flush_model_kb(stale_model)
         return model, False
 
     # ------------------------------------------------------------------
     def evict(self, circuit: Circuit) -> None:
-        """Drop every entry for ``circuit``."""
+        """Drop every entry for ``circuit`` (flushing attached KB facts)."""
         with self._lock:
             stale = [key for key in self._entries if key[0] == id(circuit)]
-            for key in stale:
-                del self._entries[key]
+            dropped = [self._entries.pop(key) for key in stale]
+        for model in dropped:
+            _flush_model_kb(model)
 
     def clear(self) -> None:
-        """Drop all entries (used by tests and benchmarks)."""
+        """Drop all entries, flushing attached knowledge-base facts first
+        (used by tests and benchmarks)."""
         with self._lock:
+            dropped = list(self._entries.values())
             self._entries.clear()
+        for model in dropped:
+            _flush_model_kb(model)
 
     def stats(self) -> Dict[str, int]:
         """Cache occupancy and hit counters."""

@@ -53,6 +53,8 @@ def statistics_to_dict(statistics) -> Dict[str, object]:
         "datapath_cubes_learned": statistics.datapath_cubes_learned,
         "datapath_cube_hits": statistics.datapath_cube_hits,
         "targets_skipped": statistics.targets_skipped,
+        "kb_cubes_loaded": statistics.kb_cubes_loaded,
+        "kb_hits": statistics.kb_hits,
         "frontier_peak": statistics.frontier_peak,
         "peak_memory_mb": round(statistics.peak_memory_mb, 4),
     }

@@ -41,6 +41,11 @@ class CheckStatistics:
     datapath_cube_hits: int = 0
     #: target frames skipped because an earlier bound proved them FAIL.
     targets_skipped: int = 0
+    #: persistent knowledge base (CheckerOptions.kb_path): cubes the shared
+    #: model carries from the store (a gauge, not a per-check delta) and the
+    #: pruning fires / memo skips attributable to loaded facts.
+    kb_cubes_loaded: int = 0
+    kb_hits: int = 0
     #: high-water mark of the unjustified-node frontier during the check.
     frontier_peak: int = 0
 

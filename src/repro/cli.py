@@ -12,8 +12,12 @@ Four commands cover the flows described in the paper:
 
 ``check``
     Check assertion / witness properties (given as expression strings) on a
-    Verilog file, with optional environment constraints, JSON output and VCD
-    trace dumping.
+    Verilog file, with optional environment constraints, JSON output, VCD
+    trace dumping and a persistent knowledge base (``--kb``).
+
+``kb``
+    Inspect and maintain persistent knowledge-base stores:
+    ``kb stats`` / ``kb prune`` / ``kb merge``.
 
 ``table1`` / ``table2``
     Regenerate the paper's evaluation tables from the bundled benchmark
@@ -23,6 +27,8 @@ Four commands cover the flows described in the paper:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -61,6 +67,20 @@ def _parse_named_property(text: str) -> Tuple[Optional[str], object]:
             expression = parse_expression(expression_text)
             return name, expression
     return None, parse_expression(text)
+
+
+def _kb_path(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the knowledge-base path for a ``check`` invocation.
+
+    Precedence: ``--no-kb`` wins over everything; otherwise ``--kb PATH``;
+    otherwise the ``REPRO_KB`` environment variable; otherwise no store.
+    """
+    if getattr(args, "no_kb", False):
+        return None
+    explicit = getattr(args, "kb", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_KB") or None
 
 
 def _build_environment(args: argparse.Namespace) -> Environment:
@@ -175,6 +195,7 @@ def _command_check(args: argparse.Namespace) -> int:
         use_local_fsm_guidance=args.fsm_guidance,
         incremental=not args.no_incremental,
         learning=not args.no_learning,
+        kb_path=_kb_path(args),
     )
     checker = AssertionChecker(circuit, environment=environment, options=options)
     results: List[CheckResult] = [checker.check(prop) for prop in properties]
@@ -236,6 +257,7 @@ def _check_portfolio(
         max_frames=args.max_frames,
         **budget_overrides,
     )
+    kb_path = _kb_path(args)
     # Checker-specific flags (--fsm-guidance) ride on a configured adapter.
     configured = [
         AtpgEngine(
@@ -243,6 +265,7 @@ def _check_portfolio(
                 use_local_fsm_guidance=True,
                 incremental=not args.no_incremental,
                 learning=not args.no_learning,
+                kb_path=kb_path,
             )
         )
         if name == "atpg" and args.fsm_guidance
@@ -261,6 +284,7 @@ def _check_portfolio(
             run_all=args.compare,
             incremental=not args.no_incremental,
             learning=not args.no_learning,
+            kb_path=kb_path,
         )
     ).run(jobs)
 
@@ -322,6 +346,86 @@ def _check_portfolio(
         for item in report.items
     )
     return 1 if failing or report.disagreements else 0
+
+
+def _command_kb(args: argparse.Namespace) -> int:
+    """The ``repro kb stats|prune|merge`` maintenance sub-commands."""
+    from repro.kb import KnowledgeBase
+
+    if args.kb_command == "stats":
+        store = KnowledgeBase(args.store)
+        try:
+            stats = store.stats()
+        finally:
+            store.close()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print("knowledge base: %s" % stats["path"])
+        if stats.get("disabled"):
+            print("  DISABLED: %s" % stats.get("reason"))
+            return 1
+        print("  schema version: %d" % stats["schema_version"])
+        print(
+            "  %d model(s), %d cube(s), %d proven-FAIL memo(s), %d recorded hit(s)"
+            % (stats["models"], stats["cubes"], stats["fail_memos"], stats["hits"])
+        )
+        for row in stats["per_model"]:
+            print(
+                "  model %s (%s): %d cube(s), %d memo(s), %d hit(s)"
+                % (
+                    row["model_key"],
+                    row["circuit"],
+                    row["cubes"],
+                    row["fail_memos"],
+                    row["hits"],
+                )
+            )
+        return 0
+
+    if args.kb_command == "prune":
+        store = KnowledgeBase(args.store)
+        try:
+            if store.disabled:
+                print("cannot prune %s: %s" % (args.store, store.disabled_reason))
+                return 1
+            removed = store.prune(min_hits=args.min_hits, keep=args.keep)
+        finally:
+            store.close()
+        print("pruned %d cube(s) from %s" % (removed, args.store))
+        return 0
+
+    if args.kb_command == "merge":
+        dest = KnowledgeBase(args.dest)
+        try:
+            if dest.disabled:
+                print("cannot merge into %s: %s" % (args.dest, dest.disabled_reason))
+                return 1
+            for source_path in args.sources:
+                source = KnowledgeBase(source_path)
+                try:
+                    if source.disabled:
+                        print(
+                            "skipping %s: %s" % (source_path, source.disabled_reason)
+                        )
+                        continue
+                    merged = dest.merge_from(source)
+                finally:
+                    source.close()
+                print(
+                    "merged %s: %d model(s), %d cube(s), %d memo(s)"
+                    % (
+                        source_path,
+                        merged["models"],
+                        merged["cubes"],
+                        merged["fail_memos"],
+                    )
+                )
+        finally:
+            dest.close()
+        return 0
+
+    raise SystemExit("unknown kb sub-command %r" % (args.kb_command,))
 
 
 def _command_table1(args: argparse.Namespace) -> int:
@@ -477,7 +581,53 @@ def build_parser() -> argparse.ArgumentParser:
         "cubes and proven-FAIL target memoisation on the cached unrolled "
         "models); verdicts are unchanged, only speed (debug/ablation)",
     )
+    check.add_argument(
+        "--kb",
+        metavar="PATH",
+        help="persistent knowledge-base store (sqlite): load previously "
+        "learned cubes / proven-FAIL memos before checking and flush new "
+        "facts afterwards; verdicts are unchanged, only speed "
+        "(default: the REPRO_KB environment variable, if set)",
+    )
+    check.add_argument(
+        "--no-kb",
+        action="store_true",
+        help="ignore --kb and REPRO_KB; run with in-process learning only",
+    )
     check.set_defaults(func=_command_check)
+
+    kb = subparsers.add_parser(
+        "kb", help="inspect / maintain a persistent knowledge-base store"
+    )
+    kb_sub = kb.add_subparsers(dest="kb_command", required=True)
+    kb_stats = kb_sub.add_parser("stats", help="print store totals per model")
+    kb_stats.add_argument("store", help="knowledge-base file (sqlite)")
+    kb_stats.add_argument("--json", action="store_true", help="emit JSON")
+    kb_stats.set_defaults(func=_command_kb)
+    kb_prune = kb_sub.add_parser("prune", help="drop cold cubes from a store")
+    kb_prune.add_argument("store", help="knowledge-base file (sqlite)")
+    kb_prune.add_argument(
+        "--min-hits",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drop cubes with fewer than N recorded hits",
+    )
+    kb_prune.add_argument(
+        "--keep",
+        type=int,
+        metavar="N",
+        help="keep only the hottest N cubes per model",
+    )
+    kb_prune.set_defaults(func=_command_kb)
+    kb_merge = kb_sub.add_parser(
+        "merge", help="merge source stores into a destination store"
+    )
+    kb_merge.add_argument("dest", help="destination knowledge-base file")
+    kb_merge.add_argument(
+        "sources", nargs="+", metavar="SOURCE", help="source knowledge-base files"
+    )
+    kb_merge.set_defaults(func=_command_kb)
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     table1.set_defaults(func=_command_table1)

@@ -80,6 +80,11 @@ class BatchOptions:
     #: proven-FAIL targets persist on the cached models, so grouped jobs
     #: sharing a circuit also share what earlier properties learned).
     learning: bool = True
+    #: path of a persistent knowledge base (:mod:`repro.kb`) threaded into
+    #: the ATPG engine: workers open the store read-mostly (one load per
+    #: cached model) and flush learned facts after every circuit group, so
+    #: concurrent batches accumulate into one store (merges commute).
+    kb_path: Optional[str] = None
 
 
 @dataclass
@@ -148,16 +153,17 @@ def _engine_names(engines: Sequence[Union[str, Engine]]) -> List[str]:
 
 
 def _configure_engines(
-    engines: Sequence[Union[str, Engine]], incremental: bool, learning: bool = True
+    engines: Sequence[Union[str, Engine]], incremental: bool, learning: bool = True,
+    kb_path: Optional[str] = None,
 ) -> Sequence[Union[str, Engine]]:
     """Materialise per-batch engine configuration (ATPG toggles).
 
     The batch flags apply to the registry name ``"atpg"`` and to
     :class:`AtpgEngine` instances that did not pin their own ``incremental``
-    / ``learning`` arguments; an engine constructed with an explicit choice
-    wins.
+    / ``learning`` / ``kb_path`` arguments; an engine constructed with an
+    explicit choice wins.
     """
-    if incremental and learning:
+    if incremental and learning and kb_path is None:
         return engines  # the checker's defaults are already on
     from repro.portfolio.engines import AtpgEngine
 
@@ -168,17 +174,24 @@ def _configure_engines(
         if engine == "atpg":
             configured.append(
                 AtpgEngine(
-                    incremental=incremental_override, learning=learning_override
+                    incremental=incremental_override, learning=learning_override,
+                    kb_path=kb_path,
                 )
             )
         elif isinstance(engine, AtpgEngine):
             new_incremental = engine.incremental
             new_learning = engine.learning
+            new_kb_path = engine.kb_path
             if not incremental and new_incremental is None:
                 new_incremental = False
             if not learning and new_learning is None:
                 new_learning = False
-            if (new_incremental, new_learning) == (engine.incremental, engine.learning):
+            if kb_path is not None and new_kb_path is None:
+                new_kb_path = kb_path
+            unchanged = (new_incremental, new_learning, new_kb_path) == (
+                engine.incremental, engine.learning, engine.kb_path
+            )
+            if unchanged:
                 configured.append(engine)
             else:
                 configured.append(
@@ -186,6 +199,7 @@ def _configure_engines(
                         engine.options,
                         incremental=new_incremental,
                         learning=new_learning,
+                        kb_path=new_kb_path,
                     )
                 )
         else:
@@ -194,13 +208,15 @@ def _configure_engines(
 
 
 def _run_batch_job(payload: Tuple[int, BatchJob, Sequence[Union[str, Engine]],
-                                  EngineBudget, int, bool, bool, bool]) -> BatchItem:
+                                  EngineBudget, int, bool, bool, bool,
+                                  Optional[str]]) -> BatchItem:
     """Run one job's portfolio (in the worker or inline) and wrap the outcome."""
-    _index, job, engines, budget, seed, run_all, incremental, learning = payload
+    (_index, job, engines, budget, seed, run_all, incremental, learning,
+     kb_path) = payload
     try:
         checker = PortfolioChecker(
             job.circuit,
-            engines=_configure_engines(engines, incremental, learning),
+            engines=_configure_engines(engines, incremental, learning, kb_path),
             environment=job.environment,
             initial_state=job.initial_state,
             options=PortfolioOptions(
@@ -248,12 +264,19 @@ def _batch_worker(task_queue, result_queue) -> None:
     :class:`~repro.checker.incremental.UnrolledModelCache` (and the learned
     cubes riding its models) needs to hit across properties.
     """
+    from repro.kb import flush_attached_stores
+
     while True:
         group = task_queue.get()
         if group is None:
             return
         for payload in group:
             result_queue.put((payload[0], _run_batch_job(payload)))
+        # Group-completion flush: a circuit group's learned facts land on
+        # disk before the next group starts (no-op without a knowledge
+        # base); merge-on-write means concurrent workers cannot clobber
+        # each other's flushes.
+        flush_attached_stores()
 
 
 class BatchRunner:
@@ -281,6 +304,7 @@ class BatchRunner:
                 options.run_all,
                 options.incremental,
                 options.learning,
+                options.kb_path,
             )
             for index, job in enumerate(jobs)
         ]

@@ -97,12 +97,14 @@ class AtpgEngine:
     """Adapter for the paper's word-level ATPG :class:`AssertionChecker`.
 
     ``incremental`` toggles the shared unrolled-model reuse path (see
-    :mod:`repro.checker.incremental`) and ``learning`` the cross-bound
-    search learning riding the cached models.  Left at ``None`` they defer
-    to the ``options`` object (whose defaults are on); passed explicitly
-    they override it.  Consecutive ``run`` calls against the *same circuit
-    object* (the common batch shape) reuse the cached skeleton -- and its
-    learned illegal cubes -- across properties.
+    :mod:`repro.checker.incremental`), ``learning`` the cross-bound search
+    learning riding the cached models, and ``kb_path`` the persistent
+    knowledge base (:mod:`repro.kb`) extending that learning across
+    processes.  Left at ``None`` they defer to the ``options`` object
+    (whose defaults are on / no store); passed explicitly they override it.
+    Consecutive ``run`` calls against the *same circuit object* (the common
+    batch shape) reuse the cached skeleton -- and its learned illegal cubes
+    -- across properties.
     """
 
     name = "atpg"
@@ -113,10 +115,12 @@ class AtpgEngine:
         options: Optional[CheckerOptions] = None,
         incremental: Optional[bool] = None,
         learning: Optional[bool] = None,
+        kb_path: Optional[str] = None,
     ):
         self.options = options
         self.incremental = incremental
         self.learning = learning
+        self.kb_path = kb_path
 
     def run(self, circuit, prop, environment, initial_state, budget) -> EngineResult:
         started = time.perf_counter()
@@ -127,6 +131,8 @@ class AtpgEngine:
                 overrides["incremental"] = self.incremental
             if self.learning is not None:
                 overrides["learning"] = self.learning
+            if self.kb_path is not None:
+                overrides["kb_path"] = self.kb_path
             options = replace(options, **overrides)
             checker = AssertionChecker(
                 circuit,

@@ -1,0 +1,339 @@
+"""Persistent knowledge base (PR 6): cross-process reuse of learned facts.
+
+The contract under test is the prune-only soundness guarantee extended
+across process boundaries: a warm run primed from a knowledge-base store
+must produce verdicts and counterexamples bit-identical to a cold run,
+while actually consuming the persisted facts (``kb_cubes_loaded`` /
+``kb_hits``).  Failure paths (corrupt stores, newer schema versions) must
+fail *open*: the check proceeds as if no store were given.
+"""
+
+import json
+import os
+import shutil
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.checker import AssertionChecker, CheckerOptions
+from repro.checker.incremental import UnrolledModelCache
+from repro.circuits import build_case
+from repro.kb import SCHEMA_VERSION, KnowledgeBase
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Sweeps a zoo case in a fresh interpreter and dumps per-bound results as
+#: JSON.  argv: ``case_id kb_path_or_dash``.  Run via ``subprocess`` so the
+#: knowledge base is genuinely crossing a process boundary, not just a
+#: cache boundary.
+_SWEEP_SCRIPT = """\
+import json, sys
+from repro.checker import AssertionChecker, CheckerOptions
+from repro.checker.incremental import UnrolledModelCache
+from repro.circuits import build_case
+
+case_id, kb_arg = sys.argv[1], sys.argv[2]
+case = build_case(case_id)
+# Sweep a little past the case's nominal bound: the deeper frames are where
+# conflict-heavy searches learn most of their cubes.
+depth = case.max_frames + 3
+checker = AssertionChecker(
+    case.circuit,
+    environment=case.environment,
+    initial_state=case.initial_state,
+    options=CheckerOptions(
+        max_frames=depth,
+        incremental=True,
+        learning=True,
+        kb_path=None if kb_arg == "-" else kb_arg,
+        trace_memory=False,
+    ),
+    model_cache=UnrolledModelCache(),
+)
+payload = []
+for bound in range(1, depth + 1):
+    result = checker.check(case.prop, max_frames=bound)
+    cex = result.counterexample
+    payload.append({
+        "status": result.status.value,
+        "frames": result.frames_explored,
+        "cex": None if cex is None else {
+            "initial_state": cex.initial_state,
+            "inputs": cex.inputs,
+            "target_frame": cex.target_frame,
+        },
+        "decisions": result.statistics.decisions,
+        "kb_cubes_loaded": result.statistics.kb_cubes_loaded,
+        "kb_hits": result.statistics.kb_hits,
+    })
+print(json.dumps(payload))
+"""
+
+
+def _run_sweep_process(case_id, kb_arg):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    env.pop("REPRO_KB", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _SWEEP_SCRIPT, case_id, kb_arg],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def _verdicts(payload):
+    return [(row["status"], row["frames"], row["cex"]) for row in payload]
+
+
+# ----------------------------------------------------------------------
+# Tentpole: cross-process round trip, verdicts bit-identical to cold
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case_id", ["p5", "p15"])
+def test_cross_process_roundtrip_is_prune_only(case_id, tmp_path):
+    kb_path = str(tmp_path / "facts.db")
+    cold = _run_sweep_process(case_id, kb_path)
+    warm = _run_sweep_process(case_id, kb_path)
+    bare = _run_sweep_process(case_id, "-")
+
+    # The second process consumed facts the first one persisted...
+    assert sum(row["kb_cubes_loaded"] for row in warm) > 0
+    assert sum(row["kb_hits"] for row in warm) > 0
+    assert sum(row["decisions"] for row in warm) < sum(
+        row["decisions"] for row in cold
+    )
+    # ...and the first process, starting empty, consumed none.
+    assert sum(row["kb_cubes_loaded"] for row in cold) == 0
+
+    # Prune-only: every verdict and counterexample is bit-identical to a
+    # run that never saw a knowledge base.
+    assert _verdicts(warm) == _verdicts(bare)
+    assert _verdicts(cold) == _verdicts(bare)
+
+
+def test_cross_process_roundtrip_via_cli(tmp_path):
+    design = tmp_path / "counter.v"
+    design.write_text(
+        "module counter(clk, rst, en, count);\n"
+        "  input clk, rst, en;\n"
+        "  output [3:0] count;\n"
+        "  reg [3:0] count;\n"
+        "  always @(posedge clk) begin\n"
+        "    if (rst) count <= 4'd0;\n"
+        "    else if (en) begin\n"
+        "      if (count == 4'd9) count <= 4'd0;\n"
+        "      else count <= count + 4'd1;\n"
+        "    end\n"
+        "  end\n"
+        "endmodule\n"
+    )
+    kb_path = str(tmp_path / "facts.db")
+
+    def run_check(*extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR
+        env.pop("REPRO_KB", None)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", str(design),
+             "--assert", "safe=count < 10", "--max-frames", "6", "--json",
+             *extra],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)[0]
+
+    cold = run_check("--kb", kb_path)
+    warm = run_check("--kb", kb_path)
+    bare = run_check("--no-kb", "--kb", kb_path)
+
+    assert cold["status"] == warm["status"] == bare["status"] == "holds"
+    assert warm["kb_hits"] > 0
+    assert warm["decisions"] == 0 and bare["decisions"] > 0
+    assert bare["kb_hits"] == 0  # --no-kb really disables the store
+
+    # `repro kb stats --json` sees what the runs persisted.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "kb", "stats", kb_path, "--json"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout)
+    assert stats["schema_version"] == SCHEMA_VERSION
+    assert stats["models"] == 1
+    assert stats["fail_memos"] > 0
+
+
+# ----------------------------------------------------------------------
+# Failure paths fail open
+# ----------------------------------------------------------------------
+def _check_case_with_kb(kb_path):
+    case = build_case("p5")
+    checker = AssertionChecker(
+        case.circuit,
+        environment=case.environment,
+        initial_state=case.initial_state,
+        options=CheckerOptions(
+            max_frames=case.max_frames,
+            kb_path=kb_path,
+            trace_memory=False,
+        ),
+        model_cache=UnrolledModelCache(),
+    )
+    return checker.check(case.prop)
+
+
+def test_corrupt_store_fails_open(tmp_path):
+    kb_path = tmp_path / "corrupt.db"
+    kb_path.write_bytes(b"this is definitely not a sqlite database\x00\xff" * 8)
+    store = KnowledgeBase(str(kb_path))
+    try:
+        assert store.disabled
+        assert store.disabled_reason
+        assert store.stats()["disabled"]
+    finally:
+        store.close()
+    # The checker still runs and decides the property normally.
+    case = build_case("p5")
+    result = _check_case_with_kb(str(kb_path))
+    assert result.status is case.expected_status
+    assert result.statistics.kb_cubes_loaded == 0
+
+
+def test_truncated_store_fails_open(tmp_path):
+    kb_path = tmp_path / "facts.db"
+    _run_sweep_process("p5", str(kb_path))
+    whole = kb_path.read_bytes()
+    kb_path.write_bytes(whole[: len(whole) // 3])
+    result = _check_case_with_kb(str(kb_path))
+    assert result.status is build_case("p5").expected_status
+
+
+def test_newer_schema_version_fails_open(tmp_path):
+    kb_path = str(tmp_path / "future.db")
+    KnowledgeBase(kb_path).close()  # creates a valid v-current store
+    conn = sqlite3.connect(kb_path)
+    conn.execute(
+        "UPDATE kb_meta SET value = ? WHERE key = 'schema_version'",
+        (str(SCHEMA_VERSION + 1),),
+    )
+    conn.commit()
+    conn.close()
+    store = KnowledgeBase(kb_path)
+    try:
+        assert store.disabled
+        assert "newer" in (store.disabled_reason or "")
+        # A disabled handle never writes.
+        assert store.flush_attached() == 0
+    finally:
+        store.close()
+    result = _check_case_with_kb(kb_path)
+    assert result.status is build_case("p5").expected_status
+
+
+# ----------------------------------------------------------------------
+# Merge semantics: union cubes, max hits, add-only memos, idempotent
+# ----------------------------------------------------------------------
+def test_merge_is_idempotent_union(tmp_path):
+    source_path = str(tmp_path / "source.db")
+    _run_sweep_process("p5", source_path)
+    _run_sweep_process("p5", source_path)  # record some hits
+    copy_path = str(tmp_path / "copy.db")
+    shutil.copy(source_path, copy_path)
+
+    source = KnowledgeBase(source_path)
+    reference = source.stats()
+    assert reference["cubes"] > 0 and reference["fail_memos"] > 0
+
+    dest = KnowledgeBase(str(tmp_path / "dest.db"))
+    copy = KnowledgeBase(copy_path)
+    try:
+        dest.merge_from(source)
+        dest.merge_from(copy)
+        dest.merge_from(source)  # idempotent: same facts, no duplication
+        merged = dest.stats()
+        assert merged["models"] == reference["models"]
+        assert merged["cubes"] == reference["cubes"]
+        assert merged["fail_memos"] == reference["fail_memos"]
+        # Hit counters take the max across stores, never the sum.
+        assert merged["hits"] == reference["hits"]
+    finally:
+        source.close()
+        copy.close()
+        dest.close()
+
+
+def test_prune_keeps_hottest_cubes_per_model(tmp_path):
+    kb_path = str(tmp_path / "facts.db")
+    _run_sweep_process("p5", kb_path)
+    _run_sweep_process("p5", kb_path)
+    store = KnowledgeBase(kb_path)
+    try:
+        before = store.stats()
+        assert before["cubes"] > 2
+        removed = store.prune(keep=2)
+        after = store.stats()
+        assert removed == before["cubes"] - after["cubes"]
+        assert all(row["cubes"] <= 2 for row in after["per_model"])
+        # Memos are never pruned.
+        assert after["fail_memos"] == before["fail_memos"]
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Batch workers: concurrent flushes commute
+# ----------------------------------------------------------------------
+def test_batch_workers_flush_concurrently(tmp_path):
+    from repro.portfolio import BatchJob, BatchOptions, BatchRunner, EngineBudget
+
+    kb_path = str(tmp_path / "batch.db")
+
+    def run_batch():
+        # Fresh circuit objects per run: nothing is shared in-process, so
+        # the second run can only get facts from the store.
+        cases = [build_case(case_id) for case_id in ("p5", "p12", "p15")]
+        jobs = [
+            BatchJob(case_id, case.circuit, case.prop,
+                     environment=case.environment,
+                     initial_state=case.initial_state)
+            for case_id, case in zip(("p5", "p12", "p15"), cases)
+        ]
+        report = BatchRunner(
+            BatchOptions(
+                engines=("atpg",),
+                budget=EngineBudget(max_frames=max(c.max_frames for c in cases)),
+                jobs=2,
+                kb_path=kb_path,
+            )
+        ).run(jobs)
+        statuses = [item.result.status.value for item in report.items]
+        kb_hits = sum(
+            (engine_result.stats or {}).get("kb_hits", 0)
+            for item in report.items
+            for engine_result in item.result.engine_results
+        )
+        return statuses, kb_hits
+
+    cold_statuses, _ = run_batch()
+    warm_statuses, warm_hits = run_batch()
+    assert warm_statuses == cold_statuses
+    assert warm_hits > 0
+    store = KnowledgeBase(kb_path)
+    try:
+        stats = store.stats()
+        assert not stats["disabled"]
+        assert stats["models"] == 3
+        assert stats["fail_memos"] > 0
+    finally:
+        store.close()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Keep the documentation honest: run the README quickstart, check links.
+
+Two checks, both run by CI's docs job and ``make docs-check``:
+
+1. **Quickstart execution** -- every ``bash`` fenced block between
+   ``<!-- docs-check:begin -->`` / ``<!-- docs-check:end -->`` markers in
+   README.md is executed line by line in a scratch directory (with a small
+   counter design materialized as ``design.v``).  ``repro ...`` commands run
+   as ``python -m repro ...`` against the in-tree sources, so the documented
+   CLI cannot drift from the implementation.
+2. **Link check** -- every relative markdown link in README.md and
+   ``docs/*.md`` must point at an existing file (anchors are stripped;
+   external ``http(s)``/``mailto`` links are not fetched).
+"""
+
+import glob
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+#: the design the quickstart commands operate on: a 4-bit decade counter
+#: (wraps at 9), deep enough to learn facts but trivial to check.
+_DESIGN = """\
+module counter(clk, rst, en, count);
+  input clk, rst, en;
+  output [3:0] count;
+  reg [3:0] count;
+  always @(posedge clk) begin
+    if (rst) count <= 4'd0;
+    else if (en) begin
+      if (count == 4'd9) count <= 4'd0;
+      else count <= count + 4'd1;
+    end
+  end
+endmodule
+"""
+
+_BLOCK_RE = re.compile(
+    r"<!--\s*docs-check:begin\s*-->\s*```bash\n(.*?)```",
+    re.DOTALL,
+)
+#: inline + reference-style markdown links; images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _quickstart_commands(readme_text):
+    """The command lines of every marked quickstart block, in order."""
+    commands = []
+    for block in _BLOCK_RE.findall(readme_text):
+        for line in block.splitlines():
+            words = shlex.split(line, comments=True)
+            if words:
+                commands.append(words)
+    return commands
+
+
+def run_quickstart():
+    """Execute the README quickstart blocks; return a list of failures."""
+    readme = open(os.path.join(REPO, "README.md")).read()
+    commands = _quickstart_commands(readme)
+    if not commands:
+        return ["README.md: no docs-check quickstart block found"]
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_KB", None)
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        with open(os.path.join(scratch, "design.v"), "w") as stream:
+            stream.write(_DESIGN)
+        for words in commands:
+            if words[0] != "repro":
+                failures.append(
+                    "quickstart: only `repro ...` commands are runnable, got %r"
+                    % " ".join(words)
+                )
+                continue
+            argv = [sys.executable, "-m", "repro"] + words[1:]
+            proc = subprocess.run(
+                argv, cwd=scratch, env=env, capture_output=True, text=True,
+                timeout=300,
+            )
+            label = " ".join(words)
+            if proc.returncode != 0:
+                failures.append(
+                    "quickstart: `%s` exited %d\n%s"
+                    % (label, proc.returncode, (proc.stderr or proc.stdout).strip())
+                )
+            else:
+                print("ok: %s" % label)
+    return failures
+
+
+def check_links():
+    """Verify every relative markdown link resolves; return failures."""
+    failures = []
+    pages = [os.path.join(REPO, "README.md")] + sorted(
+        glob.glob(os.path.join(REPO, "docs", "*.md"))
+    )
+    for page in pages:
+        base = os.path.dirname(page)
+        for target in _LINK_RE.findall(open(page).read()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not os.path.exists(os.path.join(base, path)):
+                failures.append(
+                    "%s: broken link -> %s"
+                    % (os.path.relpath(page, REPO), target)
+                )
+        print("ok: links in %s" % os.path.relpath(page, REPO))
+    return failures
+
+
+def main():
+    """Run both checks; exit non-zero when anything is broken."""
+    failures = run_quickstart() + check_links()
+    if failures:
+        print("\n%d documentation failure(s):" % len(failures), file=sys.stderr)
+        for failure in failures:
+            print("  " + failure.replace("\n", "\n    "), file=sys.stderr)
+        return 1
+    print("documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
