@@ -7,7 +7,7 @@ PYTHON ?= python
 # allocator (the same order is used for the committed baseline and CI).
 SMOKE_BENCHES = benchmarks/bench_incremental.py benchmarks/bench_learning.py \
                 benchmarks/bench_table1.py benchmarks/bench_portfolio.py \
-                benchmarks/bench_bitparallel.py
+                benchmarks/bench_bitparallel.py benchmarks/bench_service.py
 #: fail CI when a benchmark's median slows down by more than this fraction.
 BENCH_THRESHOLD ?= 0.25
 #: do not gate benchmarks with baseline timings below this (sub-10ms

@@ -1,4 +1,4 @@
-"""Corner-case hunting with the engine portfolio and batch API.
+"""Corner-case hunting with the engine portfolio through the public facade.
 
 The paper's introduction motivates deterministic constraint solving by the
 weakness of random simulation on corner-case bugs.  This example builds a
@@ -6,27 +6,23 @@ packet-filter datapath whose bug only fires for one specific 16-bit header
 value, then:
 
 1. races the random-simulation baseline against the word-level ATPG engine
-   on the bug with the portfolio checker (every engine runs to completion so
-   their answers can be compared),
+   on the bug via one :class:`repro.CheckRequest` (every engine runs to
+   completion so their answers can be compared),
 2. fans the whole property list across a multiprocessing batch with
-   deterministic per-job seeds and prints the structured JSON report,
+   deterministic per-job seeds and prints the unified JSON report,
 3. compacts a wandering random witness trace with the loop-detection
    utilities, and
 4. dumps the final counterexample as a VCD waveform for inspection.
 
+Everything checker-related goes through ``repro.api`` -- the supported
+import path -- rather than internal modules; the request built here is the
+same serialisable object ``repro submit`` ships to the verification daemon.
+
 Run:  python examples/corner_case_hunting.py
 """
 
-from repro import Assertion, Circuit, Signal, Witness
+from repro import Assertion, Circuit, PropertySpec, Signal, Witness, api, build_request
 from repro.checker.compact import compact_trace
-from repro.portfolio import (
-    BatchJob,
-    BatchOptions,
-    BatchRunner,
-    EngineBudget,
-    PortfolioChecker,
-    PortfolioOptions,
-)
 from repro.properties.convert import PropertyCompiler
 from repro.simulation import trace_to_vcd
 
@@ -72,14 +68,17 @@ def main() -> None:
     bug_property = Assertion("drops_increase_by_one", Signal("drops") != 15)
 
     print("=== 1. random simulation vs. the word-level engine (portfolio) ===")
-    race = PortfolioChecker(
+    race_request = build_request(
         build_packet_filter(),
+        bug_property,
         engines=("random", "atpg"),
-        options=PortfolioOptions(
-            budget=EngineBudget(max_frames=3, random_runs=64, random_cycles=32, seed=1),
-            run_all=True,  # let the loser finish so the verdicts can be compared
-        ),
-    ).check(bug_property)
+        compare=True,  # let the loser finish so the verdicts can be compared
+        max_frames=3,
+        random_runs=64,
+        random_cycles=32,
+        seed=1,
+    )
+    race = api.run_request(race_request).batch.items[0].result
     for engine_result in race.engine_results:
         print(
             "  %-8s %-12s conclusive=%-5s %.3fs  %s"
@@ -102,22 +101,24 @@ def main() -> None:
     print()
     print("=== 2. batch run across a worker pool ===")
     # A random witness for "drops == 2" typically wanders; job seeds are
-    # derived from the base seed, so this report is reproducible.
+    # derived from the request seed, so this report is reproducible.  Both
+    # properties travel in one request, each with its own bound.
     witness_property = Witness("two_drops", Signal("drops") == 2)
-    jobs = [
-        BatchJob("bug_hunt", build_packet_filter(), bug_property, max_frames=3),
-        BatchJob("two_drops", build_packet_filter(), witness_property, max_frames=8),
-    ]
-    report = BatchRunner(
-        BatchOptions(
-            engines=("random", "atpg"),
-            budget=EngineBudget(random_runs=256, random_cycles=48),
-            jobs=2,
-            base_seed=5,
-            run_all=True,
-        )
-    ).run(jobs)
-    for item in report.items:
+    batch_request = build_request(
+        build_packet_filter(),
+        [
+            PropertySpec.from_property(bug_property, max_frames=3),
+            PropertySpec.from_property(witness_property, max_frames=8),
+        ],
+        engines=("random", "atpg"),
+        compare=True,
+        jobs=2,
+        seed=5,
+        random_runs=256,
+        random_cycles=48,
+    )
+    outcome = api.run_request(batch_request)
+    for item in outcome.batch.items:
         print(
             "  %-10s %-15s winner=%-7s seed=%d  %.3fs"
             % (
@@ -128,11 +129,11 @@ def main() -> None:
                 item.result.wall_seconds,
             )
         )
-    print("  disagreements: %s" % (report.disagreements or "none"))
+    print("  disagreements: %s" % (outcome.batch.disagreements or "none"))
 
     print()
     print("=== 3. witness compaction ===")
-    witness_item = report.items[1]
+    witness_item = outcome.batch.items[1]
     random_result = witness_item.result.engine_results[0]
     # Compaction replays the trace, so the replay circuit needs the compiled
     # property monitor; compiling into a fresh copy reproduces the same
@@ -154,7 +155,7 @@ def main() -> None:
 
     print()
     print("=== 4. VCD dump of the counterexample ===")
-    bug_trace = report.items[0].result.counterexample
+    bug_trace = outcome.batch.items[0].result.counterexample
     if bug_trace is not None:
         vcd_text = trace_to_vcd(circuit, bug_trace.trace)
         path = "packet_filter_bug.vcd"

@@ -19,19 +19,37 @@ The package provides:
 * a compiled bit-parallel simulation kernel (:mod:`repro.sim`),
 * the paper's benchmark designs and properties (:mod:`repro.circuits`).
 
+The supported import surface for library users is the facade
+(:mod:`repro.api`), re-exported here: build one serialisable
+:class:`CheckRequest`, run it with :func:`check` / :func:`check_batch`, and
+read the unified :class:`CheckReport`.  Internal modules such as
+``repro.checker.engine`` stay importable but are not a stability contract.
+
 Quickstart::
 
-    from repro import Circuit, AssertionChecker, Assertion, Signal
+    from repro import Circuit, Assertion, Signal, build_request, check
 
     c = Circuit("demo")
     a = c.input("a", 4)
     b = c.input("b", 4)
     c.output(c.add(a, b), name="total")
 
-    checker = AssertionChecker(c)
-    result = checker.check(Assertion("no_overflow", Signal("total") >= Signal("a")))
+    request = build_request(c, Assertion("no_overflow", Signal("total") >= Signal("a")))
+    report = check(request)
 """
 
+from repro import api
+from repro.api import (
+    CheckReport,
+    CheckRequest,
+    CircuitRef,
+    PropertySpec,
+    PropertyVerdict,
+    RequestError,
+    build_request,
+    check,
+    check_batch,
+)
 from repro.bitvector import BV3, ValueRange
 from repro.netlist import Circuit, NetKind
 from repro.properties import (
@@ -55,6 +73,16 @@ from repro.simulation import Simulator
 __version__ = "0.3.0"
 
 __all__ = [
+    "api",
+    "CheckReport",
+    "CheckRequest",
+    "CircuitRef",
+    "PropertySpec",
+    "PropertyVerdict",
+    "RequestError",
+    "build_request",
+    "check",
+    "check_batch",
     "BV3",
     "ValueRange",
     "Circuit",

@@ -90,6 +90,25 @@ class CheckerOptions:
     #: resource limits of the branch-and-bound search.
     limits: JustifierLimits = field(default_factory=JustifierLimits)
 
+    @classmethod
+    def from_request(cls, request) -> "CheckerOptions":
+        """Adapter over the unified :class:`repro.api.CheckRequest`.
+
+        The request is the single authoritative knob list; this class no
+        longer duplicates it -- it just maps the shared fields onto the
+        checker's switches.  Duck-typed so :mod:`repro.api` stays the only
+        module that imports across layers.
+        """
+        options = cls(
+            incremental=request.incremental,
+            learning=request.learning,
+            kb_path=request.kb_path,
+            use_local_fsm_guidance=request.fsm_guidance,
+        )
+        if request.max_frames is not None:
+            options.max_frames = request.max_frames
+        return options
+
 
 class AssertionChecker:
     """Checks assertion / witness properties on a word-level RTL netlist."""

@@ -19,9 +19,19 @@ Four commands cover the flows described in the paper:
     Inspect and maintain persistent knowledge-base stores:
     ``kb stats`` / ``kb prune`` / ``kb merge``.
 
+``serve`` / ``submit``
+    Run the verification daemon (warm per-circuit workers behind a unix
+    socket) and submit check jobs to it; ``submit`` degrades gracefully to
+    in-process checking when no daemon is listening.
+
 ``table1`` / ``table2``
     Regenerate the paper's evaluation tables from the bundled benchmark
     designs.
+
+Every checking command parses its flags into one
+:class:`repro.api.CheckRequest` -- the same serialisable request type the
+library facade and the daemon protocol use, so there is exactly one knob
+list end to end.
 """
 
 from __future__ import annotations
@@ -32,18 +42,17 @@ import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from repro import api
 from repro.analysis import analyze_structure, extract_local_fsms, recognize_modules
 from repro.checker import (
     AssertionChecker,
     CheckerOptions,
-    CheckResult,
     format_result,
     format_results_table,
     results_to_json,
 )
 from repro.hdl import compile_verilog
 from repro.netlist.circuit import Circuit
-from repro.properties import Assertion, Environment, Witness
 from repro.properties.parse import PropertyParseError, parse_expression
 from repro.simulation.vcd import trace_to_vcd
 
@@ -57,16 +66,22 @@ def _load_circuit(path: str, top: Optional[str] = None) -> Circuit:
     return circuit
 
 
-def _parse_named_property(text: str) -> Tuple[Optional[str], object]:
-    """Parse ``name=expression``; the name part is optional."""
+def _parse_named_property(text: str) -> Tuple[Optional[str], str]:
+    """Split ``name=expression``; the name part is optional.
+
+    Returns the (possibly ``None``) name and the expression *text*, which
+    is validated by parsing but kept as a string -- properties travel
+    through :class:`repro.api.CheckRequest` in textual form.
+    """
     if "=" in text and not text.split("=", 1)[0].strip().isdigit():
         candidate_name, expression_text = text.split("=", 1)
         # Avoid eating a leading comparison such as "a==b".
         if not candidate_name.rstrip().endswith(("=", "!", "<", ">")):
             name = candidate_name.strip()
-            expression = parse_expression(expression_text)
-            return name, expression
-    return None, parse_expression(text)
+            parse_expression(expression_text)
+            return name, expression_text
+    parse_expression(text)
+    return None, text
 
 
 def _kb_path(args: argparse.Namespace) -> Optional[str]:
@@ -83,18 +98,79 @@ def _kb_path(args: argparse.Namespace) -> Optional[str]:
     return os.environ.get("REPRO_KB") or None
 
 
-def _build_environment(args: argparse.Namespace) -> Environment:
-    environment = Environment()
-    for group in getattr(args, "one_hot", None) or []:
-        environment.one_hot([name.strip() for name in group.split(",")])
-    for pin in getattr(args, "pin", None) or []:
+def _property_specs(args: argparse.Namespace) -> List[api.PropertySpec]:
+    """The ``--assert`` / ``--witness`` flags as request property specs."""
+    specs: List[api.PropertySpec] = []
+    for index, text in enumerate(args.assertion or []):
+        try:
+            name, expression_text = _parse_named_property(text)
+        except PropertyParseError as exc:
+            raise SystemExit(str(exc))
+        specs.append(api.PropertySpec.assertion(name or "assert_%d" % index, expression_text))
+    for index, text in enumerate(args.witness or []):
+        try:
+            name, expression_text = _parse_named_property(text)
+        except PropertyParseError as exc:
+            raise SystemExit(str(exc))
+        specs.append(api.PropertySpec.witness(name or "witness_%d" % index, expression_text))
+    if not specs:
+        raise SystemExit("no properties given; use --assert and/or --witness")
+    return specs
+
+
+def _request_from_args(args: argparse.Namespace) -> api.CheckRequest:
+    """Build the one :class:`repro.api.CheckRequest` a checking command runs.
+
+    This is the single place CLI flags meet the unified request schema;
+    ``repro check`` and ``repro submit`` both go through it.
+    """
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    if not engines:
+        raise SystemExit("--engines expects a comma-separated list, got %r" % (args.engines,))
+    if len(set(engines)) != len(engines):
+        raise SystemExit("--engines contains duplicates: %s" % (args.engines,))
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1, got %d" % (args.jobs,))
+    if args.sim_width is not None and args.sim_width < 1:
+        raise SystemExit("--sim-width must be >= 1, got %d" % (args.sim_width,))
+
+    pinned = []
+    for pin in args.pin or []:
         if "=" not in pin:
             raise SystemExit("--pin expects signal=value, got %r" % (pin,))
         name, value = pin.split("=", 1)
-        environment.pin(name.strip(), int(value, 0))
-    for assumption in getattr(args, "assume", None) or []:
-        environment.assume(parse_expression(assumption))
-    return environment
+        pinned.append((name.strip(), int(value, 0)))
+    one_hot = tuple(
+        tuple(name.strip() for name in group.split(","))
+        for group in args.one_hot or []
+    )
+    for assumption in args.assume or []:
+        try:
+            parse_expression(assumption)
+        except PropertyParseError as exc:
+            raise SystemExit(str(exc))
+
+    try:
+        return api.CheckRequest(
+            circuit=api.CircuitRef.verilog(args.design, top=args.top),
+            properties=tuple(_property_specs(args)),
+            pinned=tuple(pinned),
+            one_hot=one_hot,
+            assumptions=tuple(args.assume or []),
+            engines=tuple(engines),
+            max_frames=args.max_frames,
+            time_budget=args.time_budget,
+            sim_width=args.sim_width,
+            seed=args.seed,
+            incremental=not args.no_incremental,
+            learning=not args.no_learning,
+            kb_path=_kb_path(args),
+            fsm_guidance=args.fsm_guidance,
+            jobs=args.jobs,
+            compare=args.compare,
+        )
+    except api.RequestError as exc:
+        raise SystemExit(str(exc))
 
 
 # ----------------------------------------------------------------------
@@ -129,25 +205,6 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_properties(args: argparse.Namespace) -> List[object]:
-    properties = []
-    for index, text in enumerate(args.assertion or []):
-        try:
-            name, expression = _parse_named_property(text)
-        except PropertyParseError as exc:
-            raise SystemExit(str(exc))
-        properties.append(Assertion(name or "assert_%d" % index, expression))
-    for index, text in enumerate(args.witness or []):
-        try:
-            name, expression = _parse_named_property(text)
-        except PropertyParseError as exc:
-            raise SystemExit(str(exc))
-        properties.append(Witness(name or "witness_%d" % index, expression))
-    if not properties:
-        raise SystemExit("no properties given; use --assert and/or --witness")
-    return properties
-
-
 def _dump_first_trace(path: str, circuit: Circuit, traces) -> None:
     """Write the first available counterexample as VCD.
 
@@ -164,41 +221,22 @@ def _dump_first_trace(path: str, circuit: Circuit, traces) -> None:
 
 
 def _command_check(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.design, top=args.top)
-    environment = _build_environment(args)
-    properties = _parse_properties(args)
+    # All flags funnel into one CheckRequest; api.run_request routes it to
+    # the classic single-engine path or the portfolio/batch machinery with
+    # the same semantics (and output schemas) as before.
+    request = _request_from_args(args)
+    try:
+        outcome = api.run_request(request)
+    except api.RequestError as exc:
+        raise SystemExit(str(exc))
+    if outcome.results is not None:
+        return _render_single_check(args, outcome)
+    return _render_portfolio_check(args, outcome)
 
-    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
-    if not engines:
-        raise SystemExit("--engines expects a comma-separated list, got %r" % (args.engines,))
-    if len(set(engines)) != len(engines):
-        raise SystemExit("--engines contains duplicates: %s" % (args.engines,))
-    if args.jobs < 1:
-        raise SystemExit("--jobs must be >= 1, got %d" % (args.jobs,))
-    if args.sim_width is not None and args.sim_width < 1:
-        raise SystemExit("--sim-width must be >= 1, got %d" % (args.sim_width,))
-    # --seed and --sim-width alone do not reroute: the default single-engine
-    # path is deterministic (and does not use the simulation kernel), and
-    # silently switching the output schema would break existing consumers.
-    # Both take effect whenever another flag selects the portfolio path.
-    portfolio_flags = (
-        engines != ["atpg"]
-        or args.jobs > 1
-        or args.time_budget is not None
-        or args.compare
-    )
-    if portfolio_flags:
-        return _check_portfolio(args, circuit, environment, properties, engines)
 
-    options = CheckerOptions(
-        max_frames=args.max_frames,
-        use_local_fsm_guidance=args.fsm_guidance,
-        incremental=not args.no_incremental,
-        learning=not args.no_learning,
-        kb_path=_kb_path(args),
-    )
-    checker = AssertionChecker(circuit, environment=environment, options=options)
-    results: List[CheckResult] = [checker.check(prop) for prop in properties]
+def _render_single_check(args: argparse.Namespace, outcome: api.RequestOutcome) -> int:
+    """Classic output of the deterministic single-engine path."""
+    results = outcome.results
 
     if args.json:
         print(results_to_json(results))
@@ -211,7 +249,7 @@ def _command_check(args: argparse.Namespace) -> int:
     if args.vcd:
         _dump_first_trace(
             args.vcd,
-            circuit,
+            outcome.circuit,
             ((result.prop.name, result.counterexample) for result in results),
         )
 
@@ -224,69 +262,10 @@ def _command_check(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
-def _check_portfolio(
-    args: argparse.Namespace,
-    circuit: Circuit,
-    environment: Environment,
-    properties: List[object],
-    engines: List[str],
-) -> int:
-    """The multi-engine / multi-job path of ``repro check``."""
-    from repro.portfolio import (
-        AtpgEngine,
-        BatchJob,
-        BatchOptions,
-        BatchRunner,
-        EngineBudget,
-        available_engines,
-    )
-
-    for name in engines:
-        if name not in available_engines():
-            raise SystemExit(
-                "unknown engine %r (available: %s)" % (name, ", ".join(available_engines()))
-            )
-
-    budget_overrides = {}
-    if args.seed is not None:
-        budget_overrides["seed"] = args.seed
-    if args.sim_width is not None:
-        budget_overrides["sim_width"] = args.sim_width
-    budget = EngineBudget(
-        time_seconds=args.time_budget,
-        max_frames=args.max_frames,
-        **budget_overrides,
-    )
-    kb_path = _kb_path(args)
-    # Checker-specific flags (--fsm-guidance) ride on a configured adapter.
-    configured = [
-        AtpgEngine(
-            CheckerOptions(
-                use_local_fsm_guidance=True,
-                incremental=not args.no_incremental,
-                learning=not args.no_learning,
-                kb_path=kb_path,
-            )
-        )
-        if name == "atpg" and args.fsm_guidance
-        else name
-        for name in engines
-    ]
-    jobs = [
-        BatchJob(prop.name, circuit, prop, environment=environment)
-        for prop in properties
-    ]
-    report = BatchRunner(
-        BatchOptions(
-            engines=tuple(configured),
-            budget=budget,
-            jobs=args.jobs,
-            run_all=args.compare,
-            incremental=not args.no_incremental,
-            learning=not args.no_learning,
-            kb_path=kb_path,
-        )
-    ).run(jobs)
+def _render_portfolio_check(args: argparse.Namespace, outcome: api.RequestOutcome) -> int:
+    """Classic output of the multi-engine / multi-job path."""
+    report = outcome.batch
+    circuit = outcome.circuit
 
     if args.json:
         print(report.to_json())
@@ -468,9 +447,207 @@ def _command_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the verification daemon until a shutdown verb arrives."""
+    import asyncio
+
+    from repro.service import ServiceOptions, Supervisor, default_socket_path
+    from repro.service.protocol import PROTOCOL
+
+    options = ServiceOptions(
+        socket_path=args.socket or default_socket_path(),
+        max_workers=args.max_workers,
+        job_timeout=args.job_timeout,
+        requeue_limit=args.requeue_limit,
+    )
+
+    async def _serve() -> None:
+        supervisor = Supervisor(options)
+        await supervisor.start()
+        print("%s listening on %s" % (PROTOCOL, options.socket_path), flush=True)
+        try:
+            await supervisor.shutdown_event.wait()
+        finally:
+            await supervisor.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print("daemon shut down cleanly", flush=True)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    """Submit one check to the daemon, or manage it (--stats / --shutdown)."""
+    from repro.service import (
+        ServiceClient,
+        ServiceError,
+        check_via_service,
+    )
+
+    if args.stats or args.shutdown:
+        try:
+            with ServiceClient(args.socket) as client:
+                if args.stats:
+                    print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                if args.shutdown:
+                    client.shutdown()
+                    print("shutdown requested")
+        except ServiceError as exc:
+            print("error: %s" % (exc,), file=sys.stderr)
+            return 1
+        return 0
+
+    if not args.design:
+        raise SystemExit("a design is required unless --stats/--shutdown is given")
+    request = _request_from_args(args)
+    try:
+        report = check_via_service(
+            request,
+            socket_path=args.socket,
+            fallback=not args.no_fallback,
+            timeout=args.timeout,
+        )
+    except (ServiceError, api.RequestError) as exc:
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+        worker = (report.service or {}).get("worker")
+        if isinstance(worker, dict):
+            print(
+                "daemon worker %s: jobs=%s warm_hits=%s kb_cubes_loaded=%s "
+                "cache_entries=%s"
+                % (
+                    str(worker.get("worker_key", "?"))[:8],
+                    worker.get("jobs_done"),
+                    worker.get("warm_hits"),
+                    worker.get("kb_cubes_loaded"),
+                    worker.get("cache_residency"),
+                )
+            )
+    return report.exit_code
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
+def _add_check_arguments(parser: argparse.ArgumentParser,
+                         design_optional: bool = False) -> None:
+    """The one flag set shared by ``repro check`` and ``repro submit``.
+
+    Both commands feed :func:`_request_from_args`, so the knob list exists
+    exactly once (it mirrors :class:`repro.api.CheckRequest`).
+    """
+    if design_optional:
+        parser.add_argument("design", nargs="?", help="Verilog source file")
+    else:
+        parser.add_argument("design", help="Verilog source file")
+    parser.add_argument("--top", help="top module name")
+    parser.add_argument(
+        "--assert",
+        dest="assertion",
+        action="append",
+        metavar="NAME=EXPR",
+        help="assertion property (may be repeated)",
+    )
+    parser.add_argument(
+        "--witness",
+        action="append",
+        metavar="NAME=EXPR",
+        help="witness property (may be repeated)",
+    )
+    parser.add_argument("--max-frames", type=int, default=8, help="unrolling bound")
+    parser.add_argument(
+        "--one-hot",
+        action="append",
+        metavar="SIG1,SIG2,...",
+        help="one-hot input group (may be repeated)",
+    )
+    parser.add_argument(
+        "--pin", action="append", metavar="SIG=VALUE", help="pin an input to a constant"
+    )
+    parser.add_argument(
+        "--assume", action="append", metavar="EXPR", help="environment assumption expression"
+    )
+    parser.add_argument(
+        "--fsm-guidance",
+        action="store_true",
+        help="seed the search with local FSM reachability facts",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--engines",
+        default="atpg",
+        metavar="NAME[,NAME...]",
+        help="engine portfolio raced per property: atpg, bdd, sat, random "
+        "(default: atpg only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes checking properties in parallel (default: 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        help="base RNG seed for reproducible portfolio/batch runs (no effect "
+        "on the deterministic default engine alone)",
+    )
+    parser.add_argument(
+        "--sim-width",
+        type=int,
+        metavar="K",
+        help="bit-parallel lanes for the random-simulation engine: K vectors "
+        "are evaluated per gate visit on the compiled kernel (default: 64; "
+        "no effect on the deterministic default engine alone)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per engine (enforced by cancellation)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every engine to completion and report disagreements "
+        "instead of racing",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="rebuild the unrolled implication network from scratch for "
+        "every bound instead of reusing it incrementally (debug/ablation)",
+    )
+    parser.add_argument(
+        "--no-learning",
+        action="store_true",
+        help="disable cross-bound search learning (persistent illegal-state "
+        "cubes and proven-FAIL target memoisation on the cached unrolled "
+        "models); verdicts are unchanged, only speed (debug/ablation)",
+    )
+    parser.add_argument(
+        "--kb",
+        metavar="PATH",
+        help="persistent knowledge-base store (sqlite): load previously "
+        "learned cubes / proven-FAIL memos before checking and flush new "
+        "facts afterwards; verdicts are unchanged, only speed "
+        "(default: the REPRO_KB environment variable, if set)",
+    )
+    parser.add_argument(
+        "--no-kb",
+        action="store_true",
+        help="ignore --kb and REPRO_KB; run with in-process learning only",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -493,108 +670,73 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_command_analyze)
 
     check = subparsers.add_parser("check", help="check properties on a Verilog file")
-    check.add_argument("design", help="Verilog source file")
-    check.add_argument("--top", help="top module name")
-    check.add_argument(
-        "--assert",
-        dest="assertion",
-        action="append",
-        metavar="NAME=EXPR",
-        help="assertion property (may be repeated)",
-    )
-    check.add_argument(
-        "--witness",
-        action="append",
-        metavar="NAME=EXPR",
-        help="witness property (may be repeated)",
-    )
-    check.add_argument("--max-frames", type=int, default=8, help="unrolling bound")
-    check.add_argument(
-        "--one-hot",
-        action="append",
-        metavar="SIG1,SIG2,...",
-        help="one-hot input group (may be repeated)",
-    )
-    check.add_argument(
-        "--pin", action="append", metavar="SIG=VALUE", help="pin an input to a constant"
-    )
-    check.add_argument(
-        "--assume", action="append", metavar="EXPR", help="environment assumption expression"
-    )
-    check.add_argument(
-        "--fsm-guidance",
-        action="store_true",
-        help="seed the search with local FSM reachability facts",
-    )
-    check.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_check_arguments(check)
     check.add_argument("--vcd", metavar="FILE", help="dump the first trace as VCD")
-    check.add_argument(
-        "--engines",
-        default="atpg",
-        metavar="NAME[,NAME...]",
-        help="engine portfolio raced per property: atpg, bdd, sat, random "
-        "(default: atpg only)",
+    check.set_defaults(func=_command_check)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the verification daemon (warm per-circuit workers)"
     )
-    check.add_argument(
-        "--jobs",
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="unix socket to listen on (default: $REPRO_SERVICE_SOCKET or a "
+        "per-user path under the temp directory)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="resident per-circuit workers before idle LRU eviction (default: 4)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock cap per job; exceeding it aborts the job and "
+        "restarts its worker (default: none)",
+    )
+    serve.add_argument(
+        "--requeue-limit",
         type=int,
         default=1,
         metavar="N",
-        help="worker processes checking properties in parallel (default: 1)",
+        help="retries for a job orphaned by a worker crash (default: 1)",
     )
-    check.add_argument(
-        "--seed",
-        type=int,
-        help="base RNG seed for reproducible portfolio/batch runs (no effect "
-        "on the deterministic default engine alone)",
+    serve.set_defaults(func=_command_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a check to the daemon (falls back to in-process "
+        "checking when none is listening)",
     )
-    check.add_argument(
-        "--sim-width",
-        type=int,
-        metavar="K",
-        help="bit-parallel lanes for the random-simulation engine: K vectors "
-        "are evaluated per gate visit on the compiled kernel (default: 64; "
-        "no effect on the deterministic default engine alone)",
+    _add_check_arguments(submit, design_optional=True)
+    submit.add_argument(
+        "--socket", metavar="PATH", help="daemon unix socket (default: as for serve)"
     )
-    check.add_argument(
-        "--time-budget",
+    submit.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail instead of checking in-process when no daemon answers",
+    )
+    submit.add_argument(
+        "--timeout",
         type=float,
         metavar="SECONDS",
-        help="wall-clock budget per engine (enforced by cancellation)",
+        help="give up waiting for the job result after this long",
     )
-    check.add_argument(
-        "--compare",
+    submit.add_argument(
+        "--stats",
         action="store_true",
-        help="run every engine to completion and report disagreements "
-        "instead of racing",
+        help="print the daemon's live stats (JSON) and exit",
     )
-    check.add_argument(
-        "--no-incremental",
+    submit.add_argument(
+        "--shutdown",
         action="store_true",
-        help="rebuild the unrolled implication network from scratch for "
-        "every bound instead of reusing it incrementally (debug/ablation)",
+        help="ask the daemon to flush its workers' KB state and exit",
     )
-    check.add_argument(
-        "--no-learning",
-        action="store_true",
-        help="disable cross-bound search learning (persistent illegal-state "
-        "cubes and proven-FAIL target memoisation on the cached unrolled "
-        "models); verdicts are unchanged, only speed (debug/ablation)",
-    )
-    check.add_argument(
-        "--kb",
-        metavar="PATH",
-        help="persistent knowledge-base store (sqlite): load previously "
-        "learned cubes / proven-FAIL memos before checking and flush new "
-        "facts afterwards; verdicts are unchanged, only speed "
-        "(default: the REPRO_KB environment variable, if set)",
-    )
-    check.add_argument(
-        "--no-kb",
-        action="store_true",
-        help="ignore --kb and REPRO_KB; run with in-process learning only",
-    )
-    check.set_defaults(func=_command_check)
+    submit.set_defaults(func=_command_submit)
 
     kb = subparsers.add_parser(
         "kb", help="inspect / maintain a persistent knowledge-base store"

@@ -86,6 +86,34 @@ class BatchOptions:
     #: concurrent batches accumulate into one store (merges commute).
     kb_path: Optional[str] = None
 
+    @classmethod
+    def from_request(cls, request) -> "BatchOptions":
+        """Adapter over the unified :class:`repro.api.CheckRequest`.
+
+        The request carries the only authoritative knob list; this maps it
+        onto the batch runner's shape, configuring an
+        :class:`~repro.portfolio.engines.AtpgEngine` adapter in place of the
+        bare ``"atpg"`` name when checker-specific knobs (``fsm_guidance``)
+        are set.  Duck-typed to keep layering one-way.
+        """
+        from repro.portfolio.engines import AtpgEngine, EngineBudget
+
+        configured = tuple(
+            AtpgEngine.from_request(request)
+            if name == "atpg" and request.fsm_guidance
+            else name
+            for name in request.engines
+        )
+        return cls(
+            engines=configured,
+            budget=EngineBudget.from_request(request),
+            jobs=request.jobs,
+            run_all=request.compare,
+            incremental=request.incremental,
+            learning=request.learning,
+            kb_path=request.kb_path,
+        )
+
 
 @dataclass
 class BatchItem:

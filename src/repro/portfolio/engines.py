@@ -61,6 +61,21 @@ class EngineBudget:
     #: RNG seed threaded through the stochastic engines for reproducibility.
     seed: int = 2000
 
+    @classmethod
+    def from_request(cls, request) -> "EngineBudget":
+        """Adapter over the unified :class:`repro.api.CheckRequest`.
+
+        ``None`` request fields keep the budget's own defaults (duck-typed,
+        like :meth:`repro.checker.engine.CheckerOptions.from_request`).
+        """
+        overrides = {}
+        for name in ("max_frames", "seed", "sim_width", "random_runs",
+                     "random_cycles", "bdd_iterations", "bdd_node_limit"):
+            value = getattr(request, name, None)
+            if value is not None:
+                overrides[name] = value
+        return cls(time_seconds=request.time_budget, **overrides)
+
 
 class Engine(Protocol):
     """What the portfolio needs from a checking backend."""
@@ -121,6 +136,15 @@ class AtpgEngine:
         self.incremental = incremental
         self.learning = learning
         self.kb_path = kb_path
+
+    @classmethod
+    def from_request(cls, request) -> "AtpgEngine":
+        """A fully configured adapter from the unified request type.
+
+        Used when checker-specific request knobs (``fsm_guidance``) cannot
+        ride on a bare registry name.
+        """
+        return cls(CheckerOptions.from_request(request))
 
     def run(self, circuit, prop, environment, initial_state, budget) -> EngineResult:
         started = time.perf_counter()

@@ -28,6 +28,11 @@ from repro.properties.spec import (
 )
 from repro.properties.convert import PropertyCompiler, CompiledProperty
 from repro.properties.environment import Environment, InitializationSequence
+from repro.properties.parse import (
+    PropertyParseError,
+    format_expression,
+    parse_expression,
+)
 
 __all__ = [
     "Expression",
@@ -48,4 +53,7 @@ __all__ = [
     "CompiledProperty",
     "Environment",
     "InitializationSequence",
+    "PropertyParseError",
+    "format_expression",
+    "parse_expression",
 ]

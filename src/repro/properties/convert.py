@@ -61,16 +61,50 @@ class PropertyCompiler:
 
     # ------------------------------------------------------------------
     def compile(self, prop: Property) -> CompiledProperty:
-        """Compile a property; the monitor gates are added to the circuit."""
+        """Compile a property; the monitor gates are added to the circuit.
+
+        Compiling the same property into the same circuit twice returns the
+        first compilation's monitor instead of growing the netlist.  This
+        keeps long-lived circuits (a daemon worker's resident design) from
+        accumulating one monitor cone per job, and keeps monitor net names
+        -- which appear in reported traces -- deterministic across repeats.
+        """
+        memo = self._memo()
+        key = self._memo_key(prop)
+        if key is not None and key in memo:
+            return memo[key]
         monitor, delay_depth = self._compile_bool(prop.expr)
         named = self.circuit.buf(monitor, name=self._fresh("monitor_%s" % prop.name))
         goal_value = 0 if isinstance(prop, Assertion) else 1
-        return CompiledProperty(
+        compiled = CompiledProperty(
             prop=prop,
             monitor=named,
             goal_value=goal_value,
             warmup_frames=delay_depth,
         )
+        if key is not None:
+            memo[key] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+    def _memo(self) -> dict:
+        memo = getattr(self.circuit, "_property_monitor_memo", None)
+        if memo is None:
+            memo = {}
+            self.circuit._property_monitor_memo = memo
+        return memo
+
+    @staticmethod
+    def _memo_key(prop: Property):
+        # The textual render is a structural identity for the expression;
+        # expressions it cannot render (non-identifier signal names) are
+        # simply not memoised.
+        from repro.properties.parse import format_expression
+
+        try:
+            return (type(prop).__name__, prop.name, format_expression(prop.expr))
+        except Exception:
+            return None
 
     def compile_condition(self, expr: Expression, name: str = "cond") -> Net:
         """Compile a bare 1-bit condition (used for environment constraints)."""

@@ -29,6 +29,7 @@ from typing import Union
 from repro.properties.spec import (
     And,
     AtMostOneHot,
+    BinOp,
     Const,
     Delayed,
     Expression,
@@ -161,7 +162,70 @@ def _convert_call(node: ast.Call) -> Expression:
             raise PropertyParseError("implies() takes exactly two arguments")
         return Implies(arguments[0], arguments[1])
     if name == "delayed":
-        if len(node.args) != 2 or not isinstance(node.args[1], ast.Constant):
-            raise PropertyParseError("delayed(expr, cycles) needs a constant cycle count")
-        return Delayed(arguments[0], cycles=int(node.args[1].value))
+        if (
+            len(node.args) not in (2, 3)
+            or not all(isinstance(arg, ast.Constant) for arg in node.args[1:])
+        ):
+            raise PropertyParseError(
+                "delayed(expr, cycles[, initial]) needs constant cycle/initial counts"
+            )
+        initial = int(node.args[2].value) if len(node.args) == 3 else 0
+        return Delayed(arguments[0], cycles=int(node.args[1].value), initial=initial)
     raise PropertyParseError("unknown property function %r" % (name,))
+
+
+# ----------------------------------------------------------------------
+# Rendering (the inverse of :func:`parse_expression`)
+# ----------------------------------------------------------------------
+def format_expression(expr: Expression) -> str:
+    """Render an expression tree as text that :func:`parse_expression` accepts.
+
+    This is what makes programmatically built properties *serialisable*: the
+    :class:`~repro.api.CheckRequest` schema carries properties as expression
+    strings, and this renderer turns an in-memory tree back into one.  The
+    round trip is structure-exact --
+    ``property_search_digest(parse_expression(format_expression(e)))``
+    equals the digest of ``e`` -- because every composite is parenthesised
+    and n-ary operators are kept flat.
+    """
+    if isinstance(expr, Signal):
+        if not expr.name.isidentifier():
+            raise PropertyParseError(
+                "signal name %r is not renderable as an identifier" % (expr.name,)
+            )
+        return expr.name
+    if isinstance(expr, Const):
+        if expr.width is not None:
+            raise PropertyParseError(
+                "explicit-width constants have no textual form (Const(%d, width=%d))"
+                % (expr.value, expr.width)
+            )
+        return str(expr.value)
+    if isinstance(expr, Not):
+        return "(~%s)" % format_expression(expr.expr)
+    if isinstance(expr, And):
+        return "(%s)" % " and ".join(format_expression(t) for t in expr.terms)
+    if isinstance(expr, Or):
+        return "(%s)" % " or ".join(format_expression(t) for t in expr.terms)
+    if isinstance(expr, Implies):
+        return "implies(%s, %s)" % (
+            format_expression(expr.antecedent),
+            format_expression(expr.consequent),
+        )
+    if isinstance(expr, OneHot):
+        return "onehot(%s)" % ", ".join(format_expression(t) for t in expr.terms)
+    if isinstance(expr, AtMostOneHot):
+        return "atmostone(%s)" % ", ".join(format_expression(t) for t in expr.terms)
+    if isinstance(expr, Delayed):
+        if expr.initial:
+            return "delayed(%s, %d, %d)" % (
+                format_expression(expr.expr), expr.cycles, expr.initial,
+            )
+        return "delayed(%s, %d)" % (format_expression(expr.expr), expr.cycles)
+    if isinstance(expr, BinOp):
+        return "(%s %s %s)" % (
+            format_expression(expr.lhs), expr.op, format_expression(expr.rhs),
+        )
+    raise PropertyParseError(
+        "cannot render expression node %s" % (type(expr).__name__,)
+    )

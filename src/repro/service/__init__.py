@@ -1,0 +1,40 @@
+"""Verification as a service: a daemon with warm per-circuit workers.
+
+``repro serve`` runs the asyncio :class:`~repro.service.supervisor.Supervisor`
+on a unix socket; ``repro submit`` (or :func:`check_via_service`) sends it
+:class:`repro.api.CheckRequest` payloads over the versioned JSON-lines
+protocol of :mod:`repro.service.protocol` (``repro-service/v1``).  Jobs are
+routed to worker processes keyed by circuit fingerprint, so repeated checks
+of the same design reuse warm unrolled models, learned cubes and open
+knowledge-base handles instead of paying cold start each time.  See
+``docs/service.md`` for the protocol schema and job lifecycle.
+"""
+
+from repro.service.client import (
+    SOCKET_ENV,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    check_via_service,
+    default_socket_path,
+    service_available,
+)
+from repro.service.protocol import JOB_STATES, PROTOCOL, VERBS, ProtocolError
+from repro.service.supervisor import ServiceOptions, Supervisor, serve
+
+__all__ = [
+    "JOB_STATES",
+    "PROTOCOL",
+    "ProtocolError",
+    "SOCKET_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOptions",
+    "ServiceUnavailable",
+    "Supervisor",
+    "VERBS",
+    "check_via_service",
+    "default_socket_path",
+    "serve",
+    "service_available",
+]

@@ -1,0 +1,220 @@
+"""Synchronous client for the verification service.
+
+:class:`ServiceClient` speaks ``repro-service/v1`` over the daemon's unix
+socket; :func:`check_via_service` is the high-level entry the CLI's
+``repro submit`` uses -- it degrades gracefully to in-process checking when
+no daemon is listening (so scripts can use ``repro submit`` unconditionally
+and only *benefit* from a running daemon, never depend on one).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+from dataclasses import replace
+from typing import Dict, Mapping, Optional, Union
+
+from repro import api
+from repro.service import protocol
+
+#: Environment variable overriding the default socket path.
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+
+def default_socket_path() -> str:
+    """Where the daemon listens unless told otherwise.
+
+    ``$REPRO_SERVICE_SOCKET`` wins; the fallback is a per-user path under
+    the system temp directory so unprivileged users never collide.
+    """
+    override = os.environ.get(SOCKET_ENV)
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), "repro-service-%d.sock" % uid)
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered, but with a failure."""
+
+
+class ServiceUnavailable(ServiceError):
+    """No daemon is listening on the socket (connection-level failure)."""
+
+
+class ServiceClient:
+    """One connection to a running daemon (usable as a context manager)."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 connect_timeout: float = 5.0):
+        self.socket_path = socket_path or default_socket_path()
+        self._connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
+
+    # -- connection ---------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._connect_timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceUnavailable(
+                "no verification daemon on %s (%s); start one with 'repro serve'"
+                % (self.socket_path, exc)
+            ) from exc
+        # Verbs like result-with-wait block for the job's duration, so the
+        # established connection runs without a read deadline.
+        sock.settimeout(None)
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw protocol -------------------------------------------------
+    def call(self, verb: str, **fields) -> Dict[str, object]:
+        """Send one verb, return the decoded response (``ok`` or not)."""
+        self.connect()
+        try:
+            self._stream.write(protocol.encode(protocol.request_message(verb, **fields)))
+            self._stream.flush()
+            line = self._stream.readline()
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailable("daemon connection lost: %s" % (exc,)) from exc
+        if not line:
+            self.close()
+            raise ServiceUnavailable("daemon closed the connection")
+        return protocol.decode(line.rstrip(b"\n"))
+
+    def request(self, verb: str, **fields) -> Dict[str, object]:
+        """Like :meth:`call`, but raises :class:`ServiceError` on ``ok: false``."""
+        response = self.call(verb, **fields)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown service error")))
+        return response
+
+    # -- verbs --------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request("ping")
+
+    def submit(self, request: Union[api.CheckRequest, Mapping[str, object]],
+               **extra) -> str:
+        """Submit a check request; returns the daemon's job id.
+
+        ``request`` may be a :class:`~repro.api.CheckRequest` or its dict
+        form -- either way the daemon receives the one true schema.
+        """
+        payload = request.to_dict() if isinstance(request, api.CheckRequest) else dict(request)
+        response = self.request("submit", request=payload, **extra)
+        return str(response["job_id"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return dict(self.request("status", job_id=job_id)["job"])
+
+    def result(self, job_id: str, wait: bool = True,
+               timeout: Optional[float] = None) -> Dict[str, object]:
+        """Fetch a job's outcome; with ``wait`` the daemon blocks until done."""
+        fields: Dict[str, object] = {"job_id": job_id, "wait": wait}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return self.request("result", **fields)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self.request("cancel", job_id=job_id)
+
+    def stats(self) -> Dict[str, object]:
+        return dict(self.request("stats")["stats"])
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to flush all workers' KB state and exit."""
+        return self.request("shutdown")
+
+
+def service_available(socket_path: Optional[str] = None) -> bool:
+    """Whether a daemon answers a ping on the socket."""
+    try:
+        with ServiceClient(socket_path) as client:
+            client.ping()
+        return True
+    except (ServiceError, protocol.ProtocolError):
+        return False
+
+
+def check_via_service(
+    request: api.CheckRequest,
+    socket_path: Optional[str] = None,
+    fallback: bool = True,
+    timeout: Optional[float] = None,
+) -> api.CheckReport:
+    """Check a request through the daemon, or in-process when there is none.
+
+    The returned report is tagged with its execution path (``source``:
+    ``daemon`` / ``in-process``) and, when daemon-run, carries the worker's
+    warm-path stats in ``service`` -- verdicts and traces are bit-identical
+    either way, so callers never need to care which path answered.
+    """
+    if not request.circuit.serializable:
+        if fallback:
+            return api.check(request)
+        raise ServiceError(
+            "an inline circuit cannot be submitted to a daemon; "
+            "use a verilog/source/case circuit ref"
+        )
+    try:
+        with ServiceClient(socket_path) as client:
+            job_id = client.submit(request)
+            response = client.result(job_id, wait=True, timeout=timeout)
+    except ServiceUnavailable:
+        if fallback:
+            return api.check(request)
+        raise
+    state = response.get("state")
+    if state != "done":
+        raise ServiceError(
+            "job %s finished as %s: %s"
+            % (response.get("job_id"), state, response.get("error", "no cause given"))
+        )
+    report_payload = response.get("report")
+    if not isinstance(report_payload, Mapping):
+        raise ServiceError("daemon returned no report for a done job")
+    report = api.CheckReport.from_dict(report_payload)
+    service_block: Dict[str, object] = {"job": dict(response.get("job") or {})}
+    stats = response.get("stats")
+    if isinstance(stats, Mapping):
+        service_block["worker"] = dict(stats)
+    return replace(report, source="daemon", service=service_block)
+
+
+__all__ = [
+    "SOCKET_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "check_via_service",
+    "default_socket_path",
+    "service_available",
+]

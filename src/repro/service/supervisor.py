@@ -1,0 +1,558 @@
+"""The asyncio supervisor of the verification service.
+
+One daemon process owns a unix-socket listener and a fleet of per-circuit
+worker processes (:mod:`repro.service.worker`):
+
+* jobs are routed by **circuit fingerprint**
+  (:func:`repro.kb.fingerprints.circuit_fingerprint`), so every check of the
+  same design lands on the same worker and hits its warm unrolled-model
+  cache, learned cubes and open KB handle;
+* each worker runs jobs serially; the supervisor talks to it over a
+  :mod:`multiprocessing` pipe pumped through ``asyncio.to_thread``, so one
+  slow job never blocks the listener;
+* a crashed worker is detected by pipe EOF: its running job is requeued
+  once (``requeue_limit``) onto a fresh worker, then reported as a failure
+  with the crash cause;
+* jobs exceeding ``job_timeout`` abort (the worker is killed and respawned
+  -- a wedged search cannot be interrupted politely);
+* when the fleet exceeds ``max_workers``, the least-recently-used *idle*
+  worker is retired gracefully -- a ``stop`` op that flushes its attached
+  KB stores before exit, so eviction never loses learned facts.
+
+The client-facing protocol is :mod:`repro.service.protocol`
+(``repro-service/v1``); the check payload inside it is a verbatim
+:class:`repro.api.CheckRequest` dict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro import api
+from repro.kb.fingerprints import circuit_fingerprint
+from repro.portfolio.checker import fork_context
+from repro.service import protocol
+from repro.service.worker import worker_main
+
+
+@dataclass
+class ServiceOptions:
+    """Tunables of one daemon instance."""
+
+    #: unix socket the daemon listens on.
+    socket_path: str
+    #: resident per-circuit workers before LRU eviction kicks in.
+    max_workers: int = 4
+    #: wall-clock cap per job; ``None`` disables the watchdog.
+    job_timeout: Optional[float] = None
+    #: how often a job orphaned by a worker crash is retried before failing.
+    requeue_limit: int = 1
+
+
+class Job:
+    """One submitted check request moving through the daemon."""
+
+    def __init__(self, job_id: str, payload: Mapping[str, object],
+                 fault: Optional[Mapping[str, object]] = None):
+        self.job_id = job_id
+        #: the CheckRequest dict, carried verbatim from submit to worker.
+        self.payload = dict(payload)
+        self.fault = dict(fault) if fault else None
+        self.state = "queued"
+        self.worker_key: Optional[str] = None
+        self.attempts = 0
+        self.requeues = 0
+        self.error: Optional[str] = None
+        self.report: Optional[Dict[str, object]] = None
+        self.worker_stats: Optional[Dict[str, object]] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.done = asyncio.Event()
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        self.state = state
+        self.error = error
+        self.finished_at = time.time()
+        self.done.set()
+
+    def describe(self) -> Dict[str, object]:
+        """The ``status`` verb's job block."""
+        payload: Dict[str, object] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "worker": self.worker_key,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "submitted_at": self.submitted_at,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+            payload["wall_seconds"] = round(self.finished_at - self.submitted_at, 6)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class WorkerHandle:
+    """Supervisor-side bookkeeping for one worker process."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self.proc = None
+        self.conn = None
+        self.runner: Optional[asyncio.Task] = None
+        self.current: Optional[Job] = None
+        self.jobs_done = 0
+        self.restarts = 0
+        self.last_stats: Optional[Dict[str, object]] = None
+        self.last_active = time.time()
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None and self.queue.empty()
+
+
+def _recv(conn):
+    """Blocking pipe receive (runs inside ``asyncio.to_thread``)."""
+    return conn.recv()
+
+
+class Supervisor:
+    """The daemon: listener, job table, and the per-circuit worker fleet."""
+
+    def __init__(self, options: ServiceOptions):
+        self.options = options
+        context = fork_context()
+        if context is None:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError("the verification service needs a POSIX fork context")
+        self._context = context
+        self.workers: "OrderedDict[str, WorkerHandle]" = OrderedDict()
+        self.jobs: Dict[str, Job] = {}
+        self._job_ids = itertools.count(1)
+        self.counters = {
+            "submitted": 0, "completed": 0, "failed": 0,
+            "cancelled": 0, "requeued": 0,
+        }
+        self.started_at = time.time()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closing = False
+        self._shutdown_requested = False
+        self.shutdown_event = asyncio.Event()
+        #: circuit-ref cache key -> worker key (avoids re-elaborating designs
+        #: in the supervisor just to route repeat submissions).
+        self._route_cache: Dict[tuple, str] = {}
+        #: worker key -> human-readable circuit name (for stats).
+        self._circuit_names: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        socket_path = self.options.socket_path
+        directory = os.path.dirname(socket_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)  # stale socket from an unclean exit
+        self._server = await asyncio.start_unix_server(
+            self._client_connected, path=socket_path, limit=protocol.MAX_LINE_BYTES,
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` verb arrives, then stop cleanly."""
+        await self.start()
+        try:
+            await self.shutdown_event.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for handle in list(self.workers.values()):
+            await self._retire(handle)
+        self.workers.clear()
+        try:
+            os.unlink(self.options.socket_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.encode(protocol.error_response(
+                        None, "message exceeds %d bytes" % protocol.MAX_LINE_BYTES)))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line.rstrip(b"\n"))
+                    verb, payload = protocol.parse_verb(message)
+                    response = await self._dispatch(verb, payload)
+                except protocol.ProtocolError as exc:
+                    response = protocol.error_response(None, str(exc))
+                except api.RequestError as exc:
+                    response = protocol.error_response(None, "bad request: %s" % exc)
+                except Exception as exc:  # pragma: no cover - defensive
+                    response = protocol.error_response(None, "internal error: %s" % exc)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+                if self._shutdown_requested:
+                    self.shutdown_event.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # Close without awaiting: during shutdown this task is itself
+            # cancelled by the server teardown and must not block on it.
+            writer.close()
+
+    async def _dispatch(self, verb: str, payload: Mapping[str, object]) -> Dict[str, object]:
+        if verb == "ping":
+            return protocol.ok_response(
+                "ping", protocol=protocol.PROTOCOL, pid=os.getpid(),
+                uptime_seconds=round(time.time() - self.started_at, 3),
+            )
+        if verb == "submit":
+            return await self._verb_submit(payload)
+        if verb == "status":
+            job = self._job_for(payload)
+            return protocol.ok_response("status", job=job.describe())
+        if verb == "result":
+            return await self._verb_result(payload)
+        if verb == "cancel":
+            return await self._verb_cancel(payload)
+        if verb == "stats":
+            return protocol.ok_response("stats", stats=self.stats())
+        if verb == "shutdown":
+            self._shutdown_requested = True
+            return protocol.ok_response("shutdown", stats=self.stats())
+        raise protocol.ProtocolError("unknown verb %r" % (verb,))  # pragma: no cover
+
+    def _job_for(self, payload: Mapping[str, object]) -> Job:
+        job_id = payload.get("job_id")
+        job = self.jobs.get(str(job_id))
+        if job is None:
+            raise protocol.ProtocolError("unknown job %r" % (job_id,))
+        return job
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    async def _verb_submit(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        request_payload = payload.get("request")
+        if not isinstance(request_payload, Mapping):
+            raise protocol.ProtocolError("submit needs a 'request' object")
+        # Validate eagerly so a malformed request is rejected at submit time
+        # (with a cause), not discovered as a failed job later.
+        request = api.CheckRequest.from_dict(request_payload)
+        worker_key = await self._worker_key_for(request)
+        job = Job(
+            "job-%d" % next(self._job_ids),
+            request_payload,
+            fault=payload.get("x_test_fault"),
+        )
+        job.worker_key = worker_key
+        self.jobs[job.job_id] = job
+        self.counters["submitted"] += 1
+        handle = self._worker(worker_key)
+        handle.queue.put_nowait(job)
+        return protocol.ok_response(
+            "submit", job_id=job.job_id, state=job.state, worker=worker_key,
+        )
+
+    async def _verb_result(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        job = self._job_for(payload)
+        if payload.get("wait", True) and not job.done.is_set():
+            timeout = payload.get("timeout")
+            try:
+                await asyncio.wait_for(
+                    job.done.wait(), None if timeout is None else float(timeout)
+                )
+            except asyncio.TimeoutError:
+                return protocol.error_response(
+                    "result", "job %s still %s" % (job.job_id, job.state),
+                    job_id=job.job_id, state=job.state,
+                )
+        response = protocol.ok_response(
+            "result", job_id=job.job_id, state=job.state, job=job.describe(),
+        )
+        if job.report is not None:
+            response["report"] = job.report
+        if job.worker_stats is not None:
+            response["stats"] = job.worker_stats
+        if job.error is not None:
+            response["error"] = job.error
+        return response
+
+    async def _verb_cancel(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        job = self._job_for(payload)
+        if job.state == "queued":
+            job.finish("cancelled", "cancelled while queued")
+            self.counters["cancelled"] += 1
+            return protocol.ok_response("cancel", job_id=job.job_id,
+                                        cancelled=True, state=job.state)
+        if job.state == "running":
+            # Mark first so the runner's EOF handler knows this was deliberate,
+            # then kill the worker (a wedged search has no polite interrupt).
+            job.finish("cancelled", "cancelled while running")
+            self.counters["cancelled"] += 1
+            handle = self.workers.get(job.worker_key or "")
+            if handle is not None:
+                await asyncio.to_thread(self._kill_worker, handle)
+            return protocol.ok_response("cancel", job_id=job.job_id,
+                                        cancelled=True, state=job.state)
+        return protocol.ok_response("cancel", job_id=job.job_id,
+                                    cancelled=False, state=job.state)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _worker_key_for(self, request: api.CheckRequest) -> str:
+        """Map a request onto its circuit-fingerprint worker key.
+
+        The first submission of a design elaborates it once in the
+        supervisor (in a thread, off the event loop) to compute the
+        structural fingerprint; repeats are served from the route cache.
+        """
+        cache_key = request.circuit.cache_key()
+        key = self._route_cache.get(cache_key)
+        if key is not None:
+            return key
+
+        def compute():
+            resolved = api.resolve_design(request.circuit)
+            return ("%016x" % circuit_fingerprint(resolved.circuit),
+                    resolved.circuit.name)
+
+        key, circuit_name = await asyncio.to_thread(compute)
+        self._route_cache[cache_key] = key
+        self._circuit_names.setdefault(key, circuit_name)
+        return key
+
+    def _worker(self, key: str) -> WorkerHandle:
+        handle = self.workers.get(key)
+        if handle is None:
+            self._evict_idle_workers(need_room=True)
+            handle = WorkerHandle(key)
+            self._spawn(handle)
+            handle.runner = asyncio.get_running_loop().create_task(
+                self._run_worker(handle)
+            )
+            self.workers[key] = handle
+        self.workers.move_to_end(key)
+        handle.last_active = time.time()
+        return handle
+
+    def _evict_idle_workers(self, need_room: bool = False) -> None:
+        """Retire least-recently-used idle workers beyond the cap.
+
+        Busy workers are never evicted; if everything is busy the fleet
+        temporarily overshoots ``max_workers`` rather than dropping jobs.
+        """
+        budget = self.options.max_workers - (1 if need_room else 0)
+        while len(self.workers) > budget:
+            victim = next(
+                (key for key, handle in self.workers.items() if handle.idle),
+                None,
+            )
+            if victim is None:
+                return
+            handle = self.workers.pop(victim)
+            if handle.runner is not None:
+                handle.runner.cancel()
+            asyncio.get_running_loop().create_task(self._retire(handle))
+
+    # ------------------------------------------------------------------
+    # Worker processes
+    # ------------------------------------------------------------------
+    def _spawn(self, handle: WorkerHandle) -> None:
+        parent, child = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(child, handle.key),
+            name="repro-worker-%s" % handle.key[:8],
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        handle.conn = parent
+        handle.proc = process
+
+    def _kill_worker(self, handle: WorkerHandle) -> None:
+        """Hard-stop a worker process (blocking; call via ``to_thread``)."""
+        try:
+            handle.conn.close()
+        except (OSError, AttributeError):
+            pass
+        if handle.proc is not None and handle.proc.is_alive():
+            handle.proc.kill()
+            handle.proc.join(5)
+
+    def _stop_worker(self, handle: WorkerHandle, timeout: float = 15.0) -> None:
+        """Graceful stop: the worker flushes its KB stores before exiting."""
+        try:
+            handle.conn.send({"op": "stop"})
+            if handle.conn.poll(timeout):
+                reply = handle.conn.recv()
+                if isinstance(reply, dict) and reply.get("stats"):
+                    handle.last_stats = reply["stats"]
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        if handle.proc is not None:
+            handle.proc.join(timeout)
+            if handle.proc.is_alive():  # pragma: no cover - wedged worker
+                handle.proc.kill()
+                handle.proc.join(5)
+        try:
+            handle.conn.close()
+        except (OSError, AttributeError):
+            pass
+
+    async def _retire(self, handle: WorkerHandle) -> None:
+        if handle.runner is not None and not handle.runner.cancelled():
+            handle.runner.cancel()
+        await asyncio.to_thread(self._stop_worker, handle)
+
+    async def _restart(self, handle: WorkerHandle) -> None:
+        handle.restarts += 1
+        await asyncio.to_thread(self._kill_worker, handle)
+        if not self._closing:
+            self._spawn(handle)
+
+    # ------------------------------------------------------------------
+    # The per-worker runner coroutine
+    # ------------------------------------------------------------------
+    async def _run_worker(self, handle: WorkerHandle) -> None:
+        while True:
+            job = await handle.queue.get()
+            if job.state != "queued":
+                continue  # cancelled while waiting
+            job.state = "running"
+            job.worker_key = handle.key
+            job.started_at = time.time()
+            job.attempts += 1
+            handle.current = job
+            try:
+                message: Dict[str, object] = {
+                    "op": "run", "job_id": job.job_id, "request": job.payload,
+                }
+                if job.fault is not None:
+                    message["fault"] = job.fault
+                await asyncio.to_thread(handle.conn.send, message)
+                reply = await asyncio.wait_for(
+                    asyncio.to_thread(_recv, handle.conn),
+                    timeout=self.options.job_timeout,
+                )
+            except asyncio.TimeoutError:
+                handle.current = None
+                job.finish(
+                    "failed",
+                    "aborted: job exceeded the %.1fs service timeout"
+                    % (self.options.job_timeout,),
+                )
+                self.counters["failed"] += 1
+                await self._restart(handle)
+                continue
+            except (EOFError, OSError, BrokenPipeError):
+                handle.current = None
+                if job.state == "cancelled":
+                    await self._restart(handle)
+                    continue
+                exit_code = handle.proc.exitcode if handle.proc is not None else None
+                if job.requeues < self.options.requeue_limit:
+                    job.requeues += 1
+                    job.state = "queued"
+                    self.counters["requeued"] += 1
+                    await self._restart(handle)
+                    handle.queue.put_nowait(job)
+                else:
+                    job.finish(
+                        "failed",
+                        "aborted: worker crashed (exit code %s) on attempt %d; "
+                        "requeue limit %d reached"
+                        % (exit_code, job.attempts, self.options.requeue_limit),
+                    )
+                    self.counters["failed"] += 1
+                    await self._restart(handle)
+                continue
+            handle.current = None
+            handle.last_active = time.time()
+            if job.state == "cancelled":
+                continue  # finished racing a cancel; the cancel wins
+            op = reply.get("op") if isinstance(reply, dict) else None
+            if op == "done":
+                job.report = reply.get("report")
+                job.worker_stats = reply.get("stats")
+                handle.last_stats = reply.get("stats")
+                handle.jobs_done += 1
+                self.counters["completed"] += 1
+                job.finish("done")
+            elif op == "job-error":
+                handle.last_stats = reply.get("stats")
+                self.counters["failed"] += 1
+                job.finish("failed", str(reply.get("error")))
+            else:  # pragma: no cover - defensive
+                self.counters["failed"] += 1
+                job.finish("failed", "unexpected worker reply %r" % (op,))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The ``stats`` verb payload (also embedded in shutdown replies)."""
+        queued = sum(1 for job in self.jobs.values() if job.state == "queued")
+        running = sum(1 for job in self.jobs.values() if job.state == "running")
+        workers = []
+        for key, handle in self.workers.items():
+            block: Dict[str, object] = dict(handle.last_stats or {})
+            block.update({
+                "worker_key": key,
+                "circuit": self._circuit_names.get(key),
+                "alive": bool(handle.proc is not None and handle.proc.is_alive()),
+                "busy": handle.current is not None,
+                "queue_depth": handle.queue.qsize(),
+                "jobs_done": handle.jobs_done,
+                "restarts": handle.restarts,
+                "idle_seconds": round(time.time() - handle.last_active, 3),
+            })
+            workers.append(block)
+        jobs = dict(self.counters)
+        jobs["queued"] = queued
+        jobs["running"] = running
+        return {
+            "protocol": protocol.PROTOCOL,
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "max_workers": self.options.max_workers,
+            "jobs": jobs,
+            "workers": workers,
+        }
+
+
+async def serve(options: ServiceOptions) -> None:
+    """Convenience entry point: run one supervisor until shutdown."""
+    await Supervisor(options).serve_forever()
+
+
+__all__ = ["Job", "ServiceOptions", "Supervisor", "WorkerHandle", "serve"]

@@ -1,0 +1,176 @@
+"""The per-circuit worker process of the verification service.
+
+One worker owns one circuit (keyed by its structural fingerprint) and runs
+check jobs for it *serially*, which is exactly what makes the daemon fast:
+
+* a **design cache** keeps the resolved circuit object alive, so the
+  process-wide :class:`~repro.checker.incremental.UnrolledModelCache`
+  (keyed partly by object identity) serves every job after the first from
+  the warm unrolled model -- along with the learned illegal cubes, ESTG
+  state and proven-FAIL memos riding on it;
+* the **knowledge-base handle** is opened once per store path and held for
+  the worker's life (:func:`repro.kb.open_knowledge_base` deduplicates per
+  process), so KB cubes are loaded from sqlite once, not per job;
+* on a graceful stop the worker flushes all attached stores
+  (:func:`repro.kb.flush_attached_stores`) before exiting, so nothing
+  learned is lost when the supervisor evicts an idle worker.
+
+The worker speaks a tiny op-dict protocol over a :mod:`multiprocessing`
+pipe with its supervisor (``run`` / ``stats`` / ``stop``); the check payload
+itself is a verbatim :class:`repro.api.CheckRequest` dict.
+
+Fault injection (crash / crash-once / sleep) is compiled in but inert: it
+only triggers when the supervisor was started with
+``REPRO_SERVICE_FAULTS=1``, and exists so the crash-requeue path is
+testable without patching internals.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Dict, Optional
+
+from repro import api
+from repro.checker.incremental import shared_model_cache
+from repro.kb import flush_attached_stores, open_knowledge_base
+
+#: Environment switch that arms the test-only fault hooks.
+FAULTS_ENV = "REPRO_SERVICE_FAULTS"
+
+
+def faults_enabled() -> bool:
+    """Whether test-only fault injection is armed for this process tree."""
+    return os.environ.get(FAULTS_ENV, "") == "1"
+
+
+def _apply_fault(fault: Optional[Dict[str, object]]) -> None:
+    """Honour a test-only fault directive (no-op unless armed)."""
+    if not fault or not faults_enabled():
+        return
+    kind = fault.get("kind")
+    if kind == "crash":
+        os._exit(17)
+    if kind == "crash-once":
+        marker = str(fault.get("marker", ""))
+        if marker and not os.path.exists(marker):
+            with open(marker, "w") as stream:
+                stream.write("crashed\n")
+            os._exit(17)
+        return
+    if kind == "sleep":
+        time.sleep(float(fault.get("seconds", 1.0)))
+
+
+class _WorkerState:
+    """Warm state and counters one worker accumulates across jobs."""
+
+    def __init__(self, worker_key: str):
+        self.worker_key = worker_key
+        self.design_cache: Dict = {}
+        self.kb_paths: Dict[str, None] = {}  # insertion-ordered set
+        self.jobs_done = 0
+        self.warm_hits = 0
+        self.kb_cubes_loaded = 0
+        self.kb_hits = 0
+        self.started_at = time.time()
+
+    def note_report(self, report: api.CheckReport) -> None:
+        self.jobs_done += 1
+        self.warm_hits += report.aggregate("models_reused")
+        self.kb_cubes_loaded += report.aggregate("kb_cubes_loaded")
+        self.kb_hits += report.aggregate("kb_hits")
+
+    def note_request(self, request: api.CheckRequest) -> None:
+        if request.kb_path:
+            self.kb_paths.setdefault(request.kb_path)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The live per-worker stats block of the ``stats`` verb.
+
+        The ``kb`` entries reuse :meth:`repro.kb.KnowledgeBase.stats`
+        verbatim -- the same shape ``repro kb stats --json`` prints -- so
+        tooling parses one schema for both.
+        """
+        cache = shared_model_cache().stats()
+        kb_blocks = []
+        for path in self.kb_paths:
+            try:
+                kb_blocks.append(open_knowledge_base(path).stats())
+            except Exception as exc:  # pragma: no cover - defensive
+                kb_blocks.append({"path": path, "disabled": True, "reason": str(exc)})
+        return {
+            "worker_key": self.worker_key,
+            "pid": os.getpid(),
+            "jobs_done": self.jobs_done,
+            "warm_hits": self.warm_hits,
+            "kb_cubes_loaded": self.kb_cubes_loaded,
+            "kb_hits": self.kb_hits,
+            "model_cache": cache,
+            "cache_residency": cache.get("entries", 0),
+            "designs_resident": len(self.design_cache),
+            "kb": kb_blocks,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+
+def worker_main(conn, worker_key: str) -> None:
+    """Entry point of the worker child process.
+
+    ``conn`` is the supervisor end-to-end duplex pipe.  Ops:
+
+    * ``{"op": "run", "job_id", "request": <CheckRequest dict>, "fault"?}``
+      -> ``{"op": "done", "job_id", "report": <CheckReport dict>, "stats"}``
+      or ``{"op": "job-error", "job_id", "error", "stats"}``;
+    * ``{"op": "stats"}`` -> ``{"op": "stats", "stats"}``;
+    * ``{"op": "stop"}`` -> flush KB stores, ``{"op": "stopped"}``, exit.
+    """
+    state = _WorkerState(worker_key)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Supervisor went away: flush what we learned and fold.
+            flush_attached_stores()
+            return
+        op = message.get("op")
+        if op == "stop":
+            flush_attached_stores()
+            try:
+                conn.send({"op": "stopped", "stats": state.snapshot()})
+            except (BrokenPipeError, OSError):  # pragma: no cover - racing exit
+                pass
+            return
+        if op == "stats":
+            conn.send({"op": "stats", "stats": state.snapshot()})
+            continue
+        if op != "run":
+            conn.send({"op": "error", "error": "unknown op %r" % (op,)})
+            continue
+
+        job_id = message.get("job_id")
+        _apply_fault(message.get("fault"))
+        try:
+            request = api.CheckRequest.from_dict(message["request"])
+            state.note_request(request)
+            report = api.check(request, design_cache=state.design_cache)
+        except Exception as exc:
+            conn.send({
+                "op": "job-error",
+                "job_id": job_id,
+                "error": "%s: %s" % (type(exc).__name__, exc),
+                "traceback": traceback.format_exc(),
+                "stats": state.snapshot(),
+            })
+            continue
+        state.note_report(report)
+        conn.send({
+            "op": "done",
+            "job_id": job_id,
+            "report": report.to_dict(),
+            "stats": state.snapshot(),
+        })
+
+
+__all__ = ["FAULTS_ENV", "faults_enabled", "worker_main"]

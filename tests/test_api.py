@@ -1,0 +1,316 @@
+"""Tests for the unified public API (:mod:`repro.api`).
+
+Covers the satellite guarantees of the api_redesign: the
+``repro-check-request/v1`` JSON round trip (tolerant of unknown fields and
+newer minor schema revisions), the adapter equivalence of
+``CheckerOptions`` / ``EngineBudget`` / ``BatchOptions`` over one request,
+the property-expression render/parse round trip, and the facade
+(``check`` / ``check_batch`` / ``CheckReport``) matching the classic
+checker verbatim.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import api
+from repro.atpg.statehash import property_search_digest
+from repro.checker.engine import AssertionChecker, CheckerOptions
+from repro.circuits import all_case_ids, build_case
+from repro.netlist import Circuit
+from repro.portfolio.batch import BatchOptions
+from repro.portfolio.engines import AtpgEngine, EngineBudget
+from repro.properties import (
+    Assertion,
+    Environment,
+    Signal,
+    Witness,
+    format_expression,
+    parse_expression,
+)
+
+
+def build_counter(limit: int = 9) -> Circuit:
+    circuit = Circuit("counter")
+    en = circuit.input("en", 1)
+    count = circuit.state("count", 4)
+    wrapped = circuit.mux(circuit.eq(count, limit),
+                          circuit.add(count, circuit.const(1, 4)),
+                          circuit.const(0, 4))
+    circuit.dff_into(count, circuit.mux(en, count, wrapped), init_value=0)
+    circuit.output(count, name="count")
+    return circuit
+
+
+def full_request() -> api.CheckRequest:
+    return api.CheckRequest(
+        circuit=api.CircuitRef.verilog("designs/foo.v", top="foo"),
+        properties=(
+            api.PropertySpec.assertion("safe", "count != 12", max_frames=5),
+            api.PropertySpec.witness("reach", "count == 2", seed=7),
+        ),
+        pinned=(("rst", 0),),
+        one_hot=(("req0", "req1"),),
+        assumptions=("en == 1",),
+        initial_state=(("count", 3),),
+        init_vectors=((("rst", 1),),),
+        engines=("atpg", "random"),
+        max_frames=6,
+        time_budget=2.5,
+        sim_width=16,
+        seed=11,
+        random_runs=32,
+        random_cycles=24,
+        bdd_iterations=100,
+        bdd_node_limit=50_000,
+        incremental=False,
+        learning=False,
+        kb_path="/tmp/kb.sqlite",
+        fsm_guidance=True,
+        jobs=3,
+        compare=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# CheckRequest serialisation
+# ----------------------------------------------------------------------
+class TestRequestRoundTrip:
+    def test_full_round_trip(self):
+        request = full_request()
+        assert api.CheckRequest.from_json(request.to_json()) == request
+
+    def test_defaults_round_trip(self):
+        request = api.CheckRequest(circuit=api.CircuitRef.case("p1"))
+        assert api.CheckRequest.from_json(request.to_json()) == request
+
+    def test_unknown_fields_tolerated_everywhere(self):
+        payload = full_request().to_dict()
+        payload["future_field"] = {"nested": True}
+        payload["circuit"]["future_hint"] = "x"
+        payload["properties"][0]["future_weight"] = 3
+        payload["environment"]["future_clock"] = "clk"
+        payload["budget"]["future_budget"] = 9
+        payload["search"]["future_switch"] = False
+        payload["batch"]["future_shard"] = 4
+        assert api.CheckRequest.from_dict(payload) == full_request()
+
+    def test_newer_minor_schema_accepted(self):
+        payload = full_request().to_dict()
+        payload["schema"] = "repro-check-request/v1.7"
+        assert api.CheckRequest.from_dict(payload) == full_request()
+
+    def test_other_major_schema_rejected(self):
+        payload = full_request().to_dict()
+        payload["schema"] = "repro-check-request/v2"
+        with pytest.raises(api.RequestError):
+            api.CheckRequest.from_dict(payload)
+
+    def test_missing_circuit_rejected(self):
+        with pytest.raises(api.RequestError):
+            api.CheckRequest.from_dict({"schema": api.REQUEST_SCHEMA})
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(api.RequestError):
+            api.CheckRequest(circuit=api.CircuitRef.case("p1"), engines=())
+        with pytest.raises(api.RequestError):
+            api.CheckRequest(circuit=api.CircuitRef.case("p1"), jobs=0)
+        with pytest.raises(api.RequestError):
+            api.CheckRequest(circuit=api.CircuitRef.case("p1"), sim_width=0)
+
+    def test_inline_circuit_is_not_serialisable(self):
+        request = api.build_request(build_counter(), "count != 12")
+        assert not request.circuit.serializable
+        with pytest.raises(api.RequestError):
+            request.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Property specs and expression rendering
+# ----------------------------------------------------------------------
+class TestPropertySpecs:
+    def test_spec_round_trip_preserves_structure(self):
+        prop = Assertion("safe", (Signal("a") & Signal("b")) != 0)
+        spec = api.PropertySpec.from_property(prop)
+        rebuilt = spec.to_property()
+        assert rebuilt.name == "safe"
+        assert rebuilt.is_assertion
+        assert property_search_digest(rebuilt.expr) == property_search_digest(prop.expr)
+
+    def test_witness_kind_round_trips(self):
+        spec = api.PropertySpec.from_property(Witness("reach", Signal("x") == 3))
+        assert spec.kind == "witness"
+        assert not spec.to_property().is_assertion
+
+    @pytest.mark.parametrize("case_id", all_case_ids())
+    def test_bundled_case_properties_render_and_parse(self, case_id):
+        prop = build_case(case_id).prop
+        text = format_expression(prop.expr)
+        assert property_search_digest(parse_expression(text)) == (
+            property_search_digest(prop.expr)
+        )
+
+    def test_delayed_initial_round_trips(self):
+        expr = parse_expression("delayed(x == 1, 2, 1) >> (y == 0)")
+        assert parse_expression(format_expression(expr)) is not None
+        assert property_search_digest(parse_expression(format_expression(expr))) == (
+            property_search_digest(expr)
+        )
+
+    def test_bad_expression_rejected_eagerly(self):
+        with pytest.raises(Exception):
+            api.PropertySpec.assertion("broken", "count ===")
+
+
+# ----------------------------------------------------------------------
+# Adapter equivalence: one request, no second knob list
+# ----------------------------------------------------------------------
+class TestAdapters:
+    def test_checker_options_adapter(self):
+        request = full_request()
+        options = CheckerOptions.from_request(request)
+        assert options.max_frames == request.max_frames
+        assert options.incremental is request.incremental
+        assert options.learning is request.learning
+        assert options.kb_path == request.kb_path
+        assert options.use_local_fsm_guidance is request.fsm_guidance
+
+    def test_checker_options_defaults_survive_none(self):
+        request = api.CheckRequest(circuit=api.CircuitRef.case("p1"))
+        options = CheckerOptions.from_request(request)
+        assert options.max_frames == CheckerOptions().max_frames
+
+    def test_engine_budget_adapter(self):
+        request = full_request()
+        budget = EngineBudget.from_request(request)
+        assert budget.time_seconds == request.time_budget
+        assert budget.max_frames == request.max_frames
+        assert budget.sim_width == request.sim_width
+        assert budget.seed == request.seed
+        assert budget.random_runs == request.random_runs
+        assert budget.random_cycles == request.random_cycles
+        assert budget.bdd_iterations == request.bdd_iterations
+        assert budget.bdd_node_limit == request.bdd_node_limit
+
+    def test_engine_budget_defaults_survive_none(self):
+        request = api.CheckRequest(circuit=api.CircuitRef.case("p1"))
+        assert EngineBudget.from_request(request) == EngineBudget()
+
+    def test_batch_options_adapter(self):
+        request = full_request()
+        options = BatchOptions.from_request(request)
+        assert options.jobs == request.jobs
+        assert options.run_all is request.compare
+        assert options.incremental is request.incremental
+        assert options.learning is request.learning
+        assert options.kb_path == request.kb_path
+        assert options.budget == EngineBudget.from_request(request)
+        # fsm_guidance turns the bare "atpg" name into a configured adapter.
+        assert isinstance(options.engines[0], AtpgEngine)
+        assert options.engines[0].options.use_local_fsm_guidance
+        assert options.engines[1] == "random"
+
+    def test_batch_options_plain_engines_without_fsm_guidance(self):
+        request = dataclasses.replace(full_request(), fsm_guidance=False)
+        options = BatchOptions.from_request(request)
+        assert options.engines == ("atpg", "random")
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class TestFacade:
+    def test_check_matches_classic_checker(self):
+        circuit = build_counter()
+        prop = Assertion("no_twelve", Signal("count") != 12)
+        classic = AssertionChecker(
+            circuit, options=CheckerOptions(max_frames=6)
+        ).check(prop)
+
+        report = api.check(api.build_request(build_counter(), prop, max_frames=6))
+        assert len(report.results) == 1
+        verdict = report.results[0]
+        assert verdict.status == classic.status.value
+        assert verdict.conclusive
+        assert report.exit_code == 0
+
+    def test_check_failing_assertion_reports_trace_and_exit_code(self):
+        report = api.check(
+            api.build_request(build_counter(), Assertion("bad", Signal("count") != 3),
+                              max_frames=8)
+        )
+        verdict = report.results[0]
+        assert verdict.status == "fails"
+        assert verdict.trace is not None
+        assert report.exit_code == 1
+
+    def test_case_ref_supplies_defaults(self):
+        # No properties / bound on the request: the bundled case's own
+        # property and max_frames apply.
+        request = api.CheckRequest(circuit=api.CircuitRef.case("p1"))
+        report = api.check(request)
+        case = build_case("p1")
+        assert report.results[0].name == case.prop.name
+        assert report.results[0].status == case.expected_status.value
+
+    def test_check_batch_forces_portfolio_machinery(self):
+        report = api.check_batch(
+            api.build_request(build_counter(), Assertion("ok", Signal("count") != 12),
+                              max_frames=6)
+        )
+        assert report.results[0].engines  # per-engine details present
+        assert report.results[0].winner == "atpg"
+
+    def test_design_cache_reuses_circuit_objects(self):
+        cache = {}
+        request = api.CheckRequest(circuit=api.CircuitRef.case("p1"))
+        first = api.resolve_design(request.circuit, cache)
+        second = api.resolve_design(request.circuit, cache)
+        assert first.circuit is second.circuit
+
+    def test_report_json_round_trip(self):
+        report = api.check(
+            api.build_request(build_counter(), Assertion("bad", Signal("count") != 3),
+                              max_frames=8)
+        )
+        rebuilt = api.CheckReport.from_json(report.to_json())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.exit_code == report.exit_code
+
+    def test_report_tolerates_unknown_fields_and_minor_versions(self):
+        payload = api.check(
+            api.CheckRequest(circuit=api.CircuitRef.case("p1"))
+        ).to_dict()
+        payload["schema"] = "repro-check-report/v1.4"
+        payload["future"] = 1
+        payload["results"][0]["future_detail"] = "x"
+        rebuilt = api.CheckReport.from_dict(payload)
+        assert rebuilt.results[0].status == payload["results"][0]["status"]
+
+    def test_environment_decomposition_through_build_request(self):
+        environment = Environment()
+        environment.pin("rst", 0)
+        environment.one_hot(["a", "b"])
+        environment.assume(parse_expression("en == 1"))
+        environment.initialize_with([{"rst": 1}])
+        request = api.build_request(build_counter(), "count != 12",
+                                    environment=environment)
+        rebuilt = request.build_environment()
+        assert rebuilt.pinned == {"rst": 0}
+        assert [list(g) for g in rebuilt.one_hot_groups] == [["a", "b"]]
+        assert len(rebuilt.assumptions) == 1
+        assert rebuilt.initialization.vectors == [{"rst": 1}]
+
+    def test_unknown_engine_rejected(self):
+        request = api.build_request(build_counter(), "count != 12",
+                                    engines=("warp",))
+        with pytest.raises(api.RequestError):
+            api.check(request)
+
+    def test_request_json_is_camera_ready(self):
+        # The wire form groups knobs; spot-check the layout the docs promise.
+        payload = json.loads(full_request().to_json())
+        assert payload["schema"] == api.REQUEST_SCHEMA
+        assert set(payload) >= {"circuit", "properties", "environment",
+                                "engines", "bounds", "budget", "search", "batch"}

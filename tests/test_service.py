@@ -1,0 +1,294 @@
+"""Tests for the verification-as-a-service daemon (:mod:`repro.service`).
+
+Three layers:
+
+* golden protocol tests -- every ``repro-service/v1`` message shape
+  round-trips through encode/decode, unknown fields survive, newer minor
+  protocol revisions are tolerated and other majors rejected;
+* daemon integration -- a real supervisor on a unix socket: the second
+  submit of the same circuit hits the warm worker (nonzero warm stats) and
+  returns a bit-identical verdict + counterexample to the in-process path;
+* failure handling -- worker crashes are requeued once then aborted with a
+  cause, job timeouts abort, and a missing daemon falls back in-process.
+"""
+
+import asyncio
+import contextlib
+import copy
+import os
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.service import protocol
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    check_via_service,
+    service_available,
+)
+from repro.service.supervisor import ServiceOptions, serve
+from repro.service.worker import FAULTS_ENV
+
+
+# ----------------------------------------------------------------------
+# Protocol golden tests
+# ----------------------------------------------------------------------
+GOLDEN_REQUESTS = [
+    protocol.request_message("ping"),
+    protocol.request_message("submit", request={"circuit": {"kind": "case", "case": "p1"}}),
+    protocol.request_message("status", job_id="job-1"),
+    protocol.request_message("result", job_id="job-1", wait=True, timeout=2.0),
+    protocol.request_message("cancel", job_id="job-1"),
+    protocol.request_message("stats"),
+    protocol.request_message("shutdown"),
+]
+
+GOLDEN_RESPONSES = [
+    protocol.ok_response("ping", pid=1234),
+    protocol.ok_response("submit", job_id="job-1", state="queued"),
+    protocol.ok_response("status", job={"job_id": "job-1", "state": "running"}),
+    protocol.ok_response("result", job_id="job-1", state="done",
+                         report={"schema": "repro-check-report/v1"}),
+    protocol.ok_response("cancel", job_id="job-1", state="cancelled"),
+    protocol.ok_response("stats", stats={"jobs": {"submitted": 1}, "workers": []}),
+    protocol.ok_response("shutdown", stopping=True),
+    protocol.error_response("submit", "bad request"),
+    protocol.error_response(None, "unreadable message"),
+]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("message", GOLDEN_REQUESTS + GOLDEN_RESPONSES)
+    def test_every_message_round_trips(self, message):
+        decoded = protocol.decode(protocol.encode(message))
+        assert decoded == dict(message, schema=protocol.PROTOCOL)
+
+    @pytest.mark.parametrize("message", GOLDEN_REQUESTS)
+    def test_requests_parse_to_known_verbs(self, message):
+        verb, payload = protocol.parse_verb(protocol.decode(protocol.encode(message)))
+        assert verb in protocol.VERBS
+        assert isinstance(payload, dict)
+
+    def test_unknown_fields_pass_through(self):
+        message = protocol.request_message("submit", request={}, x_test_fault={"kind": "crash"})
+        decoded = protocol.decode(protocol.encode(message))
+        assert decoded["x_test_fault"] == {"kind": "crash"}
+
+    def test_newer_minor_protocol_tolerated(self):
+        message = dict(protocol.request_message("ping"), schema="repro-service/v1.6")
+        decoded = protocol.decode(protocol.encode(message))
+        assert protocol.parse_verb(decoded)[0] == "ping"
+
+    def test_other_major_protocol_rejected(self):
+        line = protocol.encode(dict(protocol.request_message("ping"),
+                                    schema="repro-service/v2"))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(line)
+
+    def test_missing_schema_tolerated(self):
+        message = protocol.request_message("ping")
+        del message["schema"]
+        assert protocol.decode(protocol.encode(message))["verb"] == "ping"
+
+    def test_non_object_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b'"just a string"\n')
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b'not json at all\n')
+
+    def test_unknown_verb_rejected_by_parse(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_verb({"verb": "explode"})
+
+
+# ----------------------------------------------------------------------
+# Daemon integration
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def running_daemon(tmp_path, **options):
+    """A real supervisor on a unix socket in a background thread."""
+    socket_path = str(tmp_path / "repro-service.sock")
+    thread = threading.Thread(
+        target=lambda: asyncio.run(serve(ServiceOptions(socket_path=socket_path,
+                                                        **options))),
+        daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 20.0
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path) and service_available(socket_path):
+            break
+        time.sleep(0.05)
+    else:
+        raise RuntimeError("daemon did not come up")
+    try:
+        yield socket_path
+    finally:
+        with contextlib.suppress(ServiceError, protocol.ProtocolError):
+            with ServiceClient(socket_path) as client:
+                client.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "daemon thread failed to shut down"
+        assert not os.path.exists(socket_path), "daemon left its socket behind"
+
+
+def case_request(case_id: str = "p1", **knobs) -> api.CheckRequest:
+    return api.CheckRequest(circuit=api.CircuitRef.case(case_id), **knobs)
+
+
+def normalized(report: api.CheckReport) -> dict:
+    """A report dict with everything timing/transport-dependent removed."""
+    payload = copy.deepcopy(report.to_dict())
+    payload.pop("wall_seconds", None)
+    payload.pop("source", None)
+    payload.pop("service", None)
+    for result in payload.get("results", []):
+        result.pop("wall_seconds", None)
+        result.pop("stats", None)
+        for engine in result.get("engines", []):
+            engine.pop("wall_seconds", None)
+            engine.pop("stats", None)
+    return payload
+
+
+class TestDaemon:
+    def test_second_submit_is_warm_and_bit_identical(self, tmp_path):
+        request = case_request("p1")
+        baseline = api.check(request)
+        with running_daemon(tmp_path) as socket_path:
+            first = check_via_service(request, socket_path=socket_path, fallback=False)
+            second = check_via_service(request, socket_path=socket_path, fallback=False)
+
+        assert first.source == "daemon"
+        assert second.source == "daemon"
+        # Warm path: the worker kept its design + unrolled models resident.
+        worker = second.service["worker"]
+        assert worker["jobs_done"] >= 2
+        assert worker["warm_hits"] >= 1
+        # The daemon answers with the exact same verdicts and traces as the
+        # in-process facade -- callers never need to care which path ran.
+        assert normalized(first) == normalized(baseline)
+        assert normalized(second) == normalized(baseline)
+        assert second.results[0].trace == baseline.results[0].trace
+
+    def test_stats_verb_and_kb_block_shape(self, tmp_path):
+        kb_path = str(tmp_path / "service-kb.sqlite")
+        request = case_request("p1", kb_path=kb_path)
+        with running_daemon(tmp_path) as socket_path:
+            check_via_service(request, socket_path=socket_path, fallback=False)
+            with ServiceClient(socket_path) as client:
+                stats = client.stats()
+
+        assert stats["protocol"] == protocol.PROTOCOL
+        assert stats["jobs"]["submitted"] == 1
+        assert stats["jobs"]["completed"] == 1
+        assert len(stats["workers"]) == 1
+        worker = stats["workers"][0]
+        assert worker["alive"]
+        assert worker["jobs_done"] == 1
+        # The worker's kb blocks reuse the exact `repro kb stats --json`
+        # shape -- one schema for knowledge-base stats everywhere.
+        assert worker["kb"], "kb-attached job should surface a kb stats block"
+        assert set(worker["kb"][0]) >= {"path", "disabled", "schema_version",
+                                        "models", "cubes", "fail_memos",
+                                        "hits", "per_model"}
+
+    def test_status_and_result_verbs(self, tmp_path):
+        request = case_request("p1")
+        with running_daemon(tmp_path) as socket_path:
+            with ServiceClient(socket_path) as client:
+                job_id = client.submit(request)
+                response = client.result(job_id, wait=True)
+                status = client.status(job_id)
+        assert response["state"] == "done"
+        assert response["report"]["schema"] == api.REPORT_SCHEMA
+        assert status["state"] == "done"
+        assert status["job_id"] == job_id
+
+    def test_unknown_job_and_bad_submit_are_protocol_errors(self, tmp_path):
+        with running_daemon(tmp_path) as socket_path:
+            with ServiceClient(socket_path) as client:
+                with pytest.raises(ServiceError):
+                    client.status("job-999")
+                with pytest.raises(ServiceError):
+                    client.submit({"schema": api.REQUEST_SCHEMA})  # no circuit
+                # The connection survives errors: the next call still works.
+                assert client.ping()["pid"] == os.getpid()
+
+
+class TestFailureHandling:
+    def test_worker_crash_is_requeued_once_then_succeeds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "1")
+        marker = str(tmp_path / "crash-once.marker")
+        request = case_request("p1")
+        with running_daemon(tmp_path) as socket_path:
+            with ServiceClient(socket_path) as client:
+                job_id = client.submit(
+                    request, x_test_fault={"kind": "crash-once", "marker": marker}
+                )
+                response = client.result(job_id, wait=True)
+                stats = client.stats()
+        assert os.path.exists(marker), "fault should have fired on the first attempt"
+        assert response["state"] == "done", response.get("error")
+        assert stats["jobs"]["requeued"] == 1
+        assert stats["jobs"]["completed"] == 1
+
+    def test_persistent_crash_aborts_with_cause(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "1")
+        request = case_request("p1")
+        with running_daemon(tmp_path) as socket_path:
+            with ServiceClient(socket_path) as client:
+                job_id = client.submit(request, x_test_fault={"kind": "crash"})
+                response = client.result(job_id, wait=True)
+        assert response["state"] == "failed"
+        assert "crashed" in response["error"]
+        assert "requeue limit" in response["error"]
+
+    def test_job_timeout_aborts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "1")
+        request = case_request("p1")
+        with running_daemon(tmp_path, job_timeout=1.0) as socket_path:
+            with ServiceClient(socket_path) as client:
+                job_id = client.submit(
+                    request, x_test_fault={"kind": "sleep", "seconds": 30}
+                )
+                response = client.result(job_id, wait=True)
+        assert response["state"] == "failed"
+        assert "timeout" in response["error"]
+
+    def test_faults_are_inert_unless_armed(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        request = case_request("p1")
+        with running_daemon(tmp_path) as socket_path:
+            with ServiceClient(socket_path) as client:
+                job_id = client.submit(request, x_test_fault={"kind": "crash"})
+                response = client.result(job_id, wait=True)
+        assert response["state"] == "done"
+
+    def test_fallback_when_no_daemon(self, tmp_path):
+        request = case_request("p1")
+        socket_path = str(tmp_path / "nobody-home.sock")
+        report = check_via_service(request, socket_path=socket_path, fallback=True)
+        assert report.source == "in-process"
+        assert normalized(report) == normalized(api.check(request))
+        with pytest.raises(ServiceUnavailable):
+            check_via_service(request, socket_path=socket_path, fallback=False)
+
+    def test_inline_circuit_cannot_be_submitted(self, tmp_path):
+        from repro.netlist import Circuit
+        from repro.properties import Assertion, Signal
+
+        circuit = Circuit("inline")
+        a = circuit.input("a", 4)
+        circuit.output(a, name="out")
+        request = api.build_request(circuit, Assertion("ok", Signal("out") != 99))
+        socket_path = str(tmp_path / "nobody-home.sock")
+        # Graceful: falls back in-process rather than failing the caller.
+        report = check_via_service(request, socket_path=socket_path, fallback=True)
+        assert report.source == "in-process"
+        with pytest.raises(ServiceError):
+            check_via_service(request, socket_path=socket_path, fallback=False)

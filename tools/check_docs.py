@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Keep the documentation honest: run the README quickstart, check links.
 
-Two checks, both run by CI's docs job and ``make docs-check``:
+Three checks, all run by CI and ``make docs-check``:
 
 1. **Quickstart execution** -- every ``bash`` fenced block between
    ``<!-- docs-check:begin -->`` / ``<!-- docs-check:end -->`` markers in
@@ -9,18 +9,29 @@ Two checks, both run by CI's docs job and ``make docs-check``:
    counter design materialized as ``design.v``).  ``repro ...`` commands run
    as ``python -m repro ...`` against the in-tree sources, so the documented
    CLI cannot drift from the implementation.
-2. **Link check** -- every relative markdown link in README.md and
+2. **Service quickstart** -- the marked block in docs/service.md is executed
+   as a real daemon session: ``repro serve`` runs in the background, the
+   ``repro submit`` lines run against its socket, the documented ``--stats``
+   call must report a nonzero warm-hit counter, and the daemon must exit
+   cleanly on ``--shutdown``.
+3. **Link check** -- every relative markdown link in README.md and
    ``docs/*.md`` must point at an existing file (anchors are stripped;
    external ``http(s)``/``mailto`` links are not fetched).
+
+``--only quickstart|service|links`` runs a single check (CI's service
+smoke job uses ``--only service``).
 """
 
+import argparse
 import glob
+import json
 import os
 import re
 import shlex
 import subprocess
 import sys
 import tempfile
+import time
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
@@ -68,11 +79,7 @@ def run_quickstart():
     if not commands:
         return ["README.md: no docs-check quickstart block found"]
     failures = []
-    env = dict(os.environ)
-    env["PYTHONPATH"] = SRC + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    env.pop("REPRO_KB", None)
+    env = _docs_env()
     with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
         with open(os.path.join(scratch, "design.v"), "w") as stream:
             stream.write(_DESIGN)
@@ -99,6 +106,116 @@ def run_quickstart():
     return failures
 
 
+def _docs_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_KB", None)
+    env.pop("REPRO_SERVICE_SOCKET", None)
+    return env
+
+
+def run_service_quickstart():
+    """Execute the docs/service.md daemon session; return a list of failures.
+
+    The documented ``repro serve ... &`` line becomes a background process;
+    every other line runs in order against the in-tree sources.  Beyond
+    exit codes, the session's documented claims are asserted: the warm-hit
+    counter in the ``--stats`` output is nonzero after the repeat submit,
+    and the daemon exits 0 after ``--shutdown``.
+    """
+    page = os.path.join(REPO, "docs", "service.md")
+    commands = _quickstart_commands(open(page).read())
+    if not commands:
+        return ["docs/service.md: no docs-check quickstart block found"]
+    failures = []
+    env = _docs_env()
+    daemon = None
+    with tempfile.TemporaryDirectory(prefix="repro-docs-svc-") as scratch:
+        with open(os.path.join(scratch, "design.v"), "w") as stream:
+            stream.write(_DESIGN)
+        try:
+            for words in commands:
+                background = words[-1] == "&"
+                if background:
+                    words = words[:-1]
+                if words[0] != "repro":
+                    failures.append(
+                        "service quickstart: only `repro ...` commands are "
+                        "runnable, got %r" % " ".join(words)
+                    )
+                    continue
+                argv = [sys.executable, "-m", "repro"] + words[1:]
+                label = " ".join(words)
+                if background:
+                    daemon = subprocess.Popen(
+                        argv, cwd=scratch, env=env,
+                        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                        text=True,
+                    )
+                    socket_path = os.path.join(scratch, "verify.sock")
+                    deadline = time.monotonic() + 30.0
+                    while time.monotonic() < deadline:
+                        if os.path.exists(socket_path) or daemon.poll() is not None:
+                            break
+                        time.sleep(0.05)
+                    if daemon.poll() is not None or not os.path.exists(socket_path):
+                        failures.append(
+                            "service quickstart: `%s` did not come up" % label
+                        )
+                        break
+                    print("ok: %s (daemon up)" % label)
+                    continue
+                proc = subprocess.run(
+                    argv, cwd=scratch, env=env, capture_output=True, text=True,
+                    timeout=300,
+                )
+                if proc.returncode != 0:
+                    failures.append(
+                        "service quickstart: `%s` exited %d\n%s"
+                        % (label, proc.returncode,
+                           (proc.stderr or proc.stdout).strip())
+                    )
+                    continue
+                if "--stats" in words:
+                    stats = json.loads(proc.stdout)
+                    warm = sum(
+                        worker.get("warm_hits", 0)
+                        for worker in stats.get("workers", [])
+                    )
+                    if warm < 1:
+                        failures.append(
+                            "service quickstart: `%s` reported no warm hits "
+                            "after the repeat submit:\n%s"
+                            % (label, proc.stdout.strip())
+                        )
+                        continue
+                print("ok: %s" % label)
+            if daemon is not None and not failures:
+                try:
+                    daemon.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    failures.append(
+                        "service quickstart: daemon still running after "
+                        "--shutdown"
+                    )
+                else:
+                    if daemon.returncode != 0:
+                        failures.append(
+                            "service quickstart: daemon exited %d after "
+                            "--shutdown\n%s"
+                            % (daemon.returncode, daemon.stdout.read().strip())
+                        )
+                    else:
+                        print("ok: daemon shut down cleanly")
+        finally:
+            if daemon is not None and daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+    return failures
+
+
 def check_links():
     """Verify every relative markdown link resolves; return failures."""
     failures = []
@@ -122,9 +239,27 @@ def check_links():
     return failures
 
 
+CHECKS = {
+    "quickstart": run_quickstart,
+    "service": run_service_quickstart,
+    "links": check_links,
+}
+
+
 def main():
-    """Run both checks; exit non-zero when anything is broken."""
-    failures = run_quickstart() + check_links()
+    """Run the selected checks; exit non-zero when anything is broken."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only", choices=sorted(CHECKS),
+        help="run a single check instead of all of them",
+    )
+    args = parser.parse_args()
+    checks = [CHECKS[args.only]] if args.only else [
+        run_quickstart, run_service_quickstart, check_links
+    ]
+    failures = []
+    for check in checks:
+        failures.extend(check())
     if failures:
         print("\n%d documentation failure(s):" % len(failures), file=sys.stderr)
         for failure in failures:
