@@ -454,11 +454,35 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceOptions, Supervisor, default_socket_path
     from repro.service.protocol import PROTOCOL
 
+    if args.fault_plan:
+        # Arm through the environment so the forked worker tree inherits the
+        # plan; the state dir shares nth/limit counters across respawns.
+        import tempfile
+
+        from repro import faults
+
+        try:
+            plan = faults.FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+        except faults.FaultPlanError as exc:
+            raise SystemExit("bad --fault-plan: %s" % (exc,))
+        state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        os.environ.update(faults.plan_environment(plan, state_dir))
+        print("fault plan armed (seed %d): %s" % (plan.seed, plan.to_json()),
+              flush=True)
+
+    def _mb(value: Optional[float]) -> Optional[int]:
+        return None if value is None else int(value * 1024 * 1024)
+
     options = ServiceOptions(
         socket_path=args.socket or default_socket_path(),
         max_workers=args.max_workers,
         job_timeout=args.job_timeout,
         requeue_limit=args.requeue_limit,
+        heartbeat_interval=args.heartbeat_interval,
+        hang_timeout=args.hang_timeout if args.hang_timeout > 0 else None,
+        quarantine_limit=args.quarantine_limit,
+        rss_soft_bytes=_mb(args.rss_soft_mb),
+        rss_hard_bytes=_mb(args.rss_hard_mb),
     )
 
     async def _serve() -> None:
@@ -481,17 +505,22 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_submit(args: argparse.Namespace) -> int:
     """Submit one check to the daemon, or manage it (--stats / --shutdown)."""
     from repro.service import (
+        JobFailure,
+        RetryPolicy,
         ServiceClient,
         ServiceError,
         check_via_service,
     )
 
-    if args.stats or args.shutdown:
+    if args.stats or args.shutdown or args.drain:
         try:
             with ServiceClient(args.socket) as client:
                 if args.stats:
                     print(json.dumps(client.stats(), indent=2, sort_keys=True))
-                if args.shutdown:
+                if args.drain:
+                    client.shutdown(mode="drain")
+                    print("drain requested (in-flight jobs finish first)")
+                elif args.shutdown:
                     client.shutdown()
                     print("shutdown requested")
         except ServiceError as exc:
@@ -500,15 +529,29 @@ def _command_submit(args: argparse.Namespace) -> int:
         return 0
 
     if not args.design:
-        raise SystemExit("a design is required unless --stats/--shutdown is given")
+        raise SystemExit(
+            "a design is required unless --stats/--shutdown/--drain is given")
     request = _request_from_args(args)
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(attempts=max(1, args.retries + 1))
     try:
         report = check_via_service(
             request,
             socket_path=args.socket,
             fallback=not args.no_fallback,
             timeout=args.timeout,
+            deadline=args.deadline,
+            retry=retry,
+            read_timeout=args.read_timeout,
         )
+    except JobFailure as exc:
+        # Typed daemon-side failure: surface the machine-readable cause so
+        # scripts can branch on it (and never silently re-run locally).
+        print("error: %s" % (exc,), file=sys.stderr)
+        if exc.cause:
+            print("cause: %s" % (exc.cause,), file=sys.stderr)
+        return 1
     except (ServiceError, api.RequestError) as exc:
         print("error: %s" % (exc,), file=sys.stderr)
         return 1
@@ -704,6 +747,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retries for a job orphaned by a worker crash (default: 1)",
     )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="how often running workers heartbeat to the supervisor "
+        "(default: 1.0)",
+    )
+    serve.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="a running worker silent this long is killed as hung; 0 "
+        "disables the watchdog (default: 30)",
+    )
+    serve.add_argument(
+        "--quarantine-limit",
+        type=int,
+        default=3,
+        metavar="N",
+        help="a request that kills this many workers is quarantined "
+        "instead of retried forever (default: 3)",
+    )
+    serve.add_argument(
+        "--rss-soft-mb",
+        type=float,
+        metavar="MB",
+        help="worker RSS soft watermark: above it the worker evicts its "
+        "model caches and flushes its KB stores (default: none)",
+    )
+    serve.add_argument(
+        "--rss-hard-mb",
+        type=float,
+        metavar="MB",
+        help="worker RSS hard watermark: above it the worker is retired "
+        "after the current job and respawned cold (default: none)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        help="arm deterministic fault injection for the daemon and its "
+        "workers (chaos testing; see docs/resilience.md for the syntax)",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the fault schedule (default: 0)",
+    )
     serve.set_defaults(func=_command_serve)
 
     submit = subparsers.add_parser(
@@ -727,6 +821,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up waiting for the job result after this long",
     )
     submit.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="end-to-end deadline for the job: propagated to the daemon "
+        "and folded into the worker's engine time budget",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="connection-level retries with jittered exponential backoff "
+        "(default: 2; daemon answers are never retried)",
+    )
+    submit.add_argument(
+        "--read-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-protocol-read deadline on the daemon socket (default: 60)",
+    )
+    submit.add_argument(
         "--stats",
         action="store_true",
         help="print the daemon's live stats (JSON) and exit",
@@ -735,6 +849,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown",
         action="store_true",
         help="ask the daemon to flush its workers' KB state and exit",
+    )
+    submit.add_argument(
+        "--drain",
+        action="store_true",
+        help="graceful shutdown: finish in-flight jobs, refuse new submits, "
+        "flush every worker's KB state, then exit",
     )
     submit.set_defaults(func=_command_submit)
 

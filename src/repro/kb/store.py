@@ -33,6 +33,7 @@ import sqlite3
 import weakref
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.atpg.estg import ExtendedStateTransitionGraph, LearnedCube
 from repro.bitvector import BV3
 from repro.kb.fingerprints import circuit_snapshot, model_kb_key
@@ -126,6 +127,21 @@ class KnowledgeBase:
             except sqlite3.Error:
                 pass
             self._conn = None
+
+    def _tear_file(self) -> None:
+        """Simulate a torn write: truncate the store mid-file and disable.
+
+        Exists for the ``kb.flush`` / ``torn-write`` fault kind (chaos
+        tests): the next :func:`open_knowledge_base` of the path must take
+        the fail-open corruption path, exactly as after a real torn write.
+        """
+        self._disable("injected torn write during flush")
+        try:
+            size = os.path.getsize(self.path)
+            with open(self.path, "r+b") as stream:
+                stream.truncate(max(1, size // 2))
+        except OSError:  # pragma: no cover - defensive
+            pass
 
     def _ensure_schema(self) -> None:
         assert self._conn is not None
@@ -306,6 +322,14 @@ class KnowledgeBase:
         """
         if self.disabled or self._conn is None:
             return 0
+        rule = faults.maybe_fire("kb.flush")
+        if rule is not None and rule.kind == "fsync-fail":
+            # As if the OS failed the write-back: nothing on disk can be
+            # trusted any more, so the handle degrades fail-open -- checks
+            # keep their in-memory facts and simply stop persisting.
+            self._disable("injected fsync failure during flush")
+            return 0
+        tear_after = rule is not None and rule.kind == "torn-write"
         cube_rows = []
         for fingerprint, cube in estg.learned_cubes.items():
             row = self._serialize_cube(fingerprint, cube, net_names)
@@ -338,6 +362,9 @@ class KnowledgeBase:
                         memo_rows,
                     )
                     conn.execute("COMMIT")
+                    if tear_after:
+                        self._tear_file()
+                        return 0
                     return len(cube_rows)
                 except BaseException:
                     conn.execute("ROLLBACK")
@@ -406,25 +433,35 @@ class KnowledgeBase:
                 "reason": self.disabled_reason,
             }
         per_model = []
-        for key, name in self._conn.execute(
-            "SELECT model_key, circuit_name FROM models ORDER BY model_key"
-        ):
-            cubes, hits = self._conn.execute(
-                "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM cubes WHERE model_key = ?",
-                (key,),
-            ).fetchone()
-            memos = self._conn.execute(
-                "SELECT COUNT(*) FROM fail_memos WHERE model_key = ?", (key,)
-            ).fetchone()[0]
-            per_model.append(
-                {
-                    "model_key": key,
-                    "circuit": name,
-                    "cubes": cubes,
-                    "fail_memos": memos,
-                    "hits": hits,
-                }
-            )
+        try:
+            for key, name in self._conn.execute(
+                "SELECT model_key, circuit_name FROM models ORDER BY model_key"
+            ):
+                cubes, hits = self._conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM cubes WHERE model_key = ?",
+                    (key,),
+                ).fetchone()
+                memos = self._conn.execute(
+                    "SELECT COUNT(*) FROM fail_memos WHERE model_key = ?", (key,)
+                ).fetchone()[0]
+                per_model.append(
+                    {
+                        "model_key": key,
+                        "circuit": name,
+                        "cubes": cubes,
+                        "fail_memos": memos,
+                        "hits": hits,
+                    }
+                )
+        except sqlite3.Error as exc:
+            # Corruption (e.g. a torn write) can pass the open-time schema
+            # check and only surface mid-query; degrade fail-open here too.
+            self._disable("stats failed: %s" % exc)
+            return {
+                "path": self.path,
+                "disabled": True,
+                "reason": self.disabled_reason,
+            }
         return {
             "path": self.path,
             "disabled": False,

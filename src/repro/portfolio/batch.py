@@ -138,6 +138,12 @@ class BatchReport:
     items: List[BatchItem]
     wall_seconds: float = 0.0
     base_seed: int = 2000
+    #: resilience counters of the run (additive to ``repro-batch-report/v1``):
+    #: ``worker_deaths`` (pool workers that exited nonzero), ``requeued``
+    #: (jobs re-run inline after their worker died without reporting) and
+    #: ``lost`` (jobs that still produced no result -- always 0 unless the
+    #: inline requeue itself was impossible).
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def disagreements(self) -> List[str]:
@@ -158,6 +164,7 @@ class BatchReport:
             "wall_seconds": round(self.wall_seconds, 6),
             "disagreements": self.disagreements,
             "inconclusive": self.inconclusive,
+            "resilience": dict(self.resilience),
             "results": [item.to_dict() for item in self.items],
         }
 
@@ -337,10 +344,22 @@ class BatchRunner:
             for index, job in enumerate(jobs)
         ]
         pool_size = self._pool_size(jobs)
+        resilience = {"worker_deaths": 0, "requeued": 0, "lost": 0}
         if pool_size > 1:
-            collected = self._run_workers(payloads, pool_size)
+            collected, deaths = self._run_workers(payloads, pool_size)
+            resilience["worker_deaths"] = deaths
+            for payload in payloads:
+                if payload[0] in collected:
+                    continue
+                # A worker died without reporting this job; re-run it inline
+                # once so a single crash never punches a hole in the report.
+                resilience["requeued"] += 1
+                collected[payload[0]] = _run_batch_job(payload)
         else:
             collected = {p[0]: _run_batch_job(p) for p in payloads}
+        resilience["lost"] = sum(
+            1 for index in range(len(payloads)) if collected.get(index) is None
+        )
         items = [
             collected.get(index) or self._lost_item(payloads[index])
             for index in range(len(payloads))
@@ -350,6 +369,7 @@ class BatchRunner:
             items=items,
             wall_seconds=time.perf_counter() - started,
             base_seed=base_seed,
+            resilience=resilience,
         )
 
     @staticmethod
@@ -388,12 +408,15 @@ class BatchRunner:
         return chunked
 
     # ------------------------------------------------------------------
-    def _run_workers(self, payloads, pool_size: int) -> Dict[int, BatchItem]:
+    def _run_workers(
+        self, payloads, pool_size: int
+    ) -> Tuple[Dict[int, BatchItem], int]:
         """Fan payload groups across non-daemonic worker processes.
 
         Results are drained while the workers run (never after join: a child
         blocks on exit until its queue buffer is read), and submission order
-        is restored from the payload index afterwards.
+        is restored from the payload index afterwards.  Returns the collected
+        items plus the number of workers that died (nonzero exit codes).
         """
         ctx = fork_context()
         task_queue = ctx.Queue()
@@ -423,11 +446,15 @@ class BatchRunner:
             collected[index] = item
         # Never read from the queue after a terminate() below: a worker
         # killed mid-write leaves a truncated payload behind.
+        deaths = 0
         for worker in workers:
             worker.join(timeout=10.0)
             if worker.is_alive():  # pragma: no cover - defensive
                 worker.terminate()
-        return collected
+                deaths += 1
+            elif worker.exitcode not in (0, None):
+                deaths += 1
+        return collected, deaths
 
     @staticmethod
     def _lost_item(payload) -> BatchItem:

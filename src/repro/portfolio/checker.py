@@ -69,6 +69,16 @@ def fork_context():
         return None
 
 
+def can_spawn_engines() -> bool:
+    """Whether this process may fork engine-race children.
+
+    Daemonic processes (e.g. the verification service's per-circuit
+    workers) are forbidden children by multiprocessing; a budgeted check
+    running inside one must race sequentially instead of crashing.
+    """
+    return fork_context() is not None and not multiprocessing.current_process().daemon
+
+
 def _run_engine_to_queue(result_queue, index, engine, circuit, prop,
                          environment, initial_state, budget):
     """Worker body: run one engine and ship its result to the parent."""
@@ -162,10 +172,10 @@ class PortfolioChecker:
                 # worker, so a budgeted single-engine run still forks.
                 or self.options.budget.time_seconds is not None
             )
-            if needs_process and fork_context() is not None:
+            if needs_process and can_spawn_engines():
                 return "process"
             return "sequential"
-        if mode == "process" and fork_context() is None:  # pragma: no cover
+        if mode == "process" and not can_spawn_engines():
             return "sequential"
         return mode
 

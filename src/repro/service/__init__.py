@@ -7,29 +7,46 @@ protocol of :mod:`repro.service.protocol` (``repro-service/v1``).  Jobs are
 routed to worker processes keyed by circuit fingerprint, so repeated checks
 of the same design reuse warm unrolled models, learned cubes and open
 knowledge-base handles instead of paying cold start each time.  See
-``docs/service.md`` for the protocol schema and job lifecycle.
+``docs/service.md`` for the protocol schema and job lifecycle, and
+``docs/resilience.md`` for the failure-handling contract (typed causes,
+retries, deadlines, quarantine, drain).
 """
 
 from repro.service.client import (
     SOCKET_ENV,
+    JobFailure,
+    RetryPolicy,
     ServiceClient,
+    ServiceConnectionLost,
     ServiceError,
+    ServiceTimeout,
     ServiceUnavailable,
     check_via_service,
     default_socket_path,
     service_available,
 )
-from repro.service.protocol import JOB_STATES, PROTOCOL, VERBS, ProtocolError
+from repro.service.protocol import (
+    FAILURE_CAUSES,
+    JOB_STATES,
+    PROTOCOL,
+    VERBS,
+    ProtocolError,
+)
 from repro.service.supervisor import ServiceOptions, Supervisor, serve
 
 __all__ = [
+    "FAILURE_CAUSES",
     "JOB_STATES",
+    "JobFailure",
     "PROTOCOL",
     "ProtocolError",
+    "RetryPolicy",
     "SOCKET_ENV",
     "ServiceClient",
+    "ServiceConnectionLost",
     "ServiceError",
     "ServiceOptions",
+    "ServiceTimeout",
     "ServiceUnavailable",
     "Supervisor",
     "VERBS",

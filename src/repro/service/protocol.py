@@ -24,6 +24,7 @@ with an ``incompatible-protocol`` error instead of garbage.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -35,6 +36,20 @@ VERBS = ("ping", "submit", "status", "result", "cancel", "stats", "shutdown")
 
 #: Job lifecycle states reported by ``status`` / ``result``.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Typed causes attached to failed jobs and refused submits (the ``cause``
+#: field of ``status`` / ``result`` job blocks and of error responses).
+#: Clients branch on these instead of parsing error prose.
+FAILURE_CAUSES = (
+    "timeout",      # job exceeded its wall-clock budget (service or deadline)
+    "crash",        # worker died mid-job and the requeue limit is spent
+    "watchdog",     # worker stopped heartbeating and was killed as hung
+    "quarantined",  # the request digest killed workers too often (poison job)
+    "draining",     # daemon is draining and refuses new submits
+    "job-error",    # the check itself raised inside the worker
+    "cancelled",    # cancel verb won
+    "injected",     # a fault-injection rule fired in the supervisor
+)
 
 #: Hard cap on one encoded message line (guards the reader against a
 #: runaway/hostile peer; generous enough for large counterexample traces).
@@ -118,6 +133,18 @@ def error_response(verb: Optional[str], error: str, **fields) -> Dict[str, objec
     return message
 
 
+def request_digest(payload: Mapping[str, object]) -> str:
+    """Canonical sha256 of a ``CheckRequest`` dict.
+
+    The digest is the request's *identity* for resilience purposes: the
+    client keys idempotent resubmits on it and the supervisor keys its
+    poison-job quarantine on it, so both sides must hash the same bytes --
+    sorted keys, no whitespace.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def parse_verb(message: Mapping[str, object]) -> Tuple[str, Mapping[str, object]]:
     """Extract and validate the verb of a decoded client message."""
     verb = message.get("verb")
@@ -127,6 +154,7 @@ def parse_verb(message: Mapping[str, object]) -> Tuple[str, Mapping[str, object]
 
 
 __all__ = [
+    "FAILURE_CAUSES",
     "JOB_STATES",
     "MAX_LINE_BYTES",
     "PROTOCOL",
@@ -137,6 +165,7 @@ __all__ = [
     "error_response",
     "ok_response",
     "parse_verb",
+    "request_digest",
     "request_message",
     "schema_compatible",
 ]

@@ -13,11 +13,34 @@ worker processes (:mod:`repro.service.worker`):
 * a crashed worker is detected by pipe EOF: its running job is requeued
   once (``requeue_limit``) onto a fresh worker, then reported as a failure
   with the crash cause;
-* jobs exceeding ``job_timeout`` abort (the worker is killed and respawned
-  -- a wedged search cannot be interrupted politely);
 * when the fleet exceeds ``max_workers``, the least-recently-used *idle*
   worker is retired gracefully -- a ``stop`` op that flushes its attached
   KB stores before exit, so eviction never loses learned facts.
+
+Hardening (PR 8) -- the failure-handling duties on top of that core:
+
+* **heartbeats + hung-worker watchdog**: workers heartbeat every
+  ``heartbeat_interval`` while running; a worker silent for
+  ``hang_timeout`` is killed as *hung* (typed cause ``watchdog``) --
+  a deadline distinct from the job timeout, so a legitimately long solve
+  that still heartbeats is never shot;
+* **job timeout and end-to-end deadlines**: ``job_timeout`` caps any job;
+  a client-supplied ``deadline_seconds`` additionally bounds one job end
+  to end and is forwarded to the worker, which folds it into the engine
+  budget (typed cause ``timeout`` either way);
+* **poison-job quarantine**: a request digest that kills workers
+  ``quarantine_limit`` times is failed typed (``quarantined``) and
+  refused on resubmit, instead of burning fresh workers forever;
+* **idempotent resubmit**: retried submits carrying the same
+  ``submit_key`` collapse onto the original job;
+* **graceful drain**: SIGTERM (or ``shutdown`` with ``mode: "drain"``)
+  finishes in-flight jobs, refuses new submits with the typed
+  ``draining`` cause, flushes every worker's KB stores and exits 0;
+* **RSS watermarks** ride with the worker config: workers degrade
+  (evict caches, flush KB) at the soft watermark and ask to be retired at
+  the hard one -- the supervisor respawns them cold;
+* fault-injection site ``supervisor.dispatch`` (:mod:`repro.faults`)
+  covers the dispatch path itself (typed cause ``injected``).
 
 The client-facing protocol is :mod:`repro.service.protocol`
 (``repro-service/v1``); the check payload inside it is a verbatim
@@ -29,12 +52,13 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
+import signal
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Set
 
-from repro import api
+from repro import api, faults
 from repro.kb.fingerprints import circuit_fingerprint
 from repro.portfolio.checker import fork_context
 from repro.service import protocol
@@ -49,26 +73,46 @@ class ServiceOptions:
     socket_path: str
     #: resident per-circuit workers before LRU eviction kicks in.
     max_workers: int = 4
-    #: wall-clock cap per job; ``None`` disables the watchdog.
+    #: wall-clock cap per job; ``None`` disables it.
     job_timeout: Optional[float] = None
     #: how often a job orphaned by a worker crash is retried before failing.
     requeue_limit: int = 1
+    #: how often running workers heartbeat to the supervisor.
+    heartbeat_interval: float = 1.0
+    #: a running worker silent this long is killed as hung (the watchdog);
+    #: ``None`` disables it.  Distinct from ``job_timeout``: a slow job
+    #: heartbeats and lives, a wedged worker does not and dies.
+    hang_timeout: Optional[float] = 30.0
+    #: a request digest that kills workers this often is quarantined.
+    quarantine_limit: int = 3
+    #: worker RSS watermarks (bytes): degrade at soft, retire at hard.
+    rss_soft_bytes: Optional[int] = None
+    rss_hard_bytes: Optional[int] = None
 
 
 class Job:
     """One submitted check request moving through the daemon."""
 
     def __init__(self, job_id: str, payload: Mapping[str, object],
-                 fault: Optional[Mapping[str, object]] = None):
+                 digest: Optional[str] = None,
+                 submit_key: Optional[str] = None,
+                 deadline_seconds: Optional[float] = None):
         self.job_id = job_id
         #: the CheckRequest dict, carried verbatim from submit to worker.
         self.payload = dict(payload)
-        self.fault = dict(fault) if fault else None
+        #: canonical request identity (quarantine key).
+        self.digest = digest or protocol.request_digest(self.payload)
+        #: client idempotency key; resubmits with it dedupe onto this job.
+        self.submit_key = submit_key
+        #: end-to-end wall-clock budget from submission, if any.
+        self.deadline_seconds = deadline_seconds
         self.state = "queued"
         self.worker_key: Optional[str] = None
         self.attempts = 0
         self.requeues = 0
         self.error: Optional[str] = None
+        #: typed failure cause (one of protocol.FAILURE_CAUSES) when failed.
+        self.cause: Optional[str] = None
         self.report: Optional[Dict[str, object]] = None
         self.worker_stats: Optional[Dict[str, object]] = None
         self.submitted_at = time.time()
@@ -76,11 +120,19 @@ class Job:
         self.finished_at: Optional[float] = None
         self.done = asyncio.Event()
 
-    def finish(self, state: str, error: Optional[str] = None) -> None:
+    def finish(self, state: str, error: Optional[str] = None,
+               cause: Optional[str] = None) -> None:
         self.state = state
         self.error = error
+        self.cause = cause
         self.finished_at = time.time()
         self.done.set()
+
+    def deadline_remaining(self) -> Optional[float]:
+        """Seconds left of the end-to-end deadline, or ``None`` without one."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - (time.time() - self.submitted_at)
 
     def describe(self) -> Dict[str, object]:
         """The ``status`` verb's job block."""
@@ -92,6 +144,8 @@ class Job:
             "requeues": self.requeues,
             "submitted_at": self.submitted_at,
         }
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = self.deadline_seconds
         if self.started_at is not None:
             payload["started_at"] = self.started_at
         if self.finished_at is not None:
@@ -99,6 +153,8 @@ class Job:
             payload["wall_seconds"] = round(self.finished_at - self.submitted_at, 6)
         if self.error is not None:
             payload["error"] = self.error
+        if self.cause is not None:
+            payload["cause"] = self.cause
         return payload
 
 
@@ -116,6 +172,10 @@ class WorkerHandle:
         self.restarts = 0
         self.last_stats: Optional[Dict[str, object]] = None
         self.last_active = time.time()
+        #: last heartbeat-reported RSS, for the stats verb.
+        self.rss_bytes: Optional[int] = None
+        #: cumulative degradations already folded into the counters.
+        self.degradations_seen = 0
 
     @property
     def idle(self) -> bool:
@@ -141,18 +201,28 @@ class Supervisor:
         self._job_ids = itertools.count(1)
         self.counters = {
             "submitted": 0, "completed": 0, "failed": 0,
-            "cancelled": 0, "requeued": 0,
+            "cancelled": 0, "requeued": 0, "retries": 0,
+            "quarantined": 0, "watchdog_kills": 0, "timeouts": 0,
+            "degradations": 0,
         }
         self.started_at = time.time()
         self._server: Optional[asyncio.AbstractServer] = None
         self._closing = False
         self._shutdown_requested = False
+        self._draining = False
         self.shutdown_event = asyncio.Event()
         #: circuit-ref cache key -> worker key (avoids re-elaborating designs
         #: in the supervisor just to route repeat submissions).
         self._route_cache: Dict[tuple, str] = {}
         #: worker key -> human-readable circuit name (for stats).
         self._circuit_names: Dict[str, str] = {}
+        #: request digest -> how often it killed a worker (crash or hang).
+        self._kill_counts: Dict[str, int] = {}
+        #: digests refused as poison jobs.
+        self._quarantine: Set[str] = set()
+        #: submit_key -> job_id, for idempotent resubmits.
+        self._submit_keys: Dict[str, str] = {}
+        self._drain_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,9 +237,23 @@ class Supervisor:
         self._server = await asyncio.start_unix_server(
             self._client_connected, path=socket_path, limit=protocol.MAX_LINE_BYTES,
         )
+        self._install_signal_handlers()
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM means drain, not die mid-job.
+
+        Installation is best-effort: event loops in non-main threads (the
+        test harness) cannot own signal handlers, and that is fine -- the
+        ``shutdown`` verb's drain mode covers them.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+            loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+        except (NotImplementedError, ValueError, RuntimeError, OSError):
+            pass
 
     async def serve_forever(self) -> None:
-        """Run until a ``shutdown`` verb arrives, then stop cleanly."""
+        """Run until a ``shutdown`` verb (or drain) completes, then stop."""
         await self.start()
         try:
             await self.shutdown_event.wait()
@@ -188,6 +272,35 @@ class Supervisor:
             os.unlink(self.options.socket_path)
         except OSError:
             pass
+
+    # -- drain ---------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop accepting work, finish what is in flight, then shut down.
+
+        Every in-flight (queued or running) job runs to completion and
+        every worker flushes its KB stores on retirement -- the daemon
+        exits with nothing lost and nothing half-done.
+        """
+        if self._draining or self._closing:
+            return
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        self._drain_task = loop.create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        # Submits are refused from the moment _draining flips, so this
+        # snapshot of unfinished jobs is complete (requeues reuse the
+        # same Job objects and stay covered).
+        pending = [job for job in self.jobs.values() if not job.done.is_set()]
+        if pending:
+            await asyncio.wait([
+                asyncio.ensure_future(job.done.wait()) for job in pending
+            ])
+        self.shutdown_event.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     # ------------------------------------------------------------------
     # Client connections
@@ -211,6 +324,9 @@ class Supervisor:
                     response = await self._dispatch(verb, payload)
                 except protocol.ProtocolError as exc:
                     response = protocol.error_response(None, str(exc))
+                except faults.InjectedFault as exc:
+                    response = protocol.error_response(
+                        None, "injected fault at %s" % exc.site, cause="injected")
                 except api.RequestError as exc:
                     response = protocol.error_response(None, "bad request: %s" % exc)
                 except Exception as exc:  # pragma: no cover - defensive
@@ -222,16 +338,23 @@ class Supervisor:
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Server teardown cancels connection tasks mid-read; returning
+            # (rather than re-raising) keeps asyncio's stream callbacks from
+            # logging the cancellation as an error during shutdown.
+            pass
         finally:
             # Close without awaiting: during shutdown this task is itself
             # cancelled by the server teardown and must not block on it.
             writer.close()
 
     async def _dispatch(self, verb: str, payload: Mapping[str, object]) -> Dict[str, object]:
+        faults.maybe_fire("supervisor.dispatch")
         if verb == "ping":
             return protocol.ok_response(
                 "ping", protocol=protocol.PROTOCOL, pid=os.getpid(),
                 uptime_seconds=round(time.time() - self.started_at, 3),
+                draining=self._draining,
             )
         if verb == "submit":
             return await self._verb_submit(payload)
@@ -245,9 +368,19 @@ class Supervisor:
         if verb == "stats":
             return protocol.ok_response("stats", stats=self.stats())
         if verb == "shutdown":
-            self._shutdown_requested = True
-            return protocol.ok_response("shutdown", stats=self.stats())
+            return self._verb_shutdown(payload)
         raise protocol.ProtocolError("unknown verb %r" % (verb,))  # pragma: no cover
+
+    def _verb_shutdown(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        mode = payload.get("mode", "now")
+        if mode == "drain":
+            self.begin_drain()
+            return protocol.ok_response("shutdown", mode="drain",
+                                        draining=True, stats=self.stats())
+        if mode != "now":
+            raise protocol.ProtocolError("unknown shutdown mode %r" % (mode,))
+        self._shutdown_requested = True
+        return protocol.ok_response("shutdown", mode="now", stats=self.stats())
 
     def _job_for(self, payload: Mapping[str, object]) -> Job:
         job_id = payload.get("job_id")
@@ -260,20 +393,50 @@ class Supervisor:
     # Verbs
     # ------------------------------------------------------------------
     async def _verb_submit(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        if self._draining or self._closing:
+            return protocol.error_response(
+                "submit", "daemon is draining and refuses new submits",
+                cause="draining",
+            )
         request_payload = payload.get("request")
         if not isinstance(request_payload, Mapping):
             raise protocol.ProtocolError("submit needs a 'request' object")
         # Validate eagerly so a malformed request is rejected at submit time
         # (with a cause), not discovered as a failed job later.
         request = api.CheckRequest.from_dict(request_payload)
+        digest = protocol.request_digest(request_payload)
+        if digest in self._quarantine:
+            return protocol.error_response(
+                "submit",
+                "request %s is quarantined: it killed %d workers"
+                % (digest[:12], self._kill_counts.get(digest, 0)),
+                cause="quarantined", digest=digest,
+            )
+        submit_key = payload.get("submit_key")
+        if submit_key is not None:
+            existing_id = self._submit_keys.get(str(submit_key))
+            existing = self.jobs.get(existing_id) if existing_id else None
+            if existing is not None and existing.state not in ("failed", "cancelled"):
+                # An idempotent retry of a submit whose response was lost:
+                # same logical job, do not run it twice.
+                self.counters["retries"] += 1
+                return protocol.ok_response(
+                    "submit", job_id=existing.job_id, state=existing.state,
+                    worker=existing.worker_key, deduplicated=True,
+                )
         worker_key = await self._worker_key_for(request)
+        deadline = payload.get("deadline_seconds")
         job = Job(
             "job-%d" % next(self._job_ids),
             request_payload,
-            fault=payload.get("x_test_fault"),
+            digest=digest,
+            submit_key=None if submit_key is None else str(submit_key),
+            deadline_seconds=None if deadline is None else float(deadline),
         )
         job.worker_key = worker_key
         self.jobs[job.job_id] = job
+        if job.submit_key is not None:
+            self._submit_keys[job.submit_key] = job.job_id
         self.counters["submitted"] += 1
         handle = self._worker(worker_key)
         handle.queue.put_nowait(job)
@@ -303,19 +466,21 @@ class Supervisor:
             response["stats"] = job.worker_stats
         if job.error is not None:
             response["error"] = job.error
+        if job.cause is not None:
+            response["cause"] = job.cause
         return response
 
     async def _verb_cancel(self, payload: Mapping[str, object]) -> Dict[str, object]:
         job = self._job_for(payload)
         if job.state == "queued":
-            job.finish("cancelled", "cancelled while queued")
+            job.finish("cancelled", "cancelled while queued", cause="cancelled")
             self.counters["cancelled"] += 1
             return protocol.ok_response("cancel", job_id=job.job_id,
                                         cancelled=True, state=job.state)
         if job.state == "running":
             # Mark first so the runner's EOF handler knows this was deliberate,
             # then kill the worker (a wedged search has no polite interrupt).
-            job.finish("cancelled", "cancelled while running")
+            job.finish("cancelled", "cancelled while running", cause="cancelled")
             self.counters["cancelled"] += 1
             handle = self.workers.get(job.worker_key or "")
             if handle is not None:
@@ -386,11 +551,18 @@ class Supervisor:
     # ------------------------------------------------------------------
     # Worker processes
     # ------------------------------------------------------------------
+    def _worker_config(self) -> Dict[str, object]:
+        return {
+            "heartbeat_interval": self.options.heartbeat_interval,
+            "rss_soft_bytes": self.options.rss_soft_bytes,
+            "rss_hard_bytes": self.options.rss_hard_bytes,
+        }
+
     def _spawn(self, handle: WorkerHandle) -> None:
         parent, child = self._context.Pipe()
         process = self._context.Process(
             target=worker_main,
-            args=(child, handle.key),
+            args=(child, handle.key, self._worker_config()),
             name="repro-worker-%s" % handle.key[:8],
             daemon=True,
         )
@@ -413,10 +585,17 @@ class Supervisor:
         """Graceful stop: the worker flushes its KB stores before exiting."""
         try:
             handle.conn.send({"op": "stop"})
-            if handle.conn.poll(timeout):
+            deadline = time.time() + timeout
+            while handle.conn.poll(max(0.0, deadline - time.time())):
                 reply = handle.conn.recv()
-                if isinstance(reply, dict) and reply.get("stats"):
+                if not isinstance(reply, dict):
+                    continue
+                if reply.get("op") == "heartbeat":
+                    continue  # a stop can race the end of a running job
+                if reply.get("stats"):
                     handle.last_stats = reply["stats"]
+                if reply.get("op") == "stopped":
+                    break
         except (BrokenPipeError, EOFError, OSError):
             pass
         if handle.proc is not None:
@@ -433,6 +612,7 @@ class Supervisor:
         if handle.runner is not None and not handle.runner.cancelled():
             handle.runner.cancel()
         await asyncio.to_thread(self._stop_worker, handle)
+        self._fold_degradations(handle, handle.last_stats)
 
     async def _restart(self, handle: WorkerHandle) -> None:
         handle.restarts += 1
@@ -440,14 +620,92 @@ class Supervisor:
         if not self._closing:
             self._spawn(handle)
 
+    def _note_worker_kill(self, job: Job) -> bool:
+        """Record that ``job``'s digest killed a worker; True when quarantined."""
+        count = self._kill_counts.get(job.digest, 0) + 1
+        self._kill_counts[job.digest] = count
+        if count >= self.options.quarantine_limit:
+            self._quarantine.add(job.digest)
+            return True
+        return False
+
+    def _fold_degradations(self, handle: WorkerHandle,
+                           stats: Optional[Mapping[str, object]]) -> None:
+        """Fold a worker's cumulative degradation count into the counters.
+
+        Workers report lifetime totals; the delta since the last report is
+        what the daemon-wide counter accumulates (and it survives the
+        worker's retirement, unlike the per-worker stats block).
+        """
+        if not isinstance(stats, Mapping):
+            return
+        total = stats.get("degradations")
+        if isinstance(total, int) and total > handle.degradations_seen:
+            self.counters["degradations"] += total - handle.degradations_seen
+            handle.degradations_seen = total
+
     # ------------------------------------------------------------------
     # The per-worker runner coroutine
     # ------------------------------------------------------------------
+    async def _await_result(self, handle: WorkerHandle, job: Job):
+        """Pump the worker pipe until a job result, a timeout or a hang.
+
+        Returns ``("reply", message)``, ``("timeout", None)`` (the job's
+        wall-clock budget -- service timeout or end-to-end deadline --
+        expired) or ``("watchdog", None)`` (no message of any kind within
+        ``hang_timeout``: the worker is wedged, not slow).  Pipe EOF and
+        errors propagate to the caller's crash handling.
+        """
+        started = time.monotonic()
+        last_message = started
+        budget = self.options.job_timeout
+        remaining_deadline = job.deadline_remaining()
+        if remaining_deadline is not None:
+            budget = remaining_deadline if budget is None \
+                else min(budget, remaining_deadline)
+        while True:
+            now = time.monotonic()
+            waits = []
+            if budget is not None:
+                waits.append(budget - (now - started))
+            if self.options.hang_timeout is not None:
+                waits.append(self.options.hang_timeout - (now - last_message))
+            wait = min(waits) if waits else None
+            if wait is not None and wait <= 0:
+                budget_left = None if budget is None else budget - (now - started)
+                if budget_left is not None and budget_left <= 0:
+                    return ("timeout", None)
+                return ("watchdog", None)
+            try:
+                reply = await asyncio.wait_for(
+                    asyncio.to_thread(_recv, handle.conn), timeout=wait,
+                )
+            except asyncio.TimeoutError:
+                continue  # loop re-derives which deadline expired
+            if isinstance(reply, dict) and reply.get("op") == "heartbeat":
+                last_message = time.monotonic()
+                rss = reply.get("rss_bytes")
+                if isinstance(rss, int):
+                    handle.rss_bytes = rss
+                continue
+            return ("reply", reply)
+
     async def _run_worker(self, handle: WorkerHandle) -> None:
         while True:
             job = await handle.queue.get()
             if job.state != "queued":
                 continue  # cancelled while waiting
+            remaining = job.deadline_remaining()
+            if remaining is not None and remaining <= 0:
+                job.finish(
+                    "failed",
+                    "aborted: %.1fs end-to-end deadline expired before dispatch"
+                    % (job.deadline_seconds,),
+                    cause="timeout",
+                )
+                self.counters["failed"] += 1
+                self.counters["timeouts"] += 1
+                continue
             job.state = "running"
             job.worker_key = handle.key
             job.started_at = time.time()
@@ -457,44 +715,51 @@ class Supervisor:
                 message: Dict[str, object] = {
                     "op": "run", "job_id": job.job_id, "request": job.payload,
                 }
-                if job.fault is not None:
-                    message["fault"] = job.fault
+                if remaining is not None:
+                    message["deadline_seconds"] = remaining
                 await asyncio.to_thread(handle.conn.send, message)
-                reply = await asyncio.wait_for(
-                    asyncio.to_thread(_recv, handle.conn),
-                    timeout=self.options.job_timeout,
-                )
-            except asyncio.TimeoutError:
-                handle.current = None
-                job.finish(
-                    "failed",
-                    "aborted: job exceeded the %.1fs service timeout"
-                    % (self.options.job_timeout,),
-                )
-                self.counters["failed"] += 1
-                await self._restart(handle)
-                continue
+                outcome, reply = await self._await_result(handle, job)
             except (EOFError, OSError, BrokenPipeError):
                 handle.current = None
                 if job.state == "cancelled":
                     await self._restart(handle)
                     continue
-                exit_code = handle.proc.exitcode if handle.proc is not None else None
-                if job.requeues < self.options.requeue_limit:
-                    job.requeues += 1
-                    job.state = "queued"
-                    self.counters["requeued"] += 1
-                    await self._restart(handle)
-                    handle.queue.put_nowait(job)
+                exit_code = None
+                if handle.proc is not None:
+                    # Pipe EOF can beat process reaping; join briefly so the
+                    # reported exit code is the real one, not None.
+                    await asyncio.to_thread(handle.proc.join, 5)
+                    exit_code = handle.proc.exitcode
+                await self._handle_worker_death(handle, job, exit_code)
+                continue
+            if outcome == "timeout":
+                handle.current = None
+                budget = self.options.job_timeout
+                deadline = job.deadline_seconds
+                if deadline is not None and (budget is None or deadline < budget):
+                    detail = "%.1fs end-to-end deadline" % deadline
                 else:
-                    job.finish(
-                        "failed",
-                        "aborted: worker crashed (exit code %s) on attempt %d; "
-                        "requeue limit %d reached"
-                        % (exit_code, job.attempts, self.options.requeue_limit),
-                    )
-                    self.counters["failed"] += 1
-                    await self._restart(handle)
+                    detail = "%.1fs service timeout" % budget
+                job.finish("failed", "aborted: job exceeded the %s" % detail,
+                           cause="timeout")
+                self.counters["failed"] += 1
+                self.counters["timeouts"] += 1
+                await self._restart(handle)
+                continue
+            if outcome == "watchdog":
+                handle.current = None
+                self.counters["watchdog_kills"] += 1
+                quarantined = self._note_worker_kill(job)
+                job.finish(
+                    "failed",
+                    "aborted: worker sent no heartbeat for %.1fs; killed as hung"
+                    % (self.options.hang_timeout,),
+                    cause="quarantined" if quarantined else "watchdog",
+                )
+                if quarantined:
+                    self.counters["quarantined"] += 1
+                self.counters["failed"] += 1
+                await self._restart(handle)
                 continue
             handle.current = None
             handle.last_active = time.time()
@@ -505,16 +770,57 @@ class Supervisor:
                 job.report = reply.get("report")
                 job.worker_stats = reply.get("stats")
                 handle.last_stats = reply.get("stats")
+                self._fold_degradations(handle, handle.last_stats)
                 handle.jobs_done += 1
                 self.counters["completed"] += 1
                 job.finish("done")
             elif op == "job-error":
                 handle.last_stats = reply.get("stats")
+                self._fold_degradations(handle, handle.last_stats)
                 self.counters["failed"] += 1
-                job.finish("failed", str(reply.get("error")))
+                job.finish("failed", str(reply.get("error")), cause="job-error")
             else:  # pragma: no cover - defensive
                 self.counters["failed"] += 1
-                job.finish("failed", "unexpected worker reply %r" % (op,))
+                job.finish("failed", "unexpected worker reply %r" % (op,),
+                           cause="crash")
+            if isinstance(reply, dict) and reply.get("retiring"):
+                # The worker hit its hard RSS watermark, flushed its KB
+                # state and exited after answering; respawn it cold.
+                await self._restart(handle)
+
+    async def _handle_worker_death(self, handle: WorkerHandle, job: Job,
+                                   exit_code) -> None:
+        """Crash path: quarantine poison jobs, requeue the rest once."""
+        quarantined = self._note_worker_kill(job)
+        if quarantined:
+            job.finish(
+                "failed",
+                "quarantined: request killed %d workers (limit %d); "
+                "last exit code %s"
+                % (self._kill_counts[job.digest],
+                   self.options.quarantine_limit, exit_code),
+                cause="quarantined",
+            )
+            self.counters["quarantined"] += 1
+            self.counters["failed"] += 1
+            await self._restart(handle)
+            return
+        if job.requeues < self.options.requeue_limit:
+            job.requeues += 1
+            job.state = "queued"
+            self.counters["requeued"] += 1
+            await self._restart(handle)
+            handle.queue.put_nowait(job)
+            return
+        job.finish(
+            "failed",
+            "aborted: worker crashed (exit code %s) on attempt %d; "
+            "requeue limit %d reached"
+            % (exit_code, job.attempts, self.options.requeue_limit),
+            cause="crash",
+        )
+        self.counters["failed"] += 1
+        await self._restart(handle)
 
     # ------------------------------------------------------------------
     # Stats
@@ -536,10 +842,24 @@ class Supervisor:
                 "restarts": handle.restarts,
                 "idle_seconds": round(time.time() - handle.last_active, 3),
             })
+            if handle.proc is not None and handle.proc.pid is not None:
+                block["pid"] = handle.proc.pid
+            if handle.rss_bytes is not None:
+                block.setdefault("rss_bytes", handle.rss_bytes)
             workers.append(block)
         jobs = dict(self.counters)
         jobs["queued"] = queued
         jobs["running"] = running
+        resilience = {
+            "retries": self.counters["retries"],
+            "requeued": self.counters["requeued"],
+            "quarantined": self.counters["quarantined"],
+            "quarantined_digests": sorted(self._quarantine),
+            "watchdog_kills": self.counters["watchdog_kills"],
+            "timeouts": self.counters["timeouts"],
+            "degradations": self.counters["degradations"],
+            "draining": self._draining,
+        }
         return {
             "protocol": protocol.PROTOCOL,
             "pid": os.getpid(),
@@ -547,6 +867,7 @@ class Supervisor:
             "max_workers": self.options.max_workers,
             "jobs": jobs,
             "workers": workers,
+            "resilience": resilience,
         }
 
 

@@ -15,52 +15,114 @@ check jobs for it *serially*, which is exactly what makes the daemon fast:
   (:func:`repro.kb.flush_attached_stores`) before exiting, so nothing
   learned is lost when the supervisor evicts an idle worker.
 
-The worker speaks a tiny op-dict protocol over a :mod:`multiprocessing`
-pipe with its supervisor (``run`` / ``stats`` / ``stop``); the check payload
-itself is a verbatim :class:`repro.api.CheckRequest` dict.
+Resilience duties (PR 8):
 
-Fault injection (crash / crash-once / sleep) is compiled in but inert: it
-only triggers when the supervisor was started with
-``REPRO_SERVICE_FAULTS=1``, and exists so the crash-requeue path is
-testable without patching internals.
+* while a job runs, a **heartbeat thread** sends ``{"op": "heartbeat"}``
+  every ``heartbeat_interval`` seconds (with the worker's resident-set
+  size), so the supervisor's hung-worker watchdog can tell *slow* from
+  *wedged*;
+* an end-to-end **deadline** forwarded with the job clamps the request's
+  engine time budget, so a deadline set at the client bounds the solver
+  itself, not just the transport;
+* **RSS watermarks**: above the soft watermark the worker degrades
+  gracefully -- evicts its model caches and flushes its KB stores --
+  instead of growing until the OOM killer takes it; above the hard
+  watermark it additionally asks to be retired after the current job
+  (the supervisor respawns it cold, with nothing learned lost);
+* fault-injection sites (``worker.run``, ``worker.budget``; see
+  :mod:`repro.faults`) replace the old ad-hoc ``REPRO_SERVICE_FAULTS``
+  hooks -- they are inert unless a fault plan is armed in the
+  environment, which forked workers inherit from the daemon.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
+from dataclasses import replace
 from typing import Dict, Optional
 
-from repro import api
+from repro import api, faults
 from repro.checker.incremental import shared_model_cache
 from repro.kb import flush_attached_stores, open_knowledge_base
 
-#: Environment switch that arms the test-only fault hooks.
-FAULTS_ENV = "REPRO_SERVICE_FAULTS"
+#: fallback worker configuration (mirrors ServiceOptions defaults).
+DEFAULT_CONFIG = {
+    "heartbeat_interval": 1.0,
+    "rss_soft_bytes": None,
+    "rss_hard_bytes": None,
+}
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
 
 
-def faults_enabled() -> bool:
-    """Whether test-only fault injection is armed for this process tree."""
-    return os.environ.get(FAULTS_ENV, "") == "1"
+def current_rss_bytes() -> Optional[int]:
+    """This process's resident-set size, or ``None`` when unreadable."""
+    try:
+        with open("/proc/self/statm") as stream:
+            fields = stream.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        try:
+            import resource
+
+            # Peak RSS (kilobytes on Linux); an over-estimate of the current
+            # value, which errs on the safe side for watermark checks.
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        except Exception:  # pragma: no cover - exotic platforms
+            return None
 
 
-def _apply_fault(fault: Optional[Dict[str, object]]) -> None:
-    """Honour a test-only fault directive (no-op unless armed)."""
-    if not fault or not faults_enabled():
-        return
-    kind = fault.get("kind")
-    if kind == "crash":
-        os._exit(17)
-    if kind == "crash-once":
-        marker = str(fault.get("marker", ""))
-        if marker and not os.path.exists(marker):
-            with open(marker, "w") as stream:
-                stream.write("crashed\n")
-            os._exit(17)
-        return
-    if kind == "sleep":
-        time.sleep(float(fault.get("seconds", 1.0)))
+class _Heartbeat:
+    """Background sender keeping the supervisor's watchdog fed during jobs.
+
+    The pipe is shared with the main loop, so every send goes through one
+    lock; ``pause`` exists for the ``hang`` fault kind, which must look
+    exactly like a wedged process (no result *and* no heartbeats).
+    """
+
+    def __init__(self, conn, lock: threading.Lock, interval: float):
+        self._conn = conn
+        self._lock = lock
+        self._interval = max(0.05, float(interval))
+        self._stop = threading.Event()
+        self._paused = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Begin heartbeating (one thread per job run)."""
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the sender; no heartbeat can follow a result."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def pause(self) -> None:
+        """Silence heartbeats without stopping the thread (``hang`` fault)."""
+        self._paused.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if self._paused.is_set():
+                continue
+            message = {"op": "heartbeat", "ts": time.time()}
+            rss = current_rss_bytes()
+            if rss is not None:
+                message["rss_bytes"] = rss
+            try:
+                with self._lock:
+                    if self._stop.is_set():
+                        return
+                    self._conn.send(message)
+            except (BrokenPipeError, OSError):
+                return
 
 
 class _WorkerState:
@@ -74,6 +136,7 @@ class _WorkerState:
         self.warm_hits = 0
         self.kb_cubes_loaded = 0
         self.kb_hits = 0
+        self.degradations = 0
         self.started_at = time.time()
 
     def note_report(self, report: api.CheckReport) -> None:
@@ -85,6 +148,19 @@ class _WorkerState:
     def note_request(self, request: api.CheckRequest) -> None:
         if request.kb_path:
             self.kb_paths.setdefault(request.kb_path)
+
+    def degrade(self) -> None:
+        """Soft-watermark response: shed the warm state, keep the process.
+
+        Evicts the unrolled-model cache and the resolved-design cache and
+        flushes every attached KB store first, so the memory comes back
+        without losing a single learned fact -- the next job runs cold but
+        correct.
+        """
+        flush_attached_stores()
+        shared_model_cache().clear()
+        self.design_cache.clear()
+        self.degradations += 1
 
     def snapshot(self) -> Dict[str, object]:
         """The live per-worker stats block of the ``stats`` verb.
@@ -100,33 +176,69 @@ class _WorkerState:
                 kb_blocks.append(open_knowledge_base(path).stats())
             except Exception as exc:  # pragma: no cover - defensive
                 kb_blocks.append({"path": path, "disabled": True, "reason": str(exc)})
-        return {
+        snapshot = {
             "worker_key": self.worker_key,
             "pid": os.getpid(),
             "jobs_done": self.jobs_done,
             "warm_hits": self.warm_hits,
             "kb_cubes_loaded": self.kb_cubes_loaded,
             "kb_hits": self.kb_hits,
+            "degradations": self.degradations,
             "model_cache": cache,
             "cache_residency": cache.get("entries", 0),
             "designs_resident": len(self.design_cache),
             "kb": kb_blocks,
             "uptime_seconds": round(time.time() - self.started_at, 3),
         }
+        rss = current_rss_bytes()
+        if rss is not None:
+            snapshot["rss_bytes"] = rss
+        return snapshot
 
 
-def worker_main(conn, worker_key: str) -> None:
+def _clamped_request(request: api.CheckRequest,
+                     deadline_seconds: Optional[float]) -> api.CheckRequest:
+    """Fold the forwarded end-to-end deadline into the engine time budget.
+
+    A ``worker.budget`` fault of kind ``exhaust-budget`` collapses the
+    budget to near-zero, forcing the budget-exhaustion path (inconclusive
+    but typed verdicts) without waiting for a real deadline.
+    """
+    rule = faults.maybe_fire("worker.budget")
+    if rule is not None and rule.kind == "exhaust-budget":
+        return replace(request, time_budget=0.001)
+    if deadline_seconds is None:
+        return request
+    remaining = max(0.01, float(deadline_seconds))
+    if request.time_budget is None or request.time_budget > remaining:
+        return replace(request, time_budget=remaining)
+    return request
+
+
+def worker_main(conn, worker_key: str, config: Optional[Dict] = None) -> None:
     """Entry point of the worker child process.
 
     ``conn`` is the supervisor end-to-end duplex pipe.  Ops:
 
-    * ``{"op": "run", "job_id", "request": <CheckRequest dict>, "fault"?}``
-      -> ``{"op": "done", "job_id", "report": <CheckReport dict>, "stats"}``
-      or ``{"op": "job-error", "job_id", "error", "stats"}``;
+    * ``{"op": "run", "job_id", "request": <CheckRequest dict>,
+      "deadline_seconds"?}``
+      -> interleaved ``{"op": "heartbeat", "ts", "rss_bytes"?}`` messages,
+      then ``{"op": "done", "job_id", "report": <CheckReport dict>,
+      "stats", "retiring"?}`` or ``{"op": "job-error", "job_id", "error",
+      "stats", "retiring"?}``;
     * ``{"op": "stats"}`` -> ``{"op": "stats", "stats"}``;
     * ``{"op": "stop"}`` -> flush KB stores, ``{"op": "stopped"}``, exit.
     """
+    settings = dict(DEFAULT_CONFIG)
+    if config:
+        settings.update(config)
     state = _WorkerState(worker_key)
+    send_lock = threading.Lock()
+
+    def send(message: Dict[str, object]) -> None:
+        with send_lock:
+            conn.send(message)
+
     while True:
         try:
             message = conn.recv()
@@ -138,25 +250,35 @@ def worker_main(conn, worker_key: str) -> None:
         if op == "stop":
             flush_attached_stores()
             try:
-                conn.send({"op": "stopped", "stats": state.snapshot()})
+                send({"op": "stopped", "stats": state.snapshot()})
             except (BrokenPipeError, OSError):  # pragma: no cover - racing exit
                 pass
             return
         if op == "stats":
-            conn.send({"op": "stats", "stats": state.snapshot()})
+            send({"op": "stats", "stats": state.snapshot()})
             continue
         if op != "run":
-            conn.send({"op": "error", "error": "unknown op %r" % (op,)})
+            send({"op": "error", "error": "unknown op %r" % (op,)})
             continue
 
         job_id = message.get("job_id")
-        _apply_fault(message.get("fault"))
+        heartbeat = _Heartbeat(conn, send_lock, settings["heartbeat_interval"])
+        heartbeat.start()
         try:
+            rule = faults.maybe_fire("worker.run")
+            if rule is not None and rule.kind == "hang":
+                # A wedged process sends nothing at all -- silence the
+                # heartbeats too, so the supervisor's watchdog (not the job
+                # timeout) is what fires.
+                heartbeat.pause()
+                time.sleep(rule.seconds if rule.seconds > 0.05 else 3600.0)
             request = api.CheckRequest.from_dict(message["request"])
+            request = _clamped_request(request, message.get("deadline_seconds"))
             state.note_request(request)
             report = api.check(request, design_cache=state.design_cache)
         except Exception as exc:
-            conn.send({
+            heartbeat.stop()
+            send({
                 "op": "job-error",
                 "job_id": job_id,
                 "error": "%s: %s" % (type(exc).__name__, exc),
@@ -164,13 +286,42 @@ def worker_main(conn, worker_key: str) -> None:
                 "stats": state.snapshot(),
             })
             continue
+        heartbeat.stop()
         state.note_report(report)
-        conn.send({
+        reply: Dict[str, object] = {
             "op": "done",
             "job_id": job_id,
             "report": report.to_dict(),
-            "stats": state.snapshot(),
-        })
+        }
+        retiring = _apply_watermarks(state, settings)
+        if retiring:
+            reply["retiring"] = True
+        reply["stats"] = state.snapshot()
+        send(reply)
+        if retiring:
+            flush_attached_stores()
+            return
 
 
-__all__ = ["FAULTS_ENV", "faults_enabled", "worker_main"]
+def _apply_watermarks(state: _WorkerState, settings: Dict) -> bool:
+    """Post-job RSS watermark check; returns whether to retire the worker."""
+    soft = settings.get("rss_soft_bytes")
+    hard = settings.get("rss_hard_bytes")
+    if soft is None and hard is None:
+        return False
+    rss = current_rss_bytes()
+    if rss is None:
+        return False
+    if soft is not None and rss >= soft:
+        state.degrade()
+    if hard is not None and rss >= hard:
+        # Even a degraded cache may not shrink the heap (the allocator keeps
+        # its arenas); retiring lets the supervisor respawn a cold process
+        # before the kill threshold -- with everything learned flushed.
+        if not (soft is not None and rss >= soft):
+            state.degrade()
+        return True
+    return False
+
+
+__all__ = ["DEFAULT_CONFIG", "current_rss_bytes", "worker_main"]
