@@ -1,0 +1,187 @@
+"""Fleet-routed submits vs. direct daemon submits: the router's overhead.
+
+The fleet router (``repro.service.fleet``) sits between the client and a
+set of daemons: it fingerprints the circuit, rendezvous-hashes it onto a
+shard, and then speaks the exact same wire protocol as a direct submit.
+On the warm path the fingerprint comes from the router's cache, so the
+whole routing layer should cost microseconds against a
+milliseconds-scale round trip.  This benchmark pins that: a warm routed
+submit must stay within ``OVERHEAD_FACTOR`` (plus a small absolute
+allowance) of a warm direct submit to the same daemon, stay sticky to
+one shard, and return bit-identical reports.
+
+Run:  python -m pytest benchmarks/bench_fleet.py -q
+"""
+
+import asyncio
+import contextlib
+import os
+import statistics
+import tempfile
+import threading
+import time
+
+import pytest
+import reporting
+
+from repro import api
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    check_via_service,
+    service_available,
+)
+from repro.service.fleet import FleetEndpoint, FleetRouter
+from repro.service.supervisor import ServiceOptions, serve
+
+from bench_service import _normalized
+
+pytestmark = pytest.mark.benchmark(disable_gc=True)
+
+CASES = ("p5", "p15")
+ROUNDS = 5
+#: warm routed submits may cost at most this factor of a direct submit
+#: (plus ``OVERHEAD_ALLOWANCE`` seconds of absolute slack for the
+#: fingerprint-cache hit and the rendezvous hash).
+OVERHEAD_FACTOR = 2.0
+OVERHEAD_ALLOWANCE = 0.020
+
+
+@contextlib.contextmanager
+def _fleet(count=2):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as scratch:
+        sockets = []
+        threads = []
+        for index in range(count):
+            socket_path = os.path.join(scratch, "shard-%d.sock" % index)
+            thread = threading.Thread(
+                target=lambda p=socket_path: asyncio.run(
+                    serve(ServiceOptions(socket_path=p))),
+                daemon=True,
+            )
+            thread.start()
+            sockets.append(socket_path)
+            threads.append(thread)
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            if all(os.path.exists(p) and service_available(p) for p in sockets):
+                break
+            time.sleep(0.05)
+        else:
+            raise RuntimeError("fleet daemons did not come up")
+        try:
+            yield sockets
+        finally:
+            for socket_path in sockets:
+                with contextlib.suppress(ServiceError):
+                    with ServiceClient(socket_path) as client:
+                        client.shutdown()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+
+def _measure(router, sockets):
+    rows = []
+    for case_id in CASES:
+        request = api.CheckRequest(circuit=api.CircuitRef.case(case_id))
+
+        # Warm the owning shard's worker (and the router's fingerprint
+        # cache) before timing anything.
+        first = router.check(request, fallback=False)
+        shard = first.service["endpoint"]
+        socket_path = next(
+            endpoint.socket for endpoint in router.endpoints
+            if endpoint.name == shard)
+
+        direct_times = []
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            direct_report = check_via_service(
+                request, socket_path=socket_path, fallback=False)
+            direct_times.append(time.perf_counter() - started)
+
+        routed_times = []
+        shards = set()
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            routed_report = router.check(request, fallback=False)
+            routed_times.append(time.perf_counter() - started)
+            shards.add(routed_report.service["endpoint"])
+
+        rows.append(
+            {
+                "case": case_id,
+                "shard": shard,
+                "sticky": shards == {shard},
+                "direct_median": statistics.median(direct_times),
+                "routed_median": statistics.median(routed_times),
+                "identical": _normalized(routed_report) == _normalized(direct_report),
+            }
+        )
+    return rows
+
+
+def _format_table(rows):
+    header = "%-6s %6s %12s %12s %10s %7s %10s" % (
+        "case", "shard", "direct (s)", "routed (s)", "overhead", "sticky",
+        "identical",
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-6s %6s %12.4f %12.4f %9.2fx %7s %10s"
+            % (
+                row["case"],
+                row["shard"],
+                row["direct_median"],
+                row["routed_median"],
+                row["routed_median"] / row["direct_median"],
+                "yes" if row["sticky"] else "NO",
+                "yes" if row["identical"] else "NO",
+            )
+        )
+    lines.append("")
+    lines.append(
+        "(direct = warm check_via_service to the owning shard's socket;"
+    )
+    lines.append(
+        " routed = the same submit through the two-shard FleetRouter;"
+    )
+    lines.append(" medians of %d rounds)" % ROUNDS)
+    return "\n".join(lines)
+
+
+def test_fleet_routing_overhead_is_bounded(benchmark):
+    with _fleet(count=2) as sockets:
+        router = FleetRouter([
+            FleetEndpoint("a", sockets[0]),
+            FleetEndpoint("b", sockets[1]),
+        ])
+        rows = _measure(router, sockets)
+        # The benchmarked quantity for the regression gate: one warm
+        # routed p5 submit against the already-warm shard.
+        request = api.CheckRequest(circuit=api.CircuitRef.case(CASES[0]))
+        benchmark.pedantic(
+            lambda: router.check(request, fallback=False),
+            rounds=ROUNDS,
+            iterations=1,
+        )
+
+    for row in rows:
+        assert row["identical"], (
+            "routed verdict for %s drifted from the direct path" % row["case"]
+        )
+        assert row["sticky"], (
+            "case %s bounced between shards on the warm path" % row["case"]
+        )
+        ceiling = row["direct_median"] * OVERHEAD_FACTOR + OVERHEAD_ALLOWANCE
+        assert row["routed_median"] <= ceiling, (
+            "fleet routing on %s cost %.4fs vs %.4fs direct "
+            "(ceiling %.4fs = %.1fx + %.0fms)"
+            % (row["case"], row["routed_median"], row["direct_median"],
+               ceiling, OVERHEAD_FACTOR, OVERHEAD_ALLOWANCE * 1e3)
+        )
+
+    table = _format_table(rows)
+    reporting.register_table("[Fleet] routed vs. direct warm submits", table)
+    print("\n[Fleet] routed vs. direct warm submits\n" + table)

@@ -830,6 +830,24 @@ class RequestOutcome:
     batch: Optional[object] = None
 
 
+def clamp_to_deadline(request: CheckRequest,
+                      deadline_seconds: Optional[float]) -> CheckRequest:
+    """Fold an end-to-end deadline into the request's engine time budget.
+
+    The one clamp rule every execution path shares: the service worker
+    applies it to forwarded jobs, and the client's in-process fallback
+    applies it before running locally -- so ``--deadline`` bounds the
+    solver itself no matter which path answers.  A request whose own
+    ``time_budget`` is already tighter is returned unchanged.
+    """
+    if deadline_seconds is None:
+        return request
+    remaining = max(0.01, float(deadline_seconds))
+    if request.time_budget is None or request.time_budget > remaining:
+        return replace(request, time_budget=remaining)
+    return request
+
+
 def check(
     request: CheckRequest,
     *,
@@ -1017,6 +1035,7 @@ __all__ = [
     "build_request",
     "check",
     "check_batch",
+    "clamp_to_deadline",
     "resolve_design",
     "run_request",
 ]

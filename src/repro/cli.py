@@ -22,7 +22,14 @@ Four commands cover the flows described in the paper:
 ``serve`` / ``submit``
     Run the verification daemon (warm per-circuit workers behind a unix
     socket) and submit check jobs to it; ``submit`` degrades gracefully to
-    in-process checking when no daemon is listening.
+    in-process checking when no daemon is listening, and shards across a
+    fleet of daemons when one is configured (``--endpoint`` / a fleet
+    file / ``$REPRO_SERVICE_ENDPOINTS``).
+
+``fleet``
+    Operate a fleet of daemons: ``fleet status`` (health-checked probes),
+    ``fleet sync`` (knowledge-base anti-entropy) and ``fleet batch``
+    (route bundled cases across the shards with failover).
 
 ``table1`` / ``table2``
     Regenerate the paper's evaluation tables from the bundled benchmark
@@ -375,33 +382,35 @@ def _command_kb(args: argparse.Namespace) -> int:
         return 0
 
     if args.kb_command == "merge":
+        # All sources land in ONE write transaction (merge_many): either the
+        # destination gains every readable source or none of them, and N
+        # sources cost one commit instead of N.
         dest = KnowledgeBase(args.dest)
+        sources = []
         try:
             if dest.disabled:
                 print("cannot merge into %s: %s" % (args.dest, dest.disabled_reason))
                 return 1
             for source_path in args.sources:
                 source = KnowledgeBase(source_path)
-                try:
-                    if source.disabled:
-                        print(
-                            "skipping %s: %s" % (source_path, source.disabled_reason)
-                        )
-                        continue
-                    merged = dest.merge_from(source)
-                finally:
-                    source.close()
-                print(
-                    "merged %s: %d model(s), %d cube(s), %d memo(s)"
-                    % (
-                        source_path,
-                        merged["models"],
-                        merged["cubes"],
-                        merged["fail_memos"],
-                    )
-                )
+                sources.append(source)
+                if source.disabled:
+                    print("skipping %s: %s" % (source_path, source.disabled_reason))
+            merged = dest.merge_many(sources)
         finally:
+            for source in sources:
+                source.close()
             dest.close()
+        print(
+            "merged %d source(s) in one transaction: %d model(s), %d cube(s), "
+            "%d memo(s)"
+            % (
+                merged["sources"],
+                merged["models"],
+                merged["cubes"],
+                merged["fail_memos"],
+            )
+        )
         return 0
 
     raise SystemExit("unknown kb sub-command %r" % (args.kb_command,))
@@ -536,15 +545,24 @@ def _command_submit(args: argparse.Namespace) -> int:
     if args.retries is not None:
         retry = RetryPolicy(attempts=max(1, args.retries + 1))
     try:
-        report = check_via_service(
-            request,
-            socket_path=args.socket,
-            fallback=not args.no_fallback,
-            timeout=args.timeout,
-            deadline=args.deadline,
-            retry=retry,
-            read_timeout=args.read_timeout,
-        )
+        router = _fleet_router_from_args(args, retry=retry)
+        if router is not None:
+            report = router.check(
+                request,
+                deadline=args.deadline,
+                timeout=args.timeout,
+                fallback=not args.no_fallback,
+            )
+        else:
+            report = check_via_service(
+                request,
+                socket_path=args.socket,
+                fallback=not args.no_fallback,
+                timeout=args.timeout,
+                deadline=args.deadline,
+                retry=retry,
+                read_timeout=args.read_timeout,
+            )
     except JobFailure as exc:
         # Typed daemon-side failure: surface the machine-readable cause so
         # scripts can branch on it (and never silently re-run locally).
@@ -574,6 +592,147 @@ def _command_submit(args: argparse.Namespace) -> int:
                 )
             )
     return report.exit_code
+
+
+def _fleet_router_from_args(args: argparse.Namespace, retry=None):
+    """Build a :class:`~repro.service.fleet.FleetRouter` when a fleet is
+    configured (``--endpoint`` / ``--fleet-file`` / the environment);
+    ``None`` means single-daemon behaviour."""
+    from repro.service import fleet as fleet_mod
+
+    try:
+        endpoints, options = fleet_mod.resolve_endpoints(
+            getattr(args, "endpoint", None), getattr(args, "fleet_file", None)
+        )
+    except fleet_mod.FleetError as exc:
+        raise SystemExit(str(exc))
+    if not endpoints:
+        return None
+    hedge_after = getattr(args, "hedge_after", None)
+    if hedge_after is None:
+        hedge_after = options.get("hedge_after")
+    try:
+        return fleet_mod.FleetRouter(
+            endpoints,
+            trip_threshold=int(options.get(
+                "trip_threshold", fleet_mod.DEFAULT_TRIP_THRESHOLD)),
+            cooldown=float(options.get("cooldown", fleet_mod.DEFAULT_COOLDOWN)),
+            hedge_after=hedge_after,
+            retry=retry,
+            read_timeout=getattr(args, "read_timeout", None),
+            sync_on_failover=getattr(args, "sync_on_failover", False),
+        )
+    except fleet_mod.FleetError as exc:
+        raise SystemExit(str(exc))
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    """The ``repro fleet status|sync|batch`` sub-commands."""
+    from repro.service import fleet as fleet_mod
+
+    if args.fleet_command == "sync":
+        stores = list(args.stores or [])
+        if not stores:
+            try:
+                endpoints, _ = fleet_mod.resolve_endpoints(
+                    args.endpoint, args.fleet_file)
+            except fleet_mod.FleetError as exc:
+                raise SystemExit(str(exc))
+            stores = [e.kb for e in endpoints if e.kb]
+        if len(stores) < 2:
+            print("nothing to sync: need at least two stores "
+                  "(positional paths, --endpoint ...;kb=..., or a fleet file)",
+                  file=sys.stderr)
+            return 1
+        results = fleet_mod.sync_stores(stores)
+        if args.json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+            return 0
+        for row in results:
+            if row.get("disabled"):
+                print("%s: DISABLED (%s)" % (row["path"], row.get("reason")))
+                continue
+            print(
+                "%s <- %d source(s): %d model(s), %d cube(s), %d memo(s)"
+                % (row["path"], row["sources"], row["models"], row["cubes"],
+                   row["fail_memos"])
+            )
+        return 1 if any(row.get("disabled") for row in results) else 0
+
+    router = _fleet_router_from_args(args)
+    if router is None:
+        raise SystemExit(
+            "no fleet configured; pass --endpoint/--fleet-file or set "
+            "$%s" % (fleet_mod.ENDPOINTS_ENV,))
+
+    if args.fleet_command == "status":
+        status = router.status(probe=True)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            for block in status["endpoints"]:
+                probe = block.get("probe", {})
+                if probe.get("alive"):
+                    detail = "up"
+                    if probe.get("legacy"):
+                        detail += " (legacy, pre-ping protocol)"
+                    elif probe.get("draining"):
+                        detail = "draining"
+                    else:
+                        detail += " pid=%s uptime=%.1fs" % (
+                            probe.get("pid", "?"),
+                            float(probe.get("uptime_seconds", 0.0)))
+                else:
+                    detail = "DOWN (%s)" % probe.get("error", "unreachable")
+                print("%-12s %s %s" % (block["name"], block["socket"], detail))
+                if block.get("kb"):
+                    print("%-12s kb: %s" % ("", block["kb"]))
+            print("%d/%d endpoint(s) up" % (status["up"], status["total"]))
+        return 0 if status["up"] > 0 else 1
+
+    if args.fleet_command == "batch":
+        case_ids = [cid.strip() for cid in args.case or [] if cid.strip()]
+        if not case_ids:
+            raise SystemExit("fleet batch needs at least one --case")
+        requests = [
+            api.CheckRequest(circuit=api.CircuitRef.case(case_id))
+            for case_id in case_ids
+        ]
+        report = router.run_batch(
+            requests,
+            deadline=args.deadline,
+            timeout=args.timeout,
+            fallback=not args.no_fallback,
+            max_workers=args.jobs,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            for item in report["items"]:
+                where = item.get("endpoint") or item.get("source", "?")
+                if item["state"] == "done":
+                    verdicts = ",".join(
+                        "%s=%s" % (v["property"], v["status"])
+                        for v in item["verdicts"])
+                    print("%-6s done on %-12s %s"
+                          % (item["circuit"], where, verdicts))
+                else:
+                    print("%-6s FAILED (%s): %s"
+                          % (item["circuit"], item.get("cause"),
+                             item.get("error")))
+            print(
+                "%d done, %d failed, %d lost of %d "
+                "(failovers=%d hedges_won=%d fell_back=%d)"
+                % (report["done"], report["failed"], report["lost"],
+                   report["total"], report["counters"]["failovers"],
+                   report["counters"]["hedges_won"],
+                   report["counters"]["fell_back"])
+            )
+        failing = report["failed"] or report["lost"] or any(
+            item.get("exit_code") for item in report["items"])
+        return 1 if failing else 0
+
+    raise SystemExit("unknown fleet sub-command %r" % (args.fleet_command,))
 
 
 # ----------------------------------------------------------------------
@@ -688,6 +847,42 @@ def _add_check_arguments(parser: argparse.ArgumentParser,
         "--no-kb",
         action="store_true",
         help="ignore --kb and REPRO_KB; run with in-process learning only",
+    )
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fleet-configuration flags shared by ``submit`` and ``fleet ...``.
+
+    Precedence (see :func:`repro.service.fleet.resolve_endpoints`):
+    ``--endpoint`` flags, then ``--fleet-file``, then the
+    ``REPRO_SERVICE_ENDPOINTS`` / ``REPRO_FLEET_FILE`` environment.
+    """
+    parser.add_argument(
+        "--endpoint",
+        action="append",
+        metavar="[NAME=]SOCKET[;kb=STORE]",
+        help="fleet endpoint (repeat for each daemon); jobs are sharded "
+        "across endpoints by circuit fingerprint with health-checked "
+        "failover",
+    )
+    parser.add_argument(
+        "--fleet-file",
+        metavar="FILE",
+        help="TOML fleet file ([[endpoints]] tables plus an optional "
+        "[fleet] options table)",
+    )
+    parser.add_argument(
+        "--hedge-after",
+        type=float,
+        metavar="SECONDS",
+        help="hedged submits: also try the next endpoint when the assigned "
+        "one has not answered after this long (first answer wins)",
+    )
+    parser.add_argument(
+        "--sync-on-failover",
+        action="store_true",
+        help="after a failover, merge the failed endpoint's KB store into "
+        "the takeover endpoint's (anti-entropy nudge)",
     )
 
 
@@ -840,6 +1035,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-protocol-read deadline on the daemon socket (default: 60)",
     )
+    _add_fleet_arguments(submit)
     submit.add_argument(
         "--stats",
         action="store_true",
@@ -857,6 +1053,70 @@ def build_parser() -> argparse.ArgumentParser:
         "flush every worker's KB state, then exit",
     )
     submit.set_defaults(func=_command_submit)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="route jobs across several daemons (health-checked sharding, "
+        "failover, KB anti-entropy)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="probe every endpoint and print its health"
+    )
+    _add_fleet_arguments(fleet_status)
+    fleet_status.add_argument("--json", action="store_true", help="emit JSON")
+    fleet_status.set_defaults(func=_command_fleet)
+    fleet_sync = fleet_sub.add_parser(
+        "sync",
+        help="anti-entropy: pairwise-merge shard KB stores until all hold "
+        "the union of learned facts",
+    )
+    fleet_sync.add_argument(
+        "stores",
+        nargs="*",
+        metavar="STORE",
+        help="knowledge-base files to sync (default: the kb= paths of the "
+        "configured endpoints)",
+    )
+    _add_fleet_arguments(fleet_sync)
+    fleet_sync.add_argument("--json", action="store_true", help="emit JSON")
+    fleet_sync.set_defaults(func=_command_fleet)
+    fleet_batch = fleet_sub.add_parser(
+        "batch", help="route a batch of bundled cases across the fleet"
+    )
+    _add_fleet_arguments(fleet_batch)
+    fleet_batch.add_argument(
+        "--case",
+        action="append",
+        metavar="ID",
+        help="bundled benchmark case to check (may be repeated)",
+    )
+    fleet_batch.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="end-to-end deadline per job (engine budget included)",
+    )
+    fleet_batch.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="give up waiting for any single job after this long",
+    )
+    fleet_batch.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="jobs routed concurrently (default: min(8, batch size))",
+    )
+    fleet_batch.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail a job instead of checking in-process when every "
+        "endpoint is down",
+    )
+    fleet_batch.add_argument("--json", action="store_true", help="emit JSON")
+    fleet_batch.set_defaults(func=_command_fleet)
 
     kb = subparsers.add_parser(
         "kb", help="inspect / maintain a persistent knowledge-base store"

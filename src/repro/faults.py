@@ -421,6 +421,9 @@ SITES = (
     "client.send",
     "client.recv",
     "kb.flush",
+    "fleet.route",
+    "fleet.probe",
+    "fleet.hedge",
 )
 
 __all__ = [

@@ -31,7 +31,7 @@ import json
 import os
 import sqlite3
 import weakref
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
 from repro.atpg.estg import ExtendedStateTransitionGraph, LearnedCube
@@ -507,45 +507,82 @@ class KnowledgeBase:
 
     def merge_from(self, source: "KnowledgeBase") -> Dict[str, int]:
         """Merge another store into this one (union / max-hits / add-only)."""
+        merged = self.merge_many([source])
+        merged.pop("sources", None)
+        return merged
+
+    def merge_many(self, sources: Sequence["KnowledgeBase"]) -> Dict[str, int]:
+        """Merge several stores into this one in a *single* transaction.
+
+        The merge semantics are the commuting flush rules (union cubes
+        keyed by fingerprint taking the maximum hit counter, add-only
+        memos), applied to every readable source under one
+        ``BEGIN IMMEDIATE`` -- so ``repro fleet sync`` over N shards pays
+        one write transaction per destination, not one per source pair.
+        Disabled sources (and the destination itself) are skipped; the
+        returned counts are totals over the sources actually merged
+        (row counts read, not deduplicated).  Merging is idempotent:
+        replaying the same sources changes nothing.
+        """
+        totals = {"sources": 0, "models": 0, "cubes": 0, "fail_memos": 0}
         if self.disabled or self._conn is None:
-            return {"models": 0, "cubes": 0, "fail_memos": 0}
-        if source.disabled or source._conn is None:
-            return {"models": 0, "cubes": 0, "fail_memos": 0}
-        models = source._conn.execute(
-            "SELECT model_key, circuit_name FROM models"
-        ).fetchall()
-        cubes = source._conn.execute(
-            "SELECT model_key, fingerprint, literals, shiftable, min_position,"
-            " max_position, prop_digest, source, hits FROM cubes"
-        ).fetchall()
-        memos = source._conn.execute(
-            "SELECT model_key, search_fp, target_frame FROM fail_memos"
-        ).fetchall()
+            return totals
+        batches = []
+        for source in sources:
+            if source is self or source.path == self.path:
+                continue
+            if source.disabled or source._conn is None:
+                continue
+            try:
+                models = source._conn.execute(
+                    "SELECT model_key, circuit_name FROM models"
+                ).fetchall()
+                cubes = source._conn.execute(
+                    "SELECT model_key, fingerprint, literals, shiftable,"
+                    " min_position, max_position, prop_digest, source, hits"
+                    " FROM cubes"
+                ).fetchall()
+                memos = source._conn.execute(
+                    "SELECT model_key, search_fp, target_frame FROM fail_memos"
+                ).fetchall()
+            except sqlite3.Error:
+                # A source torn mid-read contributes nothing; the merge of
+                # the remaining sources still lands atomically.
+                continue
+            batches.append((models, cubes, memos))
+        if not batches:
+            return totals
         conn = self._conn
         conn.execute("BEGIN IMMEDIATE")
         try:
-            conn.executemany(
-                "INSERT OR IGNORE INTO models(model_key, circuit_name) VALUES(?, ?)",
-                models,
-            )
-            conn.executemany(
-                "INSERT INTO cubes(model_key, fingerprint, literals, shiftable,"
-                " min_position, max_position, prop_digest, source, hits)"
-                " VALUES(?, ?, ?, ?, ?, ?, ?, ?, ?)"
-                " ON CONFLICT(model_key, fingerprint)"
-                " DO UPDATE SET hits = MAX(hits, excluded.hits)",
-                cubes,
-            )
-            conn.executemany(
-                "INSERT OR IGNORE INTO fail_memos(model_key, search_fp, target_frame)"
-                " VALUES(?, ?, ?)",
-                memos,
-            )
+            for models, cubes, memos in batches:
+                conn.executemany(
+                    "INSERT OR IGNORE INTO models(model_key, circuit_name)"
+                    " VALUES(?, ?)",
+                    models,
+                )
+                conn.executemany(
+                    "INSERT INTO cubes(model_key, fingerprint, literals, shiftable,"
+                    " min_position, max_position, prop_digest, source, hits)"
+                    " VALUES(?, ?, ?, ?, ?, ?, ?, ?, ?)"
+                    " ON CONFLICT(model_key, fingerprint)"
+                    " DO UPDATE SET hits = MAX(hits, excluded.hits)",
+                    cubes,
+                )
+                conn.executemany(
+                    "INSERT OR IGNORE INTO fail_memos(model_key, search_fp,"
+                    " target_frame) VALUES(?, ?, ?)",
+                    memos,
+                )
+                totals["sources"] += 1
+                totals["models"] += len(models)
+                totals["cubes"] += len(cubes)
+                totals["fail_memos"] += len(memos)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
             raise
-        return {"models": len(models), "cubes": len(cubes), "fail_memos": len(memos)}
+        return totals
 
     def close(self) -> None:
         """Close the sqlite handle (flushes nothing by itself)."""

@@ -21,9 +21,21 @@ from repro.service.client import (
     ServiceError,
     ServiceTimeout,
     ServiceUnavailable,
+    check_in_process,
     check_via_service,
     default_socket_path,
     service_available,
+)
+from repro.service.fleet import (
+    ENDPOINTS_ENV,
+    FLEET_FILE_ENV,
+    FleetEndpoint,
+    FleetError,
+    FleetRouter,
+    probe_endpoint,
+    rendezvous_order,
+    resolve_endpoints,
+    sync_stores,
 )
 from repro.service.protocol import (
     FAILURE_CAUSES,
@@ -35,7 +47,12 @@ from repro.service.protocol import (
 from repro.service.supervisor import ServiceOptions, Supervisor, serve
 
 __all__ = [
+    "ENDPOINTS_ENV",
     "FAILURE_CAUSES",
+    "FLEET_FILE_ENV",
+    "FleetEndpoint",
+    "FleetError",
+    "FleetRouter",
     "JOB_STATES",
     "JobFailure",
     "PROTOCOL",
@@ -50,8 +67,13 @@ __all__ = [
     "ServiceUnavailable",
     "Supervisor",
     "VERBS",
+    "check_in_process",
     "check_via_service",
     "default_socket_path",
+    "probe_endpoint",
+    "rendezvous_order",
+    "resolve_endpoints",
     "serve",
     "service_available",
+    "sync_stores",
 ]

@@ -391,6 +391,17 @@ def service_available(socket_path: Optional[str] = None) -> bool:
         return False
 
 
+def check_in_process(request: api.CheckRequest,
+                     deadline: Optional[float] = None) -> api.CheckReport:
+    """The in-process fallback path, honouring the end-to-end deadline.
+
+    The engine time budget is clamped exactly the way the daemon path
+    clamps it worker-side (:func:`repro.api.clamp_to_deadline`), so
+    ``--deadline`` bounds the solver whether or not a daemon answered.
+    """
+    return api.check(api.clamp_to_deadline(request, deadline))
+
+
 def check_via_service(
     request: api.CheckRequest,
     socket_path: Optional[str] = None,
@@ -399,6 +410,7 @@ def check_via_service(
     deadline: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     read_timeout: Optional[float] = None,
+    submit_key: Optional[str] = None,
 ) -> api.CheckReport:
     """Check a request through the daemon, or in-process when there is none.
 
@@ -417,7 +429,7 @@ def check_via_service(
     """
     if not request.circuit.serializable:
         if fallback:
-            return api.check(request)
+            return check_in_process(request, deadline)
         raise ServiceError(
             "an inline circuit cannot be submitted to a daemon; "
             "use a verilog/source/case circuit ref"
@@ -429,7 +441,8 @@ def check_via_service(
         # the grace on top covers queueing and transport.
         wait_timeout = deadline + 30.0
     payload = request.to_dict()
-    submit_key = make_submit_key(payload)
+    if submit_key is None:
+        submit_key = make_submit_key(payload)
     try:
         client = ServiceClient(
             socket_path, retry=policy,
@@ -437,7 +450,7 @@ def check_via_service(
         ).connect_with_retry()
     except ServiceUnavailable:
         if fallback:
-            return api.check(request)
+            return check_in_process(request, deadline)
         raise
     try:
         job_id = client.submit(payload, deadline=deadline, submit_key=submit_key)
@@ -499,6 +512,7 @@ __all__ = [
     "ServiceError",
     "ServiceTimeout",
     "ServiceUnavailable",
+    "check_in_process",
     "check_via_service",
     "default_socket_path",
     "make_submit_key",

@@ -28,10 +28,15 @@ import hashlib
 import json
 from typing import Dict, Mapping, Optional, Tuple
 
-#: The protocol schema tag; bump the major only on incompatible layout changes.
-PROTOCOL = "repro-service/v1"
+#: The protocol schema tag; bump the major only on incompatible layout
+#: changes, the minor on additive revisions (v1.1 added the ``ping`` health
+#: probe -- protocol version, pid, uptime and the draining flag without the
+#: full stats payload).  Same-major peers interoperate: a v1.1 client
+#: probing a v1.0 server gets an ``unknown verb`` error, which health
+#: probes treat as *alive, health unknown* rather than down.
+PROTOCOL = "repro-service/v1.1"
 
-#: Verbs a client may send.
+#: Verbs a client may send (``ping`` since v1.1).
 VERBS = ("ping", "submit", "status", "result", "cancel", "stats", "shutdown")
 
 #: Job lifecycle states reported by ``status`` / ``result``.
@@ -70,9 +75,10 @@ def schema_compatible(schema: object, expected: str = PROTOCOL) -> bool:
         return True
     if not isinstance(schema, str):
         return False
-    expected_name, _, expected_major = expected.rpartition("/")
+    expected_name, _, expected_version = expected.rpartition("/")
     name, _, version = schema.rpartition("/")
-    return name == expected_name and version.split(".", 1)[0] == expected_major
+    return (name == expected_name
+            and version.split(".", 1)[0] == expected_version.split(".", 1)[0])
 
 
 def encode(message: Mapping[str, object]) -> bytes:

@@ -207,12 +207,7 @@ def _clamped_request(request: api.CheckRequest,
     rule = faults.maybe_fire("worker.budget")
     if rule is not None and rule.kind == "exhaust-budget":
         return replace(request, time_budget=0.001)
-    if deadline_seconds is None:
-        return request
-    remaining = max(0.01, float(deadline_seconds))
-    if request.time_budget is None or request.time_budget > remaining:
-        return replace(request, time_budget=remaining)
-    return request
+    return api.clamp_to_deadline(request, deadline_seconds)
 
 
 def worker_main(conn, worker_key: str, config: Optional[Dict] = None) -> None:
@@ -234,6 +229,10 @@ def worker_main(conn, worker_key: str, config: Optional[Dict] = None) -> None:
         settings.update(config)
     state = _WorkerState(worker_key)
     send_lock = threading.Lock()
+    # Forked siblings inherit copies of this pipe's supervisor end, so a
+    # SIGKILLed supervisor never yields EOF here.  Reparenting is the
+    # reliable orphan signal: poll with a timeout and watch the ppid.
+    supervisor_pid = os.getppid()
 
     def send(message: Dict[str, object]) -> None:
         with send_lock:
@@ -241,6 +240,10 @@ def worker_main(conn, worker_key: str, config: Optional[Dict] = None) -> None:
 
     while True:
         try:
+            while not conn.poll(1.0):
+                if os.getppid() != supervisor_pid:
+                    flush_attached_stores()
+                    return
             message = conn.recv()
         except (EOFError, OSError):
             # Supervisor went away: flush what we learned and fold.
@@ -278,13 +281,17 @@ def worker_main(conn, worker_key: str, config: Optional[Dict] = None) -> None:
             report = api.check(request, design_cache=state.design_cache)
         except Exception as exc:
             heartbeat.stop()
-            send({
-                "op": "job-error",
-                "job_id": job_id,
-                "error": "%s: %s" % (type(exc).__name__, exc),
-                "traceback": traceback.format_exc(),
-                "stats": state.snapshot(),
-            })
+            try:
+                send({
+                    "op": "job-error",
+                    "job_id": job_id,
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                    "traceback": traceback.format_exc(),
+                    "stats": state.snapshot(),
+                })
+            except (BrokenPipeError, OSError):
+                flush_attached_stores()
+                return
             continue
         heartbeat.stop()
         state.note_report(report)
@@ -297,7 +304,13 @@ def worker_main(conn, worker_key: str, config: Optional[Dict] = None) -> None:
         if retiring:
             reply["retiring"] = True
         reply["stats"] = state.snapshot()
-        send(reply)
+        try:
+            send(reply)
+        except (BrokenPipeError, OSError):
+            # Orphaned mid-job: nobody will read the verdict, but what the
+            # run *learned* still reaches the shard KB for anti-entropy.
+            flush_attached_stores()
+            return
         if retiring:
             flush_attached_stores()
             return

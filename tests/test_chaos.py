@@ -288,3 +288,166 @@ class TestSigtermDrain:
         # And the worker tree died with the daemon.
         for pid in worker_pids:
             assert not _pid_alive(pid), "worker %d outlived the daemon" % pid
+
+
+class TestFleetChaos:
+    """SIGKILL one of two daemons mid-batch: the fleet loses nothing.
+
+    This is the fleet acceptance pin: with two live daemons sharing a
+    routed batch, hard-killing one mid-flight must (a) lose zero jobs --
+    every submission ends in a bit-identical verdict or a typed cause --
+    (b) leave no zombie workers behind, and (c) keep the per-shard KB
+    stores mergeable: ``sync_stores`` afterwards yields the union of
+    everything either shard learned before the kill.
+    """
+
+    CASES = ("p1", "p2", "p3", "p5", "p1", "p2")
+
+    @staticmethod
+    def _spawn_daemon(socket_path: str) -> subprocess.Popen:
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path,
+             "--heartbeat-interval", "0.2"],
+            env=_subprocess_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(socket_path) and service_available(socket_path):
+                return daemon
+            if daemon.poll() is not None:
+                raise RuntimeError(
+                    "daemon died on startup:\n%s" % daemon.stdout.read())
+            time.sleep(0.05)
+        daemon.kill()
+        raise RuntimeError("daemon did not come up")
+
+    @staticmethod
+    def _kb_facts(kb_path: str):
+        """(cube key set, memo key set) read straight from the sqlite file."""
+        import sqlite3
+
+        if not os.path.exists(kb_path):
+            return set(), set()
+        conn = sqlite3.connect(kb_path)
+        try:
+            cubes = set(conn.execute(
+                "SELECT model_key, fingerprint FROM cubes"))
+            memos = set(conn.execute(
+                "SELECT model_key, search_fp, target_frame FROM fail_memos"))
+        finally:
+            conn.close()
+        return cubes, memos
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:2])
+    def test_sigkill_one_daemon_mid_batch_loses_nothing(self, seed, tmp_path):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.service.fleet import FleetEndpoint, FleetRouter, sync_stores
+
+        baselines = {cid: normalized(api.check(case_request(cid)))
+                     for cid in set(self.CASES)}
+        sock_a = str(tmp_path / "fleet-a.sock")
+        sock_b = str(tmp_path / "fleet-b.sock")
+        kb_a = str(tmp_path / "fleet-a-kb.sqlite")
+        kb_b = str(tmp_path / "fleet-b-kb.sqlite")
+        daemon_a = self._spawn_daemon(sock_a)
+        daemon_b = None
+        orphan_pids = []
+        try:
+            daemon_b = self._spawn_daemon(sock_b)
+            router = FleetRouter(
+                [FleetEndpoint("a", sock_a, kb=kb_a),
+                 FleetEndpoint("b", sock_b, kb=kb_b)],
+                trip_threshold=1, cooldown=60.0)
+
+            # The seed pins *when* the SIGKILL lands: after `kill_after`
+            # completed jobs, i.e. provably mid-batch.
+            kill_after = 1 + seed % 3
+            lock = threading.Lock()
+            outcomes = {}
+
+            def run_one(index, cid):
+                try:
+                    outcome = ("done",
+                               router.check(case_request(cid), fallback=False))
+                except JobFailure as exc:
+                    outcome = ("failed", exc)
+                with lock:
+                    outcomes[index] = outcome
+                    if len(outcomes) == kill_after and daemon_a.poll() is None:
+                        # Snapshot A's worker pids first so the no-zombie
+                        # check below has the orphans-to-be on record.
+                        try:
+                            with ServiceClient(sock_a,
+                                               connect_timeout=1.0) as probe:
+                                orphan_pids.extend(
+                                    block["pid"]
+                                    for block in probe.stats()["workers"]
+                                    if isinstance(block.get("pid"), int))
+                        except ServiceError:
+                            pass
+                        daemon_a.send_signal(signal.SIGKILL)
+
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [pool.submit(run_one, index, cid)
+                           for index, cid in enumerate(self.CASES)]
+                for future in futures:
+                    # Bounded wait *is* the no-hang assertion.
+                    future.result(timeout=300.0)
+
+            assert daemon_a.wait(timeout=10.0) is not None
+            # Zero lost jobs: every submission reached a bounded outcome.
+            assert len(outcomes) == len(self.CASES)
+            for index, cid in enumerate(self.CASES):
+                state, payload = outcomes[index]
+                if state == "done":
+                    # Bit-identical verdict, whichever daemon answered.
+                    assert normalized(payload) == baselines[cid]
+                else:
+                    assert payload.cause in protocol.FAILURE_CAUSES
+            # With a healthy survivor, failover means they all complete.
+            assert all(state == "done" for state, _ in outcomes.values())
+
+            # The router sees the fleet as it now is: B up, A down.
+            status = router.status(probe=True)
+            by_name = {block["name"]: block for block in status["endpoints"]}
+            assert by_name["b"]["probe"]["alive"] is True
+            assert by_name["a"]["probe"]["alive"] is False
+            assert status["up"] == 1
+
+            # Stop the survivor cleanly; its workers flush their KB state.
+            with ServiceClient(sock_b) as client:
+                orphan_pids.extend(
+                    block["pid"] for block in client.stats()["workers"]
+                    if isinstance(block.get("pid"), int))
+                client.shutdown(mode="now")
+            assert daemon_b.wait(timeout=30.0) == 0
+        finally:
+            for daemon in (daemon_a, daemon_b):
+                if daemon is not None and daemon.poll() is None:
+                    daemon.kill()
+                    daemon.wait(10.0)
+
+        # No zombies: A's orphaned workers notice the dead supervisor pipe
+        # and exit on their own; B's went down with the shutdown.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if not any(_pid_alive(pid) for pid in orphan_pids):
+                break
+            time.sleep(0.1)
+        for pid in orphan_pids:
+            assert not _pid_alive(pid), "worker %d outlived its daemon" % pid
+
+        # Anti-entropy: after a sync both shards hold the union of facts.
+        cubes_a, memos_a = self._kb_facts(kb_a)
+        cubes_b, memos_b = self._kb_facts(kb_b)
+        rows = sync_stores([kb_a, kb_b])
+        assert len(rows) == 2
+        assert not any(row.get("disabled") for row in rows)
+        union = (cubes_a | cubes_b, memos_a | memos_b)
+        assert self._kb_facts(kb_a) == union
+        assert self._kb_facts(kb_b) == union
+        assert union[0], "neither shard learned any cubes"

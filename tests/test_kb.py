@@ -273,6 +273,86 @@ def test_merge_is_idempotent_union(tmp_path):
         dest.close()
 
 
+def test_merge_many_multi_source_idempotent(tmp_path):
+    """One ``merge_many`` call equals sequential ``merge_from`` calls, and
+    replaying it changes nothing (merge twice == merge once)."""
+    path_a = str(tmp_path / "a.db")
+    path_b = str(tmp_path / "b.db")
+    _run_sweep_process("p5", path_a)
+    _run_sweep_process("p2", path_b)
+
+    source_a = KnowledgeBase(path_a)
+    source_b = KnowledgeBase(path_b)
+    dest = KnowledgeBase(str(tmp_path / "dest.db"))
+    sequential = KnowledgeBase(str(tmp_path / "sequential.db"))
+    try:
+        assert source_a.stats()["models"] > 0
+        assert source_b.stats()["models"] > 0
+
+        once = dest.merge_many([source_a, source_b])
+        assert once["sources"] == 2
+        after_once = dest.stats()
+        assert after_once["models"] > 0
+
+        twice = dest.merge_many([source_a, source_b])
+        assert twice["sources"] == 2  # rows re-read, but nothing changes:
+        assert dest.stats() == after_once
+
+        sequential.merge_from(source_a)
+        sequential.merge_from(source_b)
+        for key in ("models", "cubes", "fail_memos", "hits"):
+            assert sequential.stats()[key] == after_once[key]
+    finally:
+        source_a.close()
+        source_b.close()
+        dest.close()
+        sequential.close()
+
+
+def test_merge_many_is_a_single_transaction(tmp_path):
+    """N sources cost one BEGIN IMMEDIATE, not one per source."""
+    path_a = str(tmp_path / "a.db")
+    path_b = str(tmp_path / "b.db")
+    _run_sweep_process("p5", path_a)
+    _run_sweep_process("p2", path_b)
+    source_a = KnowledgeBase(path_a)
+    source_b = KnowledgeBase(path_b)
+    dest = KnowledgeBase(str(tmp_path / "dest.db"))
+    statements = []
+    try:
+        dest._conn.set_trace_callback(statements.append)
+        dest.merge_many([source_a, source_b])
+        dest._conn.set_trace_callback(None)
+    finally:
+        source_a.close()
+        source_b.close()
+        dest.close()
+    assert sum("BEGIN IMMEDIATE" in s for s in statements) == 1
+    assert sum("COMMIT" in s for s in statements) == 1
+
+
+def test_merge_many_skips_self_and_disabled(tmp_path):
+    path_a = str(tmp_path / "a.db")
+    _run_sweep_process("p5", path_a)
+    source = KnowledgeBase(path_a)
+
+    broken_path = tmp_path / "broken.db"
+    broken_path.write_bytes(b"this is not sqlite at all" * 64)
+    broken = KnowledgeBase(str(broken_path))
+
+    dest = KnowledgeBase(str(tmp_path / "dest.db"))
+    try:
+        assert broken.disabled
+        merged = dest.merge_many([dest, broken, source])
+        # Only the one readable, distinct source contributed.
+        assert merged["sources"] == 1
+        assert dest.stats()["models"] == source.stats()["models"]
+    finally:
+        source.close()
+        broken.close()
+        dest.close()
+
+
 def test_prune_keeps_hottest_cubes_per_model(tmp_path):
     kb_path = str(tmp_path / "facts.db")
     _run_sweep_process("p5", kb_path)

@@ -84,6 +84,8 @@ GOLDEN_REQUESTS = [
 
 GOLDEN_RESPONSES = [
     protocol.ok_response("ping", pid=1234, draining=False),
+    protocol.ok_response("ping", protocol=protocol.PROTOCOL, pid=1234,
+                         uptime_seconds=12.5, draining=True),
     protocol.ok_response("submit", job_id="job-1", state="queued"),
     protocol.ok_response("submit", job_id="job-1", state="running", deduplicated=True),
     protocol.ok_response("status", job={"job_id": "job-1", "state": "running"}),
@@ -122,6 +124,21 @@ class TestProtocol:
         message = protocol.request_message("submit", request={}, x_new_field={"k": 1})
         decoded = protocol.decode(protocol.encode(message))
         assert decoded["x_new_field"] == {"k": 1}
+
+    def test_protocol_is_v1_1_with_ping(self):
+        """The ping verb shipped as a minor revision: same major, so v1
+        peers interoperate, but the version string records the addition."""
+        assert protocol.PROTOCOL == "repro-service/v1.1"
+        assert "ping" in protocol.VERBS
+
+    def test_plain_v1_peer_still_accepted(self):
+        """Messages tagged by a pre-ping peer (plain ``repro-service/v1``)
+        must keep decoding after the minor bump -- same-major tolerance
+        works in both directions."""
+        message = dict(protocol.request_message("submit", request={}),
+                       schema="repro-service/v1")
+        decoded = protocol.decode(protocol.encode(message))
+        assert protocol.parse_verb(decoded)[0] == "submit"
 
     def test_newer_minor_protocol_tolerated(self):
         message = dict(protocol.request_message("ping"), schema="repro-service/v1.6")
@@ -495,6 +512,35 @@ class TestClientResilience:
         report = check_via_service(
             request, socket_path=str(tmp_path / "unused.sock"), fallback=True)
         assert report.source == "in-process"
+
+    def test_fallback_respects_deadline(self, tmp_path, monkeypatch):
+        """Regression: the in-process fallback must clamp the engine time
+        budget to --deadline exactly like the daemon path does worker-side.
+        Pinned by a fault plan dropping every connection, so the fallback
+        is guaranteed to run."""
+        arm_plan(monkeypatch, tmp_path, "client.connect:drop-connection")
+        seen = {}
+        real_check = api.check
+
+        def spy(request, **kwargs):
+            seen["time_budget"] = request.time_budget
+            return real_check(request, **kwargs)
+
+        monkeypatch.setattr(api, "check", spy)
+        report = check_via_service(
+            case_request("p1"), socket_path=str(tmp_path / "unused.sock"),
+            fallback=True, deadline=4.5)
+        assert report.source == "in-process"
+        assert seen["time_budget"] == 4.5
+
+        # An already-tighter engine budget survives a looser deadline.
+        seen.clear()
+        report = check_via_service(
+            case_request("p1", time_budget=0.5),
+            socket_path=str(tmp_path / "unused.sock"),
+            fallback=True, deadline=60.0)
+        assert report.source == "in-process"
+        assert seen["time_budget"] == 0.5
 
     def test_dropped_connection_is_retried_and_job_survives(
             self, tmp_path, monkeypatch):
