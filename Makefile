@@ -5,7 +5,8 @@ PYTHON ?= python
 # Order matters: bench_incremental times small allocation-heavy runs and
 # must run before bench_bitparallel's huge lane arrays fragment the
 # allocator (the same order is used for the committed baseline and CI).
-SMOKE_BENCHES = benchmarks/bench_incremental.py benchmarks/bench_learning.py \
+SMOKE_BENCHES = benchmarks/bench_incremental.py benchmarks/bench_justify.py \
+                benchmarks/bench_learning.py \
                 benchmarks/bench_table1.py benchmarks/bench_portfolio.py \
                 benchmarks/bench_bitparallel.py benchmarks/bench_service.py
 #: fail CI when a benchmark's median slows down by more than this fraction.
@@ -34,10 +35,14 @@ docs-check:
 	$(PYTHON) tools/check_docs.py
 
 # cProfile one representative `repro check` run and dump the top functions
-# by cumulative time (hot-path regression triage).
+# by cumulative time (hot-path regression triage).  Emits one profile per
+# implication engine: the compiled slot-indexed kernel (the default path)
+# and the interpreted oracle it lowers.
 profile:
 	$(PYTHON) benchmarks/profile_check.py --case $(PROFILE_CASE) \
 	    --bound $(PROFILE_BOUND) --top $(PROFILE_TOP)
+	$(PYTHON) benchmarks/profile_check.py --case $(PROFILE_CASE) \
+	    --bound $(PROFILE_BOUND) --top $(PROFILE_TOP) --no-compiled
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \

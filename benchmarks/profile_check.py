@@ -33,6 +33,9 @@ def main(argv=None) -> int:
                         help="rows in the cumulative-time dump (default: 25)")
     parser.add_argument("--no-incremental", action="store_true",
                         help="profile the fresh-rebuild path instead")
+    parser.add_argument("--no-compiled", action="store_true",
+                        help="profile the interpreted implication engine "
+                             "instead of the compiled slot-indexed kernel")
     parser.add_argument("--output", metavar="FILE",
                         help="also write raw cProfile data to FILE")
     args = parser.parse_args(argv)
@@ -45,6 +48,7 @@ def main(argv=None) -> int:
         options=CheckerOptions(
             max_frames=args.bound,
             incremental=not args.no_incremental,
+            compiled=not args.no_compiled,
             trace_memory=False,
         ),
         model_cache=UnrolledModelCache(),
@@ -56,6 +60,7 @@ def main(argv=None) -> int:
     profiler.disable()
 
     mode = "fresh" if args.no_incremental else "incremental"
+    mode += ", interpreted" if args.no_compiled else ", compiled"
     print(
         "case %s (%s), bound %d, %s path: %s in %.3fs "
         "(%d decisions, %d frames built, rule-cache hit rate %.1f%%)\n"

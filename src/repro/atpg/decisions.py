@@ -13,7 +13,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Hashable, List, Mapping, Optional, Sequence, Set
 
-from repro.atpg.probability import legal_assignment_bias, legal_one_probabilities
+from repro.atpg.probability import (
+    legal_assignment_bias,
+    legal_one_probabilities,
+    legal_one_probabilities_compiled,
+)
 from repro.atpg.timeframe import UnrolledModel, VarKey
 from repro.bitvector import BV3
 from repro.implication.assignment import RootCause
@@ -72,6 +76,58 @@ def find_decision_candidates(
     information there.
     """
     engine = model.engine
+    if model.compiled:
+        cut = _compiled_cut(model, engine, unjustified)
+    else:
+        cut = _interpreted_cut(model, engine, unjustified)
+
+    if not cut:
+        return []
+
+    # Rank by fanout when trimming an oversized cut (paper Section 3.2).
+    fanouts = {key: model.net_of(key).fanout() for key in cut}
+    if len(cut) > limit:
+        cut = sorted(cut, key=lambda key: -fanouts[key])[:limit]
+
+    if model.compiled:
+        probabilities = legal_one_probabilities_compiled(
+            engine, unjustified, model.driver_slot
+        )
+    else:
+        probabilities = legal_one_probabilities(engine, unjustified, model.driver_node)
+    candidates: List[DecisionCandidate] = []
+    for key in cut:
+        p1 = probabilities.get(key)
+        if sampled_probabilities is not None and (p1 is None or p1 == 0.5):
+            sampled = sampled_probabilities.get(model.net_of(key).name)
+            if sampled is not None:
+                p1 = sampled
+        if p1 is None:
+            p1 = 0.5
+        bias, value = legal_assignment_bias(p1)
+        candidates.append(
+            DecisionCandidate(
+                key=key,
+                bias=bias,
+                bias_value=value,
+                probability_one=p1,
+                fanout=fanouts[key],
+            )
+        )
+
+    if use_bias:
+        candidates.sort(key=lambda c: (-c.bias, -c.fanout))
+    else:
+        candidates.sort(key=lambda c: -c.fanout)
+    return candidates
+
+
+def _interpreted_cut(
+    model: UnrolledModel,
+    engine,
+    unjustified: Sequence[ImplicationNode],
+) -> List[VarKey]:
+    """Backward BFS over keys (the interpreted oracle path)."""
     visited: Set[Hashable] = set()
     cut: List[VarKey] = []
     queue = deque()
@@ -103,38 +159,49 @@ def find_decision_candidates(
             if upstream_key not in visited:
                 visited.add(upstream_key)
                 queue.append(upstream_key)
+    return cut
 
-    if not cut:
-        return []
 
-    # Rank by fanout when trimming an oversized cut (paper Section 3.2).
-    fanouts = {key: model.net_of(key).fanout() for key in cut}
-    if len(cut) > limit:
-        cut = sorted(cut, key=lambda key: -fanouts[key])[:limit]
+def _compiled_cut(
+    model: UnrolledModel,
+    engine,
+    unjustified: Sequence[ImplicationNode],
+) -> List[VarKey]:
+    """The same backward BFS on slot indices (compiled kernel fast path).
 
-    probabilities = legal_one_probabilities(engine, unjustified, model.driver_node)
-    candidates: List[DecisionCandidate] = []
-    for key in cut:
-        p1 = probabilities.get(key)
-        if sampled_probabilities is not None and (p1 is None or p1 == 0.5):
-            sampled = sampled_probabilities.get(model.net_of(key).name)
-            if sampled is not None:
-                p1 = sampled
-        if p1 is None:
-            p1 = 0.5
-        bias, value = legal_assignment_bias(p1)
-        candidates.append(
-            DecisionCandidate(
-                key=key,
-                bias=bias,
-                bias_value=value,
-                probability_one=p1,
-                fanout=fanouts[key],
-            )
-        )
+    Visits the identical frontier in the identical order -- node pin order
+    is preserved by the lowering -- so the returned cut (translated back to
+    keys) matches :func:`_interpreted_cut` exactly.
+    """
+    assignment = engine.assignment
+    known = assignment._known
+    widths = assignment._slot_widths
+    key_of = assignment._key_of
+    driver_slot = model.driver_slot
+    num_drivers = len(driver_slot)
+    visited: Set[int] = set()
+    cut_slots: List[int] = []
+    queue = deque()
 
-    if use_bias:
-        candidates.sort(key=lambda c: (-c.bias, -c.fanout))
-    else:
-        candidates.sort(key=lambda c: -c.fanout)
-    return candidates
+    for node in unjustified:
+        for slot in node.in_slots:
+            if slot not in visited:
+                visited.add(slot)
+                queue.append(slot)
+
+    while queue:
+        slot = queue.popleft()
+        undecided = widths[slot] == 1 and not (known[slot] & 1)
+        if undecided and model.is_decision_point_slot(slot):
+            cut_slots.append(slot)
+            continue
+        driver = driver_slot[slot] if slot < num_drivers else None
+        if driver is None:
+            if undecided:
+                cut_slots.append(slot)
+            continue
+        for upstream in driver.in_slots:
+            if upstream not in visited:
+                visited.add(upstream)
+                queue.append(upstream)
+    return [key_of[slot] for slot in cut_slots]

@@ -54,13 +54,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.atpg.decisions import find_decision_candidates
+from repro.atpg.decisions import DecisionCandidate, find_decision_candidates
 from repro.atpg.estg import ExtendedStateTransitionGraph, LearnedCube
 from repro.atpg.timeframe import UnrolledModel, VarKey
 from repro.bitvector import BV3, BV3Conflict
 from repro.implication.assignment import ImplicationConflict, RootCause
 from repro.implication.engine import ImplicationNode
-from repro.modsolver.extract import DatapathConstraintExtractor
+from repro.modsolver.extract import ArithmeticProblem, DatapathConstraintExtractor
 from repro.modsolver.result import Infeasible, Solution
 from repro.netlist.arith import Adder, Multiplier, ShiftLeft, ShiftRight, Subtractor
 
@@ -148,6 +148,59 @@ class _SubtreeFacts:
         self.datapath = self.datapath or other.datapath
 
 
+def problem_fingerprint(problem: ArithmeticProblem) -> str:
+    """Canonical, process-stable fingerprint of an extracted problem.
+
+    Captures everything :meth:`ArithmeticProblem.solve` depends on --
+    constraints *in extraction order* (the solver's variable ordering
+    follows insertion), constants, provenance tags and the partial-knowledge
+    cubes -- with engine keys rendered as ``(net name, frame)``.  Two leaves
+    with the same fingerprint would therefore receive the exact same answer
+    from the solver, which is what lets the justifier replay a memoised
+    infeasibility certificate instead of re-solving.
+    """
+
+    def name_of(key) -> str:
+        return getattr(key[0], "name", None) or repr(key[0])
+
+    def var(value):
+        if isinstance(value, int):
+            return ("c", value)
+        return ("v", name_of(value), value[1])
+
+    def tags(tag_set):
+        # Tags are a frozenset; their order never reaches the solver, so
+        # sorting here is free of behavioural consequence.
+        return tuple(sorted((name_of(key), key[1]) for key in tag_set))
+
+    linear = tuple(
+        (
+            width,
+            tuple(
+                (
+                    tuple(
+                        (name_of(key), key[1], coeff)
+                        for key, coeff in constraint.coefficients.items()
+                    ),
+                    constraint.rhs,
+                    tags(constraint.tags),
+                )
+                for constraint in problem.linear_by_width[width].constraints
+            ),
+        )
+        for width in sorted(problem.linear_by_width)
+    )
+    nonlinear = tuple(
+        (c.kind, var(c.a), var(c.b), var(c.product), c.width, tags(c.tags))
+        for c in problem.nonlinear
+    )
+    cubes = tuple(
+        (name_of(key), key[1], cube.width, cube.known, cube.value)
+        for key, cube in problem.cubes.items()
+    )
+    return repr((linear, nonlinear, cubes))
+
+
 def _make_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
                     cube: LearnedCube):
     """Build the conflict-only rule of one installed learned cube.
@@ -174,6 +227,48 @@ def _make_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
     return rule
 
 
+def _make_packed_cube_rule(required: List[BV3], store: ExtendedStateTransitionGraph,
+                           cube: LearnedCube):
+    """Compiled-kernel variant of :func:`_make_cube_rule` (a prune *row*).
+
+    The literal cubes are packed once, at install time, into a single
+    (known, value) integer pair with per-literal bit offsets; each
+    evaluation packs the current cubes the same way and decides the whole
+    entailment with two mask operations.  Per disjoint bit range this is
+    exactly the per-literal ``covers`` conjunction, so the rule fires under
+    the same condition, with the same side effects, as the interpreted one.
+    """
+    offsets: List[int] = []
+    req_known = 0
+    req_value = 0
+    shift = 0
+    for literal in required:
+        offsets.append(shift)
+        req_known |= literal.known << shift
+        req_value |= literal.value << shift
+        shift += literal.width
+
+    def rule(cubes: List[BV3]) -> List[BV3]:
+        known = 0
+        value = 0
+        for offset, current in zip(offsets, cubes):
+            known |= current.known << offset
+            value |= current.value << offset
+        if req_known & ~known or (req_value ^ value) & req_known:
+            return list(cubes)
+        store.cube_hits += 1
+        if cube.source == "datapath":
+            store.datapath_cube_hits += 1
+        if cube.from_kb:
+            store.kb_hits += 1
+        cube.hits += 1
+        store.touch(cube)
+        store.last_fired = cube
+        raise BV3Conflict("learned illegal cube (%s)" % cube.source)
+
+    return rule
+
+
 class Justifier:
     """Branch-and-bound justification over an unrolled model."""
 
@@ -186,6 +281,7 @@ class Justifier:
         estg: Optional[ExtendedStateTransitionGraph] = None,
         sampled_probabilities=None,
         learning: Optional[LearningContext] = None,
+        cube_hit_ordering: bool = False,
     ):
         self.model = model
         self.engine = model.engine
@@ -194,6 +290,9 @@ class Justifier:
         self.limits = limits if limits is not None else JustifierLimits()
         self.estg = estg
         self.learning = learning
+        #: re-rank decision candidates by the fire counts of the learned
+        #: cubes naming them (off by default; an ablation heuristic).
+        self.cube_hit_ordering = cube_hit_ordering
         #: optional net-name -> mass-sampled P(net = 1) table used as the
         #: decision-bias fallback (see repro.atpg.probability).
         self.sampled_probabilities = sampled_probabilities
@@ -207,6 +306,11 @@ class Justifier:
         #: constraint nodes at the next safe point (between sibling
         #: branches); see :meth:`_flush_pending_cubes`.
         self._pending_cubes: List[Tuple[List[VarKey], List[BV3], LearnedCube]] = []
+        #: control/datapath classification per node.  A node's pin widths
+        #: never change, so the answer is a per-node constant; the stored
+        #: node reference keeps the id stable for the justifier's lifetime
+        #: (a retired node's id could otherwise be recycled by a new one).
+        self._control_memo: Dict[int, Tuple[ImplicationNode, bool]] = {}
 
     def _unjustified(self) -> List[ImplicationNode]:
         """Unjustified nodes of the model's *active view*.
@@ -275,10 +379,15 @@ class Justifier:
         self, keys: List[VarKey], required: List[BV3], cube: LearnedCube
     ) -> ImplicationNode:
         """Build and register the prune-only constraint node of one cube."""
+        make_rule = (
+            _make_packed_cube_rule
+            if getattr(self.engine, "is_compiled", False)
+            else _make_cube_rule
+        )
         node = ImplicationNode(
             "learned:%s@%d" % (cube.source, self.learning.target_frame),
             keys,
-            _make_cube_rule(required, self.learning.estg, cube),
+            make_rule(required, self.learning.estg, cube),
             num_outputs=0,
             tag=("learned", cube),
         )
@@ -465,6 +574,8 @@ class Justifier:
             use_bias=self.use_bias,
             sampled_probabilities=self.sampled_probabilities,
         )
+        if self.cube_hit_ordering and candidates:
+            candidates = self._rank_by_cube_hits(candidates)
         if not candidates:
             # No control freedom remains: hand the residual requirements to
             # the modular arithmetic constraint solver (plus completion).
@@ -530,13 +641,46 @@ class Justifier:
             self._record_learned_cube(facts, depth)
         return JustifyOutcome.FAIL, facts
 
+    def _rank_by_cube_hits(
+        self, candidates: List[DecisionCandidate]
+    ) -> List[DecisionCandidate]:
+        """Stable re-rank: candidates named by hot learned cubes come first.
+
+        A net that appears in frequently firing learned cubes is a proven
+        conflict driver; deciding it early tends to re-fire those cubes high
+        in the tree.  The sort is stable and keyed only on summed cube hit
+        counts, so candidates untouched by any cube keep their bias order,
+        and a store without fired cubes leaves the ranking unchanged.
+        """
+        store = self.learning.estg if self.learning is not None else self.estg
+        if store is None or not store.learned_cubes:
+            return candidates
+        hits_by_net: Dict[str, int] = {}
+        for cube in store.learned_cubes.values():
+            if cube.hits <= 0:
+                continue
+            for net, _position, _value in cube.literals:
+                name = getattr(net, "name", None) or str(net)
+                hits_by_net[name] = hits_by_net.get(name, 0) + cube.hits
+        if not hits_by_net:
+            return candidates
+        return sorted(
+            candidates,
+            key=lambda c: -hits_by_net.get(self.model.net_of(c.key).name, 0),
+        )
+
     # ------------------------------------------------------------------
     # Control / datapath split
     # ------------------------------------------------------------------
     def _is_control_node(self, node: ImplicationNode) -> bool:
-        return all(
+        cached = self._control_memo.get(id(node))
+        if cached is not None:
+            return cached[1]
+        result = all(
             self.engine.assignment.width(key) == 1 for key in node.input_keys
         )
+        self._control_memo[id(node)] = (node, result)
+        return result
 
     def _control_unjustified(self) -> List[ImplicationNode]:
         return [
@@ -607,9 +751,28 @@ class Justifier:
             extractor = DatapathConstraintExtractor(self.engine)
             problem = extractor.extract(arithmetic_nodes)
             if not problem.is_empty():
+                store = self.learning.estg if self.learning is not None else None
+                fingerprint = None
+                if store is not None:
+                    fingerprint = problem_fingerprint(problem)
+                    memo = store.lookup_solver_core(fingerprint)
+                    if memo is not None:
+                        # Replay the memoised certificate.  The fingerprint
+                        # pins the exact extracted problem, so solve() would
+                        # deterministically return this same core; the leaf
+                        # takes the identical FAIL path without paying for
+                        # the solve.
+                        self.solver_cores += 1
+                        return False, self._certificate_facts(
+                            Infeasible(self._core_keys(memo.core))
+                        )
                 result = problem.solve(budget=self.limits.arithmetic_budget)
                 if isinstance(result, Infeasible):
                     self.solver_cores += 1
+                    if store is not None and result.core:
+                        store.record_solver_core(
+                            fingerprint, self._core_names(result.core)
+                        )
                     return False, self._certificate_facts(result)
                 if not isinstance(result, Solution):
                     # Unknown: the budget gave out; prune locally only.
@@ -638,6 +801,28 @@ class Justifier:
             return True, None
         self.engine.rollback_to(save)
         return False, None
+
+    @staticmethod
+    def _core_names(core) -> Tuple[Tuple[str, int], ...]:
+        """A certificate's engine keys as sorted, storable (name, frame)s."""
+        return tuple(sorted((key[0].name, key[1]) for key in core))
+
+    def _core_keys(self, names) -> frozenset:
+        """Rebuild engine keys from stored (name, frame) pairs.
+
+        When any name no longer resolves (a stale knowledge-base entry) the
+        whole certificate is withheld from conflict analysis -- an
+        under-seeded cone would miss antecedents and learn an over-general
+        cube.  The empty set makes :meth:`_certificate_facts` learn nothing
+        while the leaf still (correctly) fails.
+        """
+        circuit = self.model.circuit
+        keys = []
+        for name, frame in names:
+            if not circuit.has_net(name):
+                return frozenset()
+            keys.append(self.model.key(circuit.net(name), frame))
+        return frozenset(keys)
 
     def _complete_datapath(self) -> bool:
         """Greedy completion of the remaining undetermined datapath inputs.

@@ -83,15 +83,19 @@ def _input_probability(
     gate, node: ImplicationNode, engine: ImplicationEngine, p1: float
 ) -> Optional[float]:
     """Rule 4: the legal-1 probability of the unknown inputs of one gate."""
-    p0 = 1.0 - p1
     unknown = 0
     for key in node.input_keys:
         if engine.assignment.width(key) == 1 and engine.assignment.get(key).bit(0) is None:
             unknown += 1
     if unknown == 0:
         return None
-    n = unknown
+    return _gate_input_probability(gate, unknown, p1)
 
+
+def _gate_input_probability(gate, n: int, p1: float) -> float:
+    """The Rule 4 formula proper, shared verbatim by the interpreted walk
+    and the compiled slot walk so both produce bit-identical floats."""
+    p0 = 1.0 - p1
     if isinstance(gate, NotGate):
         return p0
     if isinstance(gate, (AndGate, NandGate)):
@@ -110,6 +114,63 @@ def _input_probability(
         return 0.5
     # Default for comparators, arithmetic and other word-level primitives.
     return 0.5
+
+
+def legal_one_probabilities_compiled(
+    engine: "ImplicationEngine",
+    unjustified: Sequence[ImplicationNode],
+    driver_slot: Sequence[Optional[ImplicationNode]],
+    max_depth: int = 64,
+) -> Dict[Hashable, float]:
+    """Slot-indexed :func:`legal_one_probabilities` for the compiled kernel.
+
+    Same BFS in the same order over the same nodes -- contributions are
+    appended in an identical sequence and averaged with the identical
+    ``sum(values) / len(values)`` expression, so the resulting floats (and
+    therefore every downstream decision ranking) match the interpreted walk
+    bit for bit.
+    """
+    assignment = engine.assignment
+    known = assignment._known
+    value = assignment._value
+    widths = assignment._slot_widths
+    key_of = assignment._key_of
+    num_drivers = len(driver_slot)
+    contributions: Dict[int, List[float]] = {}
+    queue = deque()
+
+    for node in unjustified:
+        for slot in node.out_slots:
+            if widths[slot] != 1 or not (known[slot] & 1):
+                continue
+            # Rule 3: a required constant fixes the probability to 0 or 1.
+            probability = 1.0 if (value[slot] & 1) else 0.0
+            queue.append((node, probability, 0))
+
+    while queue:
+        node, output_p1, depth = queue.popleft()
+        if depth > max_depth:
+            continue
+        gate = node.tag[0] if isinstance(node.tag, tuple) else None
+        unknown = 0
+        for slot in node.in_slots:
+            if widths[slot] == 1 and not (known[slot] & 1):
+                unknown += 1
+        if unknown == 0:
+            continue
+        input_p1 = _gate_input_probability(gate, unknown, output_p1)
+        for slot in node.in_slots:
+            if widths[slot] != 1 or (known[slot] & 1):
+                continue  # wide, or already decided; nothing to bias
+            contributions.setdefault(slot, []).append(input_p1)
+            upstream = driver_slot[slot] if slot < num_drivers else None
+            if upstream is not None and upstream is not node:
+                queue.append((upstream, input_p1, depth + 1))
+
+    return {
+        key_of[slot]: sum(values) / len(values)
+        for slot, values in contributions.items()
+    }
 
 
 def estimate_signal_probabilities(

@@ -27,12 +27,14 @@ Variable keys are ``(net, frame)`` tuples (:data:`VarKey`).
 
 from __future__ import annotations
 
+import time
 from functools import partial
 from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.atpg.estg import ExtendedStateTransitionGraph
 from repro.bitvector import BV3
 from repro.implication.assignment import RootCause
+from repro.implication.compiled import CompiledEngine
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.implication.rules import build_rule
 from repro.implication.rules_seq import imply_dff
@@ -69,6 +71,14 @@ class UnrolledModel:
         (local FSM extraction, inductive-style arguments).
     engine:
         Optionally reuse an existing engine/assignment (used by tests).
+    compiled:
+        Build on the slot-indexed compiled kernel
+        (:class:`~repro.implication.compiled.CompiledEngine`) instead of
+        the interpreted engine.  Lowering happens incrementally while the
+        frames are built/extended, so a cached model keeps its compiled
+        state across bounds and jobs; the time spent is accumulated in
+        :attr:`compile_seconds`.  Ignored when ``engine`` is given (the
+        engine's own type wins).
     """
 
     def __init__(
@@ -78,13 +88,26 @@ class UnrolledModel:
         initial_state: Optional[Mapping[Union[Net, str], int]] = None,
         free_initial_state: bool = False,
         engine: Optional[ImplicationEngine] = None,
+        compiled: bool = False,
     ):
         if num_frames < 1:
             raise ValueError("num_frames must be >= 1")
         self.circuit = circuit
         self.free_initial_state = free_initial_state
-        self.engine = engine if engine is not None else ImplicationEngine()
+        if engine is None:
+            engine = CompiledEngine() if compiled else ImplicationEngine()
+        self.engine = engine
+        #: True when the model runs on the compiled slot-indexed kernel.
+        self.compiled = isinstance(engine, CompiledEngine)
+        #: wall-clock seconds spent lowering frames onto the compiled
+        #: kernel (zero for interpreted models).
+        self.compile_seconds = 0.0
         self.driver_node: Dict[VarKey, ImplicationNode] = {}
+        #: slot -> driving node (compiled models only; mirrors driver_node).
+        self.driver_slot: List[Optional[ImplicationNode]] = []
+        #: slot -> memoised is_decision_point verdict (compiled models only;
+        #: invalidated when the circuit grows, since fanout can change).
+        self._decision_point_slots: List[Optional[bool]] = []
         self.gate_nodes: List[ImplicationNode] = []
         self.register_nodes: List[ImplicationNode] = []
         self._initial_state_cubes: Dict[Net, BV3] = {}
@@ -193,6 +216,9 @@ class UnrolledModel:
         self.gate_nodes.append(node)
         for key in node.output_keys:
             self.driver_node[key] = node
+        if self.compiled:
+            for slot in node.out_slots:
+                self._set_driver_slot(slot, node)
         return node
 
     def _make_register_node(self, ff: DFF, frame: int) -> ImplicationNode:
@@ -202,7 +228,15 @@ class UnrolledModel:
         )
         self.register_nodes.append(node)
         self.driver_node[self.key(ff.q, frame + 1)] = node
+        if self.compiled:
+            self._set_driver_slot(node.out_slots[0], node)
         return node
+
+    def _set_driver_slot(self, slot: int, node: ImplicationNode) -> None:
+        driver_slot = self.driver_slot
+        while len(driver_slot) <= slot:
+            driver_slot.append(None)
+        driver_slot[slot] = node
 
     def _build_register_node(self, ff: DFF, frame: int) -> ImplicationNode:
         keys: List[VarKey] = [self.key(ff.d, frame)]
@@ -289,8 +323,12 @@ class UnrolledModel:
             return  # built_frames >= num_frames is an invariant
         self._require_base_level("extend_to")
         old_view = self.num_frames
-        while self.built_frames < num_frames:
-            self._build_frame(self.built_frames)
+        if self.built_frames < num_frames:
+            started = time.perf_counter()
+            while self.built_frames < num_frames:
+                self._build_frame(self.built_frames)
+            if self.compiled:
+                self.compile_seconds += time.perf_counter() - started
         self._set_view(num_frames)
         if old_view < num_frames:
             # Re-activated frames may have missed base-level updates (e.g.
@@ -322,6 +360,10 @@ class UnrolledModel:
         if not (new_gates or new_ffs or new_inputs):
             return False
         self._require_base_level("sync_with_circuit")
+        started = time.perf_counter()
+        # Fanout of existing nets can change when monitors are appended, so
+        # the memoised per-slot decision-point verdicts are stale.
+        self._decision_point_slots = []
         new_nodes: List[ImplicationNode] = []
         for frame in range(self.built_frames):
             for net in new_inputs:
@@ -349,6 +391,8 @@ class UnrolledModel:
             self._apply_initial_state(new_ffs)
         self._active_nodes_cache = None
         self._node_order_cache = None
+        if self.compiled:
+            self.compile_seconds += time.perf_counter() - started
         self.engine.enqueue(new_nodes)
         self.engine.propagate()
         self._base_savepoint = self.engine.savepoint()
@@ -439,6 +483,23 @@ class UnrolledModel:
         """
         assignment = self.engine.assignment
         tainted = self.init_tainted
+        if self.compiled:
+            # Slot trail entries carry (slot, ..., reason); translating just
+            # the tainted keys avoids materialising a BV3 per entry.
+            key_of = assignment.key_of
+            for index in range(self._taint_pos, assignment.trail_length):
+                slot, reason = assignment.trail_slot_reason(index)
+                if isinstance(reason, RootCause):
+                    if reason.kind == "base":
+                        tainted.add(key_of(slot))
+                elif reason is not None:
+                    tag = reason.tag
+                    if (
+                        isinstance(tag, tuple) and tag and isinstance(tag[0], DFF)
+                    ) or any(k in tainted for k in reason.keys):
+                        tainted.add(key_of(slot))
+            self._taint_pos = assignment.trail_length
+            return
         for index in range(self._taint_pos, assignment.trail_length):
             key, _previous, reason = assignment.trail_entry(index)
             if isinstance(reason, RootCause):
@@ -506,6 +567,23 @@ class UnrolledModel:
         if isinstance(driver, Comparator):
             return True
         return net.fanout() > 1
+
+    def is_decision_point_slot(self, slot: int) -> bool:
+        """Memoised per-slot :meth:`is_decision_point` (compiled models).
+
+        The verdict is a pure function of the key while the circuit is
+        static; :meth:`sync_with_circuit` drops the memo because appended
+        monitors can change net fanout.
+        """
+        cache = self._decision_point_slots
+        while len(cache) <= slot:
+            cache.append(None)
+        verdict = cache[slot]
+        if verdict is None:
+            verdict = cache[slot] = self.is_decision_point(
+                self.engine.assignment.key_of(slot)
+            )
+        return verdict
 
     def free_keys(self) -> List[VarKey]:
         """Keys with no driving node: primary inputs in every frame and

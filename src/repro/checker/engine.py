@@ -66,8 +66,20 @@ class CheckerOptions:
     kb_path: Optional[str] = None
     #: validate every generated trace by concrete simulation.
     validate_traces: bool = True
+    #: run implication on the compiled check kernel: the unrolled network is
+    #: lowered once into flat slot-indexed arrays (ternary value lanes,
+    #: int-indexed watcher lists, a compiled rule table) instead of the
+    #: per-step dict-dispatch interpreter.  Bit-identical by contract --
+    #: verdicts, counterexamples, learned cubes and every counter match the
+    #: interpreted engine, which stays available (``--no-compiled``) as the
+    #: soundness oracle.
+    compiled: bool = True
     #: use the legal-assignment-bias decision ordering (ablation switch).
     use_bias: bool = True
+    #: re-rank decision candidates by the fire counts of the learned cubes
+    #: naming them (hot conflict drivers first).  A deterministic ordering
+    #: heuristic, off by default; changes decision order but never verdicts.
+    cube_hit_ordering: bool = False
     #: learn illegal states in an extended state transition graph.  This is a
     #: heuristic accelerator; it may prune witness branches, so it is off by
     #: default and mainly used by the ablation benchmarks.
@@ -104,6 +116,8 @@ class CheckerOptions:
             learning=request.learning,
             kb_path=request.kb_path,
             use_local_fsm_guidance=request.fsm_guidance,
+            compiled=request.compiled,
+            cube_hit_ordering=request.cube_hit_ordering,
         )
         if request.max_frames is not None:
             options.max_frames = request.max_frames
@@ -130,7 +144,7 @@ class AssertionChecker:
         self.model_cache = model_cache if model_cache is not None else shared_model_cache()
         self._incremental_model: Optional[UnrolledModel] = None
         self._restore_savepoint = None
-        self._counter_marks = (0, 0, 0, 0, 0)
+        self._counter_marks = (0, 0, 0, 0, 0, 0.0)
         self._learning_marks = None
         #: persistent knowledge base handle (None when not configured).
         self._kb = None
@@ -232,13 +246,16 @@ class AssertionChecker:
             try:
                 if self.options.incremental:
                     self._incremental_model, reused = self.model_cache.acquire(
-                        self.circuit, self.initial_state, self.environment
+                        self.circuit, self.initial_state, self.environment,
+                        compiled=self.options.compiled,
                     )
                     if reused:
                         statistics.models_reused += 1
                     else:
                         # Count the skeleton frame built by the cache miss.
                         statistics.frames_built += self._incremental_model.frames_constructed
+                        if self._incremental_model.compiled:
+                            statistics.compiled_models += 1
                     # Per-check gauges/counters of the shared model.
                     self._incremental_model.engine.frontier_peak = 0
                     if self._kb is not None and self.options.learning:
@@ -342,9 +359,14 @@ class AssertionChecker:
         """
         options = self.options
         limits = options.limits
+        # ``options.compiled`` is deliberately absent: the compiled kernel
+        # is bit-identical to the interpreter, so memos transfer across the
+        # two modes (each cached model still has its own store; the key
+        # equality matters for knowledge-base round-trips).
         return (
             (property_search_digest(compiled.prop.expr), compiled.goal_value),
             options.use_bias,
+            options.cube_hit_ordering,
             options.probability_sample_vectors,
             options.probability_sample_seed,
             (limits.max_decisions, limits.max_backtracks, limits.max_depth,
@@ -362,9 +384,12 @@ class AssertionChecker:
             )
         num_frames = target_frame + 1
         model = UnrolledModel(
-            self.circuit, num_frames, initial_state=self.initial_state
+            self.circuit, num_frames, initial_state=self.initial_state,
+            compiled=self.options.compiled,
         )
-        self._counter_marks = (0, 0, 0, 0, 0)
+        if model.compiled:
+            statistics.compiled_models += 1
+        self._counter_marks = (0, 0, 0, 0, 0, 0.0)
         try:
             self._assert_requirements(model, compiled, target_frame)
         except ImplicationConflict:
@@ -393,6 +418,7 @@ class AssertionChecker:
             engine.justified_cache_hits,
             engine.justified_cache_misses,
             model.frames_constructed,
+            model.compile_seconds,
         )
         learning_store = model.estg if self._learning_enabled else None
         # The heuristic ESTG stores (use_estg / FSM guidance) may prune
@@ -589,7 +615,7 @@ class AssertionChecker:
         return (
             store.cubes_learned, store.cubes_lifted, store.cube_hits,
             store.datapath_cubes_learned, store.datapath_cube_hits,
-            store.kb_hits,
+            store.kb_hits, store.solver_cores_learned, store.solver_core_hits,
         )
 
     def _accumulate_learning_counters(self, statistics: CheckStatistics) -> None:
@@ -609,9 +635,12 @@ class AssertionChecker:
         statistics.datapath_cubes_learned += store.datapath_cubes_learned - marks[3]
         statistics.datapath_cube_hits += store.datapath_cube_hits - marks[4]
         statistics.kb_hits += store.kb_hits - marks[5]
-        # Gauge, not delta: how many knowledge-base cubes the shared model
+        statistics.solver_cores_learned += store.solver_cores_learned - marks[6]
+        statistics.solver_core_hits += store.solver_core_hits - marks[7]
+        # Gauges, not deltas: how many knowledge-base facts the shared model
         # carries (every check on a warm model reports the full count).
         statistics.kb_cubes_loaded = store.kb_cubes_loaded
+        statistics.kb_solver_cores_loaded = store.kb_solver_cores_loaded
 
     def _run_justifier(
         self, model: UnrolledModel, compiled: CompiledProperty,
@@ -625,6 +654,7 @@ class AssertionChecker:
             estg=self.estg if self.estg.enabled else None,
             sampled_probabilities=self._sampled_probabilities,
             learning=learning,
+            cube_hit_ordering=self.options.cube_hit_ordering,
         )
         return justifier.run()
 
@@ -642,12 +672,14 @@ class AssertionChecker:
         self, statistics: CheckStatistics, model: UnrolledModel
     ) -> None:
         engine = model.engine
-        rule_hits, rule_misses, just_hits, just_misses, frames_mark = self._counter_marks
+        (rule_hits, rule_misses, just_hits, just_misses, frames_mark,
+         compile_mark) = self._counter_marks
         statistics.rule_cache_hits += engine.rule_cache_hits - rule_hits
         statistics.rule_cache_misses += engine.rule_cache_misses - rule_misses
         statistics.justified_cache_hits += engine.justified_cache_hits - just_hits
         statistics.justified_cache_misses += engine.justified_cache_misses - just_misses
         statistics.frames_built += model.frames_constructed - frames_mark
+        statistics.compile_time_ms += (model.compile_seconds - compile_mark) * 1000.0
         statistics.frontier_peak = max(statistics.frontier_peak, engine.frontier_peak)
 
     # ------------------------------------------------------------------

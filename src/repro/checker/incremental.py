@@ -111,7 +111,7 @@ class UnrolledModelCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[Tuple[int, Hashable, Hashable], UnrolledModel]" = (
+        self._entries: "OrderedDict[Tuple[int, Hashable, Hashable, bool], UnrolledModel]" = (
             OrderedDict()
         )
         self._lock = threading.Lock()
@@ -124,17 +124,24 @@ class UnrolledModelCache:
         circuit: Circuit,
         initial_state: Optional[Mapping[str, int]] = None,
         environment: Optional[Environment] = None,
+        compiled: bool = False,
     ) -> Tuple[UnrolledModel, bool]:
         """Return ``(model, reused)`` for the given configuration.
 
         A cache miss builds a one-frame skeleton (callers grow it with
         :meth:`UnrolledModel.extend_to`); a hit returns the live model after
         absorbing any circuit growth via ``sync_with_circuit``.
+
+        ``compiled`` selects the engine flavour and is part of the cache
+        key: a compiled and an interpreted model of the same design are
+        distinct entries (each with its own learned store), so an A/B run
+        never has one mode warm the other's caches.
         """
         key = (
             id(circuit),
             initial_state_fingerprint(initial_state),
             environment_fingerprint(environment),
+            compiled,
         )
         with self._lock:
             model = self._entries.get(key)
@@ -156,7 +163,9 @@ class UnrolledModelCache:
         # Build outside the lock: the seed fixpoint is O(circuit) and must
         # not stall other cache users.  A racing duplicate build is benign
         # (last insert wins).
-        model = UnrolledModel(circuit, 1, initial_state=initial_state)
+        model = UnrolledModel(
+            circuit, 1, initial_state=initial_state, compiled=compiled
+        )
         dropped = []
         with self._lock:
             self.misses += 1

@@ -43,8 +43,13 @@ def statistics_to_dict(statistics) -> Dict[str, object]:
         "implications": statistics.implications,
         "arithmetic_calls": statistics.arithmetic_calls,
         "solver_cores": statistics.solver_cores,
+        "solver_cores_learned": statistics.solver_cores_learned,
+        "solver_core_hits": statistics.solver_core_hits,
+        "kb_solver_cores_loaded": statistics.kb_solver_cores_loaded,
         "models_reused": statistics.models_reused,
         "frames_built": statistics.frames_built,
+        "compiled_models": statistics.compiled_models,
+        "compile_time_ms": round(statistics.compile_time_ms, 3),
         "rule_cache_hit_rate": round(statistics.rule_cache_hit_rate, 4),
         "justified_cache_hit_rate": round(statistics.justified_cache_hit_rate, 4),
         "cubes_learned": statistics.cubes_learned,

@@ -31,6 +31,19 @@ class CheckStatistics:
     justified_cache_misses: int = 0
     #: datapath solver calls refuted with an infeasibility certificate.
     solver_cores: int = 0
+    #: memoised solver certificates (CheckerOptions.learning): certificates
+    #: newly recorded during this check, leaves answered by replaying a
+    #: stored certificate instead of re-solving, and -- a gauge like
+    #: ``kb_cubes_loaded`` -- certificates the model carries from the
+    #: persistent knowledge base.
+    solver_cores_learned: int = 0
+    solver_core_hits: int = 0
+    kb_solver_cores_loaded: int = 0
+    #: compiled check kernel (CheckerOptions.compiled): models lowered
+    #: through the compile pass during this check, and the milliseconds the
+    #: pass spent (frame building, incremental extension, circuit sync).
+    compiled_models: int = 0
+    compile_time_ms: float = 0.0
     #: cross-bound search learning (CheckerOptions.learning).
     cubes_learned: int = 0
     cubes_lifted: int = 0

@@ -14,14 +14,18 @@ not the fully unknown value (word-level signals can be implied many times).
 """
 
 from repro.implication.assignment import Assignment, ImplicationConflict
+from repro.implication.compiled import CompiledAssignment, CompiledEngine, compile_model
 from repro.implication.engine import ImplicationEngine, ImplicationNode
 from repro.implication.rules import build_rule, forward_simulate
 
 __all__ = [
     "Assignment",
+    "CompiledAssignment",
+    "CompiledEngine",
     "ImplicationConflict",
     "ImplicationEngine",
     "ImplicationNode",
     "build_rule",
     "forward_simulate",
+    "compile_model",
 ]

@@ -66,7 +66,20 @@ class ImplicationNode:
         conflict but never carry a requirement of their own.
     """
 
-    __slots__ = ("name", "keys", "rule", "num_outputs", "tag", "active")
+    __slots__ = (
+        "name",
+        "keys",
+        "rule",
+        "num_outputs",
+        "tag",
+        "active",
+        # Populated by the compiled kernel's lowering pass (see
+        # repro.implication.compiled); unset on interpreted engines.
+        "slots",
+        "in_slots",
+        "out_slots",
+        "index",
+    )
 
     def __init__(
         self,

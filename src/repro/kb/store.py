@@ -7,7 +7,10 @@ One :class:`KnowledgeBase` wraps one sqlite file holding, per *model key*
 * the model's **learned cubes** -- literals, anchoring metadata (shiftable /
   frame window), property digest scope, derivation source and hit counter;
 * its **proven-FAIL target memos** -- (search fingerprint, target frame)
-  pairs whose whole justification search completed with FAIL.
+  pairs whose whole justification search completed with FAIL;
+* its **solver infeasibility cores** (schema v2) -- canonical arithmetic
+  problem fingerprints mapped to the conflict core the modular solver
+  certified, so repeated datapath refutations replay without a solver call.
 
 Design rules (see ``docs/knowledge-base.md`` for the full contract):
 
@@ -39,7 +42,8 @@ from repro.bitvector import BV3
 from repro.kb.fingerprints import circuit_snapshot, model_kb_key
 
 #: current on-disk format version (bump on any incompatible schema change).
-SCHEMA_VERSION = 1
+#: v1: cubes + fail memos.  v2: adds the ``solver_cores`` table.
+SCHEMA_VERSION = 2
 
 #: seconds sqlite waits on a locked database before raising; concurrent
 #: batch workers flush small transactions, so collisions resolve quickly.
@@ -75,7 +79,30 @@ CREATE TABLE IF NOT EXISTS fail_memos (
     target_frame INTEGER NOT NULL,
     PRIMARY KEY (model_key, search_fp, target_frame)
 );
+CREATE TABLE IF NOT EXISTS solver_cores (
+    model_key TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    core TEXT NOT NULL,
+    hits INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (model_key, fingerprint)
+);
 """
+
+#: per-version upgrade steps applied by :meth:`KnowledgeBase._migrate`;
+#: entry N upgrades a v(N) store to v(N+1).
+_MIGRATIONS = {
+    1: [
+        # v1 -> v2: solver infeasibility cores.  Purely additive -- the
+        # existing cube / memo rows are untouched, so a migrated store is
+        # byte-compatible with one freshly created at v2 plus its history.
+        "CREATE TABLE IF NOT EXISTS solver_cores ("
+        " model_key TEXT NOT NULL,"
+        " fingerprint TEXT NOT NULL,"
+        " core TEXT NOT NULL,"
+        " hits INTEGER NOT NULL DEFAULT 0,"
+        " PRIMARY KEY (model_key, fingerprint))",
+    ],
+}
 
 
 def _freeze(value):
@@ -187,12 +214,40 @@ class KnowledgeBase:
     def _migrate(self, version: int) -> None:
         """Migrate an older on-disk format forward, one version at a time.
 
-        v1 is the first format, so there is nothing to migrate from yet;
-        future versions add their upgrade steps here (the policy documented
-        in ``docs/knowledge-base.md``: forward migrations only, newer stores
-        are never downgraded).
+        Policy (documented in ``docs/knowledge-base.md``): migrations are
+        forward-only and additive -- each step runs in one immediate write
+        transaction that applies the version's DDL and bumps
+        ``kb_meta.schema_version`` together, so a crash mid-migration leaves
+        the store consistently at the old version and the next open retries.
+        Newer stores are never downgraded (the handle disables itself
+        instead), and a version with no registered step disables fail-open.
         """
-        self._disable("store schema v%d has no migration path" % version)
+        assert self._conn is not None
+        conn = self._conn
+        while version < SCHEMA_VERSION:
+            steps = _MIGRATIONS.get(version)
+            if steps is None:
+                self._disable("store schema v%d has no migration path" % version)
+                return
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    for statement in steps:
+                        conn.execute(statement)
+                    conn.execute(
+                        "UPDATE kb_meta SET value = ? WHERE key = 'schema_version'",
+                        (str(version + 1),),
+                    )
+                    conn.execute("COMMIT")
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error as exc:
+                self._disable(
+                    "migration v%d -> v%d failed: %s" % (version, version + 1, exc)
+                )
+                return
+            version += 1
 
     # ------------------------------------------------------------------
     def schema_version(self) -> Optional[int]:
@@ -242,6 +297,11 @@ class KnowledgeBase:
                 "SELECT search_fp, target_frame FROM fail_memos WHERE model_key = ?",
                 (key,),
             ).fetchall()
+            core_rows = self._conn.execute(
+                "SELECT fingerprint, core, hits FROM solver_cores"
+                " WHERE model_key = ? ORDER BY hits DESC, fingerprint",
+                (key,),
+            ).fetchall()
         except sqlite3.Error as exc:
             self._disable("read failed: %s" % exc)
             return (0, 0)
@@ -268,7 +328,30 @@ class KnowledgeBase:
                 continue
             if estg.adopt_kb_fail(search_fp, int(target_frame)):
                 memos_loaded += 1
+        for fingerprint, core_json, hits in core_rows:
+            core = self._parse_core(core_json, circuit)
+            if core is not None:
+                estg.adopt_kb_solver_core(fingerprint, core, hits=int(hits))
         return (cubes_loaded, memos_loaded)
+
+    @staticmethod
+    def _parse_core(core_json, circuit) -> Optional[Tuple[Tuple[str, int], ...]]:
+        """One solver-core JSON payload -> ``((name, frame), ...)`` or ``None``.
+
+        Like cubes, a core naming a net this circuit does not have is
+        dropped whole: replaying a partial core would under-seed conflict
+        analysis, so the justifier only accepts fully-resolvable cores.
+        """
+        try:
+            raw = json.loads(core_json)
+            core = []
+            for name, frame in raw:
+                if not circuit.has_net(str(name)):
+                    return None
+                core.append((str(name), int(frame)))
+        except (ValueError, TypeError):
+            return None
+        return tuple(core)
 
     @staticmethod
     def _parse_cube(
@@ -339,6 +422,17 @@ class KnowledgeBase:
         for prop_fp, target_frame in estg.proven_fail_targets:
             if _jsonable(prop_fp) and isinstance(target_frame, int):
                 memo_rows.append((key, json.dumps(prop_fp), target_frame))
+        core_rows = []
+        for fingerprint, entry in getattr(estg, "solver_cores", {}).items():
+            if all(name in net_names for name, _frame in entry.core):
+                core_rows.append(
+                    (
+                        key,
+                        fingerprint,
+                        json.dumps([[name, frame] for name, frame in entry.core]),
+                        entry.hits,
+                    )
+                )
         for attempt in range(_WRITE_RETRIES):
             try:
                 conn = self._conn
@@ -360,6 +454,13 @@ class KnowledgeBase:
                         "INSERT OR IGNORE INTO fail_memos(model_key, search_fp, target_frame)"
                         " VALUES(?, ?, ?)",
                         memo_rows,
+                    )
+                    conn.executemany(
+                        "INSERT INTO solver_cores(model_key, fingerprint, core, hits)"
+                        " VALUES(?, ?, ?, ?)"
+                        " ON CONFLICT(model_key, fingerprint)"
+                        " DO UPDATE SET hits = MAX(hits, excluded.hits)",
+                        core_rows,
                     )
                     conn.execute("COMMIT")
                     if tear_after:
@@ -444,12 +545,16 @@ class KnowledgeBase:
                 memos = self._conn.execute(
                     "SELECT COUNT(*) FROM fail_memos WHERE model_key = ?", (key,)
                 ).fetchone()[0]
+                cores = self._conn.execute(
+                    "SELECT COUNT(*) FROM solver_cores WHERE model_key = ?", (key,)
+                ).fetchone()[0]
                 per_model.append(
                     {
                         "model_key": key,
                         "circuit": name,
                         "cubes": cubes,
                         "fail_memos": memos,
+                        "solver_cores": cores,
                         "hits": hits,
                     }
                 )
@@ -469,6 +574,7 @@ class KnowledgeBase:
             "models": len(per_model),
             "cubes": sum(row["cubes"] for row in per_model),
             "fail_memos": sum(row["fail_memos"] for row in per_model),
+            "solver_cores": sum(row["solver_cores"] for row in per_model),
             "hits": sum(row["hits"] for row in per_model),
             "per_model": per_model,
         }
@@ -476,9 +582,10 @@ class KnowledgeBase:
     def prune(self, min_hits: int = 0, keep: Optional[int] = None) -> int:
         """Drop cold cubes; returns the number of cube rows removed.
 
-        ``min_hits`` drops cubes with fewer recorded constraint-node fires;
-        ``keep`` additionally keeps only the hottest N cubes per model.
-        Proven-FAIL memos are never pruned (they are tiny and never demoted).
+        ``min_hits`` drops cubes (and solver cores) with fewer recorded
+        fires; ``keep`` additionally keeps only the hottest N cubes per
+        model.  Proven-FAIL memos are never pruned (they are tiny and never
+        demoted).
         """
         if self.disabled or self._conn is None:
             return 0
@@ -488,6 +595,7 @@ class KnowledgeBase:
             before = conn.execute("SELECT COUNT(*) FROM cubes").fetchone()[0]
             if min_hits > 0:
                 conn.execute("DELETE FROM cubes WHERE hits < ?", (min_hits,))
+                conn.execute("DELETE FROM solver_cores WHERE hits < ?", (min_hits,))
             if keep is not None:
                 conn.execute(
                     "DELETE FROM cubes WHERE (model_key, fingerprint) IN ("
@@ -524,7 +632,10 @@ class KnowledgeBase:
         (row counts read, not deduplicated).  Merging is idempotent:
         replaying the same sources changes nothing.
         """
-        totals = {"sources": 0, "models": 0, "cubes": 0, "fail_memos": 0}
+        totals = {
+            "sources": 0, "models": 0, "cubes": 0, "fail_memos": 0,
+            "solver_cores": 0,
+        }
         if self.disabled or self._conn is None:
             return totals
         batches = []
@@ -545,17 +656,20 @@ class KnowledgeBase:
                 memos = source._conn.execute(
                     "SELECT model_key, search_fp, target_frame FROM fail_memos"
                 ).fetchall()
+                cores = source._conn.execute(
+                    "SELECT model_key, fingerprint, core, hits FROM solver_cores"
+                ).fetchall()
             except sqlite3.Error:
                 # A source torn mid-read contributes nothing; the merge of
                 # the remaining sources still lands atomically.
                 continue
-            batches.append((models, cubes, memos))
+            batches.append((models, cubes, memos, cores))
         if not batches:
             return totals
         conn = self._conn
         conn.execute("BEGIN IMMEDIATE")
         try:
-            for models, cubes, memos in batches:
+            for models, cubes, memos, cores in batches:
                 conn.executemany(
                     "INSERT OR IGNORE INTO models(model_key, circuit_name)"
                     " VALUES(?, ?)",
@@ -574,10 +688,18 @@ class KnowledgeBase:
                     " target_frame) VALUES(?, ?, ?)",
                     memos,
                 )
+                conn.executemany(
+                    "INSERT INTO solver_cores(model_key, fingerprint, core, hits)"
+                    " VALUES(?, ?, ?, ?)"
+                    " ON CONFLICT(model_key, fingerprint)"
+                    " DO UPDATE SET hits = MAX(hits, excluded.hits)",
+                    cores,
+                )
                 totals["sources"] += 1
                 totals["models"] += len(models)
                 totals["cubes"] += len(cubes)
                 totals["fail_memos"] += len(memos)
+                totals["solver_cores"] += len(cores)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")

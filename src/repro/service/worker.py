@@ -136,6 +136,9 @@ class _WorkerState:
         self.warm_hits = 0
         self.kb_cubes_loaded = 0
         self.kb_hits = 0
+        self.compiled_models = 0
+        self.compile_time_ms = 0.0
+        self.solver_core_hits = 0
         self.degradations = 0
         self.started_at = time.time()
 
@@ -144,6 +147,9 @@ class _WorkerState:
         self.warm_hits += report.aggregate("models_reused")
         self.kb_cubes_loaded += report.aggregate("kb_cubes_loaded")
         self.kb_hits += report.aggregate("kb_hits")
+        self.compiled_models += report.aggregate("compiled_models")
+        self.compile_time_ms += report.aggregate("compile_time_ms")
+        self.solver_core_hits += report.aggregate("solver_core_hits")
 
     def note_request(self, request: api.CheckRequest) -> None:
         if request.kb_path:
@@ -183,6 +189,9 @@ class _WorkerState:
             "warm_hits": self.warm_hits,
             "kb_cubes_loaded": self.kb_cubes_loaded,
             "kb_hits": self.kb_hits,
+            "compiled_models": self.compiled_models,
+            "compile_time_ms": round(self.compile_time_ms, 3),
+            "solver_core_hits": self.solver_core_hits,
             "degradations": self.degradations,
             "model_cache": cache,
             "cache_residency": cache.get("entries", 0),
